@@ -1,0 +1,59 @@
+"""E10 — Section 5: convolutional layers as circuit matrix multiplications.
+
+Regenerates the P x Q / Q x K GEMM framing of a convolution layer, runs a
+small quantized layer through the Theorem 4.9 circuit, and quantifies the
+fan-in splitting argument given at the end of Section 5.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.analysis import split_for_fan_in, split_overhead
+from repro.convolution import ConvolutionShape, build_convolution_layer
+from repro.fastmm import strassen_2x2
+
+
+def test_e10_circuit_convolution_layer(benchmark, rng):
+    shape = ConvolutionShape(image_size=4, channels=1, kernel_size=2, stride=2, n_kernels=2)
+    layer = build_convolution_layer(shape, bit_width=2, depth_parameter=2)
+    image = rng.integers(0, 4, (4, 4, 1))
+    kernels = rng.integers(-3, 4, (2, 2, 2, 1))
+
+    scores = benchmark(layer.apply, image, kernels)
+    assert (scores == layer.reference(image, kernels)).all()
+    p, q, k = shape.gemm_shape
+    report(
+        "E10: convolution-as-GEMM on the product circuit",
+        [
+            {
+                "patches P": p,
+                "patch length Q": q,
+                "kernels K": k,
+                "GEMM dim (padded)": layer.gemm_dimension,
+                "circuit gates": layer.matmul.circuit.size,
+                "circuit depth": layer.matmul.circuit.depth,
+            }
+        ],
+    )
+
+
+def test_e10_fan_in_splitting(benchmark):
+    def compute_rows():
+        rows = []
+        for budget in (256, 1024, 4096, 16384):
+            pieces = split_for_fan_in(1024, budget)
+            overhead = split_overhead(64, budget, depth_parameter=3)
+            rows.append(
+                {
+                    "fan-in budget x": budget,
+                    "rows/piece x^(1/omega)": round(budget ** (1 / strassen_2x2().omega), 1),
+                    "pieces for P=1024": pieces,
+                    "gate overhead ratio (N=64)": round(overhead["overhead_ratio"], 2),
+                }
+            )
+        return rows
+
+    rows = benchmark(compute_rows)
+    report("E10: splitting the GEMM for a bounded fan-in architecture (Section 5)", rows)
+    pieces = [row["pieces for P=1024"] for row in rows]
+    assert all(b <= a for a, b in zip(pieces, pieces[1:]))  # bigger budget, fewer pieces

@@ -1,0 +1,67 @@
+"""E11 — Section 5: triangle counting and clustering coefficients.
+
+Regenerates the social-network workflow the paper sketches: generate graphs
+with and without community structure, compute wedge counts and clustering
+coefficients, derive tau, and answer the threshold query with the subcubic
+circuit, cross-checked against the naive baseline and the exact count.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core import build_naive_triangle_circuit
+from repro.triangles import (
+    block_two_level_adjacency,
+    build_triangle_query,
+    erdos_renyi_adjacency,
+    global_clustering_coefficient,
+    tau_from_wedges,
+    triangle_count,
+    wedge_count,
+)
+
+
+def test_e11_clustering_coefficient_contrast(benchmark, rng):
+    def compute_rows():
+        rows = []
+        community = block_two_level_adjacency(16, 4, p_within=0.9, p_between=0.05, rng=rng)
+        density = community.sum() / (16 * 15)
+        background = erdos_renyi_adjacency(16, float(density), rng)
+        for name, adjacency in (("BTER-like (communities)", community), ("Erdos-Renyi (control)", background)):
+            rows.append(
+                {
+                    "graph": name,
+                    "edges": int(adjacency.sum() // 2),
+                    "wedges": wedge_count(adjacency),
+                    "triangles": triangle_count(adjacency),
+                    "clustering": round(global_clustering_coefficient(adjacency), 3),
+                }
+            )
+        return rows
+
+    rows = benchmark(compute_rows)
+    report("E11: community structure raises the clustering coefficient (Section 5)", rows)
+    assert rows[0]["clustering"] > rows[1]["clustering"]
+
+
+def test_e11_threshold_query_via_subcubic_circuit(benchmark, rng):
+    adjacency = block_two_level_adjacency(8, 4, p_within=0.9, p_between=0.1, rng=rng)
+    tau = tau_from_wedges(adjacency, 0.3)
+    query = build_triangle_query(8, tau_triangles=tau, depth_parameter=3)
+    naive = build_naive_triangle_circuit(8, tau)
+
+    answer = benchmark(query.evaluate, adjacency)
+    assert answer == query.reference(adjacency)
+    assert answer == naive.evaluate(adjacency)
+    report(
+        "E11: threshold query (tau from wedge count)",
+        [
+            {
+                "tau (triangles)": tau,
+                "exact triangles": triangle_count(adjacency),
+                "circuit answer": answer,
+                "subcubic gates": query.trace_circuit.circuit.size,
+                "naive gates": naive.circuit.size,
+            }
+        ],
+    )

@@ -1,0 +1,54 @@
+"""E1 — Figure 1: Strassen's algorithm (correctness and operation counts).
+
+Regenerates the content of the paper's Figure 1: the seven multiplications,
+their correctness, and the operation-count recurrence
+``T(N) = 7 T(N/2) + 18 (N/2)^2`` giving ``N^{log2 7}`` scalar multiplications.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.fastmm import fast_matmul, operation_counts, strassen_2x2
+from repro.util.matrices import random_integer_matrix
+
+
+def test_e1_strassen_brent_verification(benchmark):
+    algorithm = strassen_2x2()
+    result = benchmark(algorithm.verify)
+    assert result is True
+
+
+def test_e1_recursive_strassen_vs_naive_counts(benchmark):
+    algorithm = strassen_2x2()
+
+    def compute_rows():
+        rows = []
+        for exponent in range(1, 9):
+            n = 2 ** exponent
+            counts = operation_counts(algorithm, n)
+            rows.append(
+                {
+                    "N": n,
+                    "strassen_mults": counts.scalar_multiplications,
+                    "strassen_adds": counts.scalar_additions,
+                    "naive_mults": n ** 3,
+                    "ratio": n ** 3 / counts.scalar_multiplications,
+                }
+            )
+        return rows
+
+    rows = benchmark(compute_rows)
+    report("E1: Strassen operation counts (Figure 1 / Section 2.1)", rows)
+    # Shape claims: 7^l multiplications, and the advantage over N^3 grows with N.
+    assert rows[3]["strassen_mults"] == 7 ** 4
+    ratios = [row["ratio"] for row in rows]
+    assert all(b > a for a, b in zip(ratios, ratios[1:]))
+
+
+def test_e1_recursive_strassen_matches_oracle(benchmark, rng):
+    algorithm = strassen_2x2()
+    a = random_integer_matrix(32, 8, rng=rng)
+    b = random_integer_matrix(32, 8, rng=rng)
+
+    result = benchmark(fast_matmul, a, b, algorithm)
+    assert (result == a.astype(object) @ b.astype(object)).all()

@@ -1,0 +1,56 @@
+"""E2 — Figure 2: the r-ary tree T_A and equation (3).
+
+Regenerates the structural facts of Figure 2: r^h nodes per level, leaf
+count N^{log_T r}, the worked example node, and the subtree size-sum
+identity sum size(u) = s_A^delta proved via the multinomial theorem.
+"""
+
+from benchmarks.conftest import report
+from repro.core.trees import (
+    edge_matrices,
+    edge_term_counts,
+    iter_paths,
+    path_size,
+    relative_functional,
+    subtree_size_sum,
+)
+from repro.fastmm import sparsity_parameters, strassen_2x2
+
+
+def test_e2_tree_level_statistics(benchmark):
+    algorithm = strassen_2x2()
+    counts = edge_term_counts(algorithm, "A")
+
+    def compute_rows():
+        rows = []
+        for level in range(0, 5):
+            enumerated = sum(path_size(counts, path) for path in iter_paths(algorithm.r, level))
+            rows.append(
+                {
+                    "level h": level,
+                    "nodes r^h": algorithm.r ** level,
+                    "matrix dim": f"N/{algorithm.t ** level}",
+                    "sum size(u)": enumerated,
+                    "s_A^h": subtree_size_sum(counts, level),
+                }
+            )
+        return rows
+
+    rows = benchmark(compute_rows)
+    report("E2: T_A level statistics (Figure 2, equation (3))", rows)
+    for row in rows:
+        assert row["sum size(u)"] == row["s_A^h"]
+    assert rows[1]["sum size(u)"] == sparsity_parameters(strassen_2x2()).s_A
+
+
+def test_e2_figure_2_example_node(benchmark):
+    algorithm = strassen_2x2()
+    edges = edge_matrices(algorithm, "A")
+
+    functional = benchmark(relative_functional, edges, (6, 6))
+    # (A12 - A22)12 - (A12 - A22)22: four blocks, weights +1/-1.
+    assert functional == {(0, 3): 1, (1, 3): -1, (2, 3): -1, (3, 3): 1}
+    report(
+        "E2: Figure 2 example node (path M7->M7)",
+        [{"block": str(k), "coefficient": v} for k, v in sorted(functional.items())],
+    )

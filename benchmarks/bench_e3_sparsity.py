@@ -1,0 +1,58 @@
+"""E3 — The sparsity / constant table of Definition 2.1 and Section 4.3.
+
+Regenerates every numeric constant the paper quotes for Strassen's algorithm
+(s = 12, alpha = 7/12, beta = 3, gamma ~ 0.491, c ~ 1.585, c'_j = 4,2,2,4)
+and the same table for the other shipped algorithms, showing that gamma is
+governed by sparsity rather than by rank or addition count.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.fastmm import available_algorithms, get_algorithm, sparsity_parameters
+
+
+def test_e3_sparsity_table(benchmark):
+    def compute_rows():
+        rows = []
+        for name in available_algorithms():
+            params = sparsity_parameters(get_algorithm(name))
+            rows.append(
+                {
+                    "algorithm": name,
+                    "T": params.t,
+                    "r": params.r,
+                    "omega": round(params.omega, 4),
+                    "s_A": params.s_A,
+                    "s_B": params.s_B,
+                    "s_C": params.s_C,
+                    "alpha": float(params.side_A.alpha),
+                    "beta": float(params.side_A.beta),
+                    "gamma": round(params.side_A.gamma, 4),
+                    "c": round(params.side_A.c, 4),
+                }
+            )
+        return rows
+
+    rows = benchmark(compute_rows)
+    report("E3: sparsity parameters (Definition 2.1, Section 4.3)", rows)
+
+    strassen = next(row for row in rows if row["algorithm"] == "strassen")
+    assert strassen["s_A"] == strassen["s_B"] == strassen["s_C"] == 12
+    assert strassen["alpha"] == pytest.approx(7 / 12)
+    assert strassen["beta"] == pytest.approx(3.0)
+    assert strassen["gamma"] == pytest.approx(0.491, abs=2e-3)
+    assert strassen["c"] == pytest.approx(1.585, abs=5e-3)
+
+    winograd = next(row for row in rows if row["algorithm"] == "winograd")
+    assert winograd["s_A"] == 14
+    assert winograd["gamma"] > strassen["gamma"]
+
+
+def test_e3_strassen_c_prime(benchmark):
+    params = benchmark(sparsity_parameters, get_algorithm("strassen"))
+    assert params.c_prime == (4, 2, 2, 4)
+    report(
+        "E3: Strassen c'_j (appendix)",
+        [{"output entry": f"C{j // 2 + 1}{j % 2 + 1}", "c'_j": v} for j, v in enumerate(params.c_prime)],
+    )

@@ -1,0 +1,63 @@
+"""E4 — The Theta(N^3) baselines of the paper's introduction.
+
+Regenerates the depth-2 triangle circuit with exactly C(N,3) + 1 gates, the
+integer-matrix naive circuits, and their correctness on random graphs.
+These are the yardsticks the subcubic circuits of E6-E8 are measured
+against.
+"""
+
+import math
+
+from benchmarks.conftest import report
+from repro.core import build_naive_matmul_circuit, build_naive_triangle_circuit
+from repro.triangles import erdos_renyi_adjacency, triangle_count
+
+
+def test_e4_triangle_circuit_size_and_depth(benchmark):
+    def compute_rows():
+        rows = []
+        for n in (4, 8, 16, 32, 64):
+            circuit = build_naive_triangle_circuit(n, 1)
+            rows.append(
+                {
+                    "N": n,
+                    "gates": circuit.circuit.size,
+                    "C(N,3)+1": math.comb(n, 3) + 1,
+                    "depth": circuit.circuit.depth,
+                    "edges": circuit.circuit.edges,
+                }
+            )
+        return rows
+
+    rows = benchmark(compute_rows)
+    report("E4: naive depth-2 triangle circuit (Section 1)", rows)
+    for row in rows:
+        assert row["gates"] == row["C(N,3)+1"]
+        assert row["depth"] == 2
+
+
+def test_e4_triangle_circuit_correctness(benchmark, rng):
+    adjacency = erdos_renyi_adjacency(16, 0.4, rng)
+    triangles = triangle_count(adjacency)
+    circuit = build_naive_triangle_circuit(16, max(1, triangles))
+
+    result = benchmark(circuit.evaluate, adjacency)
+    assert result == (triangles >= max(1, triangles))
+
+
+def test_e4_naive_matmul_circuit_construction(benchmark):
+    circuit = benchmark(build_naive_matmul_circuit, 4, 1)
+    # Theta(N^3 b^2) gates in depth 3.
+    assert circuit.circuit.depth == 3
+    report(
+        "E4: naive integer matmul circuit",
+        [
+            {
+                "N": 4,
+                "bit_width": 1,
+                "gates": circuit.circuit.size,
+                "depth": circuit.circuit.depth,
+                "edges": circuit.circuit.edges,
+            }
+        ],
+    )

@@ -1,0 +1,70 @@
+"""E7 — Theorem 4.5: constant-depth trace circuits and the d trade-off.
+
+Regenerates the depth <= 2d+5 bound, the gate-count decrease with d, the
+predicted exponent omega + c*gamma^d, and the comparison against the
+C(N,3)+1 baseline of E4.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.analysis import depth_tradeoff_table, exponent_summary, exact_size_sweep
+from repro.core import build_trace_circuit, naive_triangle_gate_count, predicted_exponent
+from repro.triangles import erdos_renyi_adjacency, triangle_count
+
+
+def test_e7_depth_tradeoff(benchmark):
+    rows = benchmark.pedantic(
+        depth_tradeoff_table, args=(8, [1, 2, 3], "trace", 1), rounds=1, iterations=1
+    )
+    report("E7: Theorem 4.5 trade-off at N=8 (exact dry-run counts)", rows)
+    for row in rows:
+        assert row["depth"] <= row["depth_bound"]
+    gates = [row["gates"] for row in rows]
+    assert all(later <= earlier for earlier, later in zip(gates, gates[1:]))
+    assert gates[-1] < gates[0]
+    exponents = [row["predicted_exponent"] for row in rows]
+    assert all(b < a for a, b in zip(exponents, exponents[1:]))
+    # The exponent dips below 3 between d=3 and d=4 (the paper states d > 3).
+    assert predicted_exponent(None, 4) < 3.0 <= exponents[0]
+
+
+def test_e7_scaling_against_naive_baseline(benchmark):
+    def compute():
+        rows = exact_size_sweep([4, 8, 16], depth_parameter=3, kind="trace", bit_width=1)
+        table = []
+        for row in rows:
+            table.append(
+                {
+                    "N": row.n,
+                    "subcubic gates": int(row.size),
+                    "naive C(N,3)+1": int(naive_triangle_gate_count(row.n)),
+                    "depth": row.depth,
+                    "gates/N^3": round(row.size / row.n ** 3, 1),
+                }
+            )
+        return rows, table
+
+    rows, table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report("E7: subcubic trace circuit vs naive baseline (small N, constants dominate)", table)
+    summary = exponent_summary(rows)
+    report("E7: fitted vs predicted exponent (small-N window, polylog inflated)", [summary])
+    # At these tiny sizes the naive circuit is smaller (its constant is ~1/6)
+    # and the measured growth still carries the growing (log N)^3 product-stage
+    # factor; the asymptotic win and its crossover point are quantified in E8
+    # and EXPERIMENTS.md.  Here we pin down the finite-size facts.
+    assert all(row["subcubic gates"] > row["naive C(N,3)+1"] for row in table)
+    growth = rows[-1].size / rows[-2].size
+    assert growth < 14.0  # well below the flattened construction's ~N^(1+omega)
+
+
+def test_e7_constructed_circuit_answers_random_queries(benchmark, rng):
+    n = 8
+    adjacency = erdos_renyi_adjacency(n, 0.5, rng)
+    triangles = triangle_count(adjacency)
+    tau = max(1, triangles)
+    circuit = build_trace_circuit(n, 6 * tau, bit_width=1, depth_parameter=3)
+
+    result = benchmark(circuit.evaluate, adjacency)
+    assert result == (triangles >= tau)
+    assert circuit.circuit.depth <= 2 * 3 + 5

@@ -1,0 +1,62 @@
+"""E8 — Theorem 4.9: constant-depth matrix-product circuits and the crossover.
+
+Regenerates the depth <= 4d+1 bound, the gate exponent omega + c*gamma^d,
+and the crossover analysis against the Theta(N^3) baseline: at which d the
+exponent dips below 3 and at which N the analytic model predicts the
+subcubic circuit overtakes the naive one.
+"""
+
+import math
+
+from benchmarks.conftest import report
+from repro.analysis import analytic_size_sweep, crossover_size, exponent_summary
+from repro.core import count_matmul_circuit, predicted_exponent
+from repro.fastmm import strassen_2x2
+
+
+def test_e8_depth_and_size_versus_d(benchmark):
+    def compute_rows():
+        rows = []
+        for d in (1, 2, 3):
+            cost = count_matmul_circuit(8, bit_width=1, depth_parameter=d)
+            rows.append(
+                {
+                    "d": d,
+                    "gates": cost.size,
+                    "depth": cost.depth,
+                    "depth bound 4d+1": 4 * d + 1,
+                    "max fan-in": cost.max_fan_in,
+                    "predicted exponent": round(predicted_exponent(strassen_2x2(), d), 4),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    report("E8: Theorem 4.9 product circuit at N=8 (exact dry-run counts)", rows)
+    for row in rows:
+        assert row["depth"] <= row["depth bound 4d+1"]
+    assert rows[-1]["gates"] <= rows[0]["gates"]
+
+
+def test_e8_asymptotic_exponent_and_crossover(benchmark):
+    def compute():
+        sweep = analytic_size_sweep([2 ** k for k in range(20, 32, 2)], depth_parameter=4, kind="matmul")
+        summary = exponent_summary(sweep)
+        crossovers = {}
+        for d in (3, 4, 5, 6):
+            n = crossover_size(d, kind="trace")
+            crossovers[d] = None if n is None else int(math.log2(n))
+        return summary, crossovers
+
+    summary, crossovers = benchmark(compute)
+    report("E8: fitted vs predicted exponent (analytic model, d=4)", [summary])
+    report(
+        "E8: crossover vs naive baseline (analytic model, exact integers)",
+        [{"d": d, "crossover N": "none below 2^512" if e is None else f"2^{e}"} for d, e in crossovers.items()],
+    )
+    assert summary["predicted_exponent"] < 3.0
+    assert summary["fitted_exponent"] < 3.0
+    # For d >= 4 a crossover exists (astronomically large N); the paper's
+    # claim is asymptotic and the harness records where it actually lands.
+    assert crossovers[4] is not None
+    assert crossovers[5] is not None and crossovers[5] <= crossovers[4]

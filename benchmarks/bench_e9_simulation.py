@@ -1,0 +1,63 @@
+"""E9 — End-to-end correctness: constructed circuits vs exact oracles.
+
+Times construction, compilation and batched simulation of the trace and
+product circuits at N = 8, and asserts exact agreement with the integer
+oracles on random inputs (the reproduction's equivalent of a results-match
+check).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core import build_matmul_circuit, build_trace_circuit
+from repro.triangles import erdos_renyi_adjacency, trace_cubed, triangle_count
+
+
+def test_e9_trace_circuit_construction(benchmark):
+    circuit = benchmark(build_trace_circuit, 8, 60, 1, None, None, 3)
+    stats = circuit.circuit.stats()
+    report(
+        "E9: trace circuit at N=8, d=3 (constructed)",
+        [
+            {
+                "N": 8,
+                "gates": stats.size,
+                "depth": stats.depth,
+                "edges": stats.edges,
+                "max fan-in": stats.max_fan_in,
+                "inputs": stats.n_inputs,
+            }
+        ],
+    )
+    assert stats.depth <= 2 * 3 + 5
+
+
+def test_e9_trace_circuit_batched_simulation(benchmark, rng):
+    tau_triangles = 10
+    circuit = build_trace_circuit(8, 6 * tau_triangles, bit_width=1, depth_parameter=3)
+    graphs = [erdos_renyi_adjacency(8, 0.5, rng) for _ in range(16)]
+
+    results = benchmark(circuit.evaluate_batch, graphs)
+    expected = [triangle_count(g) >= tau_triangles for g in graphs]
+    assert results.tolist() == expected
+
+
+def test_e9_matmul_circuit_end_to_end(benchmark, rng):
+    n = 4
+    circuit = build_matmul_circuit(n, bit_width=2, depth_parameter=2)
+    a = rng.integers(-3, 4, (n, n))
+    b = rng.integers(-3, 4, (n, n))
+
+    product = benchmark(circuit.evaluate, a, b)
+    assert (product == a.astype(object) @ b.astype(object)).all()
+    report(
+        "E9: matmul circuit at N=4, b=2 (constructed)",
+        [
+            {
+                "N": n,
+                "gates": circuit.circuit.size,
+                "depth": circuit.circuit.depth,
+                "outputs": len(circuit.circuit.outputs),
+            }
+        ],
+    )

@@ -1,0 +1,27 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every module under ``benchmarks/`` regenerates one experiment of
+EXPERIMENTS.md (E1-E13).  The timed portion uses pytest-benchmark; the rows
+each experiment reports are printed (run with ``-s`` to see them) and the
+key qualitative claims — who wins, in which direction the trade-off moves —
+are asserted so the harness fails loudly if the reproduction drifts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator shared by all benchmarks."""
+    return np.random.default_rng(2018)
+
+
+def report(title: str, rows, columns=None) -> None:
+    """Print an experiment's table (visible with ``pytest -s``)."""
+    print(f"\n== {title} ==")
+    print(format_table(rows, columns))

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Scaling study: gate counts versus N and d, and the crossover against N^3.
+
+Reproduces, from the command line, the quantitative story of the paper's
+Theorems 4.1 / 4.4 / 4.5 / 4.9 (see EXPERIMENTS.md for the full discussion):
+
+* exact gate counts of the constructed circuits at small N,
+* the predicted exponent ``omega + c * gamma^d`` as a function of d,
+* the analytic large-N sweep and the crossover point against the naive
+  Theta(N^3) baseline.
+
+Run with ``python examples/scaling_study.py``.
+"""
+
+import math
+
+from repro.analysis import (
+    analytic_size_sweep,
+    crossover_size,
+    exact_size_sweep,
+    exponent_summary,
+    format_table,
+)
+from repro.core import naive_triangle_gate_count, predicted_exponent
+from repro.fastmm import available_algorithms, get_algorithm, sparsity_parameters
+
+
+def main() -> None:
+    # ------------------------------------------------------------- exponents
+    rows = []
+    for d in range(1, 9):
+        rows.append(
+            {
+                "d": d,
+                "trace depth bound 2d+5": 2 * d + 5,
+                "matmul depth bound 4d+1": 4 * d + 1,
+                "exponent omega + c*gamma^d": round(predicted_exponent(None, d), 4),
+            }
+        )
+    print("Predicted gate-count exponents for Strassen (omega ~ 2.807):")
+    print(format_table(rows))
+
+    # ------------------------------------------------- exact counts (small N)
+    exact_rows = exact_size_sweep([4, 8, 16], depth_parameter=3, kind="trace", bit_width=1)
+    table = [
+        {
+            "N": r.n,
+            "subcubic trace gates": int(r.size),
+            "naive C(N,3)+1": naive_triangle_gate_count(r.n),
+            "depth": r.depth,
+        }
+        for r in exact_rows
+    ]
+    print("\nExact dry-run gate counts (trace circuit, d=3, 1-bit entries):")
+    print(format_table(table))
+    print("Fitted/predicted exponents on this small-N window:")
+    print(format_table([exponent_summary(exact_rows)]))
+
+    # ------------------------------------------------ analytic sweep (large N)
+    sweep = analytic_size_sweep([2 ** k for k in range(20, 41, 5)], depth_parameter=4, kind="matmul")
+    print("\nAnalytic model (counting lemmas, exact rationals), matmul circuit, d=4:")
+    print(
+        format_table(
+            [
+                {
+                    "N": f"2^{int(math.log2(r.n))}",
+                    "model gates": f"{r.size:.3e}",
+                    "N^3": f"{r.baseline:.3e}",
+                    "model/N^3": f"{r.size / r.baseline:.3f}",
+                    "depth": r.depth,
+                }
+                for r in sweep
+            ]
+        )
+    )
+
+    # ------------------------------------------------------------- crossover
+    rows = []
+    for d in (3, 4, 5, 6, 8):
+        n = crossover_size(d, kind="trace")
+        rows.append(
+            {
+                "d": d,
+                "exponent": round(predicted_exponent(None, d), 4),
+                "crossover N vs C(N,3)+1": "none below 2^512" if n is None else f"2^{int(math.log2(n))}",
+            }
+        )
+    print("\nWhere the analytic model first beats the naive triangle circuit:")
+    print(format_table(rows))
+
+    # -------------------------------------------------- algorithm comparison
+    rows = []
+    for name in available_algorithms():
+        params = sparsity_parameters(get_algorithm(name))
+        rows.append(
+            {
+                "algorithm": name,
+                "omega": round(params.omega, 3),
+                "s": params.s,
+                "gamma": round(params.side_A.gamma, 3),
+                "exponent at d=4": round(params.omega + params.side_A.c * params.side_A.gamma ** 4, 3),
+            }
+        )
+    print("\nHow the base algorithm's sparsity drives the constant-depth exponent:")
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

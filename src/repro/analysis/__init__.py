@@ -1,0 +1,36 @@
+"""Cost-model sweeps, crossover, energy and fan-in analyses."""
+
+from repro.analysis.cost_model import (
+    ScalingRow,
+    exact_size_sweep,
+    analytic_size_sweep,
+    exponent_summary,
+    depth_tradeoff_table,
+)
+from repro.analysis.crossover import (
+    exponent_crossover_depth,
+    subcubic_exponent,
+    crossover_size,
+)
+from repro.analysis.energy import EnergyReport, measure_circuit_energy
+from repro.analysis.fanin import FanInReport, fan_in_report, split_for_fan_in, split_overhead
+from repro.analysis.report import format_table, print_table
+
+__all__ = [
+    "ScalingRow",
+    "exact_size_sweep",
+    "analytic_size_sweep",
+    "exponent_summary",
+    "depth_tradeoff_table",
+    "exponent_crossover_depth",
+    "subcubic_exponent",
+    "crossover_size",
+    "EnergyReport",
+    "measure_circuit_energy",
+    "FanInReport",
+    "fan_in_report",
+    "split_for_fan_in",
+    "split_overhead",
+    "format_table",
+    "print_table",
+]

@@ -1,0 +1,175 @@
+"""Gate-count sweeps over N and d: the data behind EXPERIMENTS.md.
+
+The functions here orchestrate the two counting modes of
+:mod:`repro.core.gate_count_model` into the tables the experiments report:
+
+* exact dry-run counts for explicitly enumerable sizes,
+* analytic estimates (the paper's counting lemmas with unit constants) for
+  the asymptotic regime,
+* fitted scaling exponents compared against the predicted
+  ``omega + c * gamma^d`` and against the cubic baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.gate_count_model import (
+    analytic_cost,
+    count_matmul_circuit,
+    count_trace_circuit,
+    naive_exponent_fit,
+    naive_triangle_gate_count,
+    predicted_exponent,
+)
+from repro.core.schedule import constant_depth_schedule, loglog_schedule
+from repro.fastmm.bilinear import BilinearAlgorithm
+from repro.fastmm.strassen import strassen_2x2
+
+__all__ = [
+    "ScalingRow",
+    "exact_size_sweep",
+    "analytic_size_sweep",
+    "exponent_summary",
+    "depth_tradeoff_table",
+]
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One (N, d) point of a gate-count sweep."""
+
+    n: int
+    depth_parameter: Optional[int]
+    kind: str
+    size: float
+    depth: Optional[int]
+    baseline: float
+
+    @property
+    def speedup_vs_baseline(self) -> float:
+        """Baseline gate count divided by this construction's gate count."""
+        return self.baseline / self.size if self.size else math.inf
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict for tabular output."""
+        return {
+            "N": self.n,
+            "d": self.depth_parameter,
+            "kind": self.kind,
+            "gates": self.size,
+            "depth": self.depth,
+            "baseline_gates": self.baseline,
+            "baseline/gates": self.speedup_vs_baseline,
+        }
+
+
+def exact_size_sweep(
+    sizes: Sequence[int],
+    depth_parameter: Optional[int] = 3,
+    kind: str = "trace",
+    bit_width: int = 1,
+    algorithm: Optional[BilinearAlgorithm] = None,
+) -> List[ScalingRow]:
+    """Exact dry-run gate counts for each N in ``sizes`` (same construction as built circuits)."""
+    algorithm = algorithm if algorithm is not None else strassen_2x2()
+    rows: List[ScalingRow] = []
+    for n in sizes:
+        if kind == "trace":
+            cost = count_trace_circuit(
+                n, bit_width=bit_width, algorithm=algorithm, depth_parameter=depth_parameter
+            )
+            baseline = float(naive_triangle_gate_count(n))
+        elif kind == "matmul":
+            cost = count_matmul_circuit(
+                n, bit_width=bit_width, algorithm=algorithm, depth_parameter=depth_parameter
+            )
+            baseline = float(n) ** 3
+        else:
+            raise ValueError(f"kind must be 'trace' or 'matmul', got {kind!r}")
+        rows.append(
+            ScalingRow(
+                n=n,
+                depth_parameter=depth_parameter,
+                kind=kind,
+                size=float(cost.size),
+                depth=cost.depth,
+                baseline=baseline,
+            )
+        )
+    return rows
+
+
+def analytic_size_sweep(
+    sizes: Sequence[int],
+    depth_parameter: Optional[int] = 3,
+    kind: str = "matmul",
+    bit_width: Optional[int] = None,
+    algorithm: Optional[BilinearAlgorithm] = None,
+) -> List[ScalingRow]:
+    """Analytic (counting-lemma) estimates for large N where enumeration is impossible."""
+    algorithm = algorithm if algorithm is not None else strassen_2x2()
+    rows: List[ScalingRow] = []
+    for n in sizes:
+        estimate = analytic_cost(
+            n,
+            bit_width=bit_width,
+            algorithm=algorithm,
+            depth_parameter=depth_parameter,
+            kind=kind,
+        )
+        if depth_parameter is None:
+            schedule = loglog_schedule(algorithm, n)
+        else:
+            schedule = constant_depth_schedule(algorithm, n, depth_parameter)
+        depth = 2 * schedule.t_steps + 2 if kind == "trace" else 4 * schedule.t_steps + 1
+        baseline = float(naive_triangle_gate_count(n)) if kind == "trace" else float(n) ** 3
+        rows.append(
+            ScalingRow(
+                n=n,
+                depth_parameter=depth_parameter,
+                kind=kind,
+                size=float(estimate["total"]),
+                depth=depth,
+                baseline=baseline,
+            )
+        )
+    return rows
+
+
+def exponent_summary(rows: Sequence[ScalingRow], algorithm: Optional[BilinearAlgorithm] = None) -> Dict[str, float]:
+    """Fit the measured scaling exponent of a sweep and compare with theory."""
+    algorithm = algorithm if algorithm is not None else strassen_2x2()
+    counts = {row.n: int(row.size) for row in rows}
+    depth_parameter = rows[0].depth_parameter if rows else None
+    return {
+        "fitted_exponent": naive_exponent_fit(counts),
+        "predicted_exponent": predicted_exponent(algorithm, depth_parameter),
+        "omega": algorithm.omega,
+        "cubic": 3.0,
+    }
+
+
+def depth_tradeoff_table(
+    n: int,
+    depth_parameters: Iterable[int],
+    kind: str = "trace",
+    bit_width: int = 1,
+    algorithm: Optional[BilinearAlgorithm] = None,
+    exact: bool = True,
+) -> List[Dict[str, object]]:
+    """Gate count and circuit depth as a function of the paper's ``d`` for fixed N."""
+    algorithm = algorithm if algorithm is not None else strassen_2x2()
+    rows: List[Dict[str, object]] = []
+    for d in depth_parameters:
+        if exact:
+            sweep = exact_size_sweep([n], d, kind=kind, bit_width=bit_width, algorithm=algorithm)
+        else:
+            sweep = analytic_size_sweep([n], d, kind=kind, bit_width=bit_width, algorithm=algorithm)
+        row = sweep[0].as_dict()
+        row["depth_bound"] = 2 * d + 5 if kind == "trace" else 4 * d + 1
+        row["predicted_exponent"] = predicted_exponent(algorithm, d)
+        rows.append(row)
+    return rows

@@ -1,0 +1,75 @@
+"""Where does the subcubic circuit beat the Theta(N^3) baseline?
+
+The paper's claim is asymptotic: for depth parameter ``d > 3`` (Strassen)
+the exponent ``omega + c * gamma^d`` drops below 3, so for large enough N
+the constant-depth circuit has fewer gates than the naive one.  The
+functions here locate that crossover point under the analytic cost model —
+both in N for a fixed d and in d for a fixed N — giving the "who wins and
+where" summary of experiments E7/E8.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.core.gate_count_model import analytic_cost, naive_triangle_gate_count, predicted_exponent
+from repro.fastmm.bilinear import BilinearAlgorithm
+from repro.fastmm.sparsity import sparsity_parameters
+from repro.fastmm.strassen import strassen_2x2
+
+__all__ = [
+    "exponent_crossover_depth",
+    "subcubic_exponent",
+    "crossover_size",
+]
+
+
+def subcubic_exponent(algorithm: Optional[BilinearAlgorithm] = None, depth_parameter: int = 4) -> float:
+    """The Theorem 4.5/4.9 exponent ``omega + c * gamma^d``."""
+    return predicted_exponent(algorithm if algorithm is not None else strassen_2x2(), depth_parameter)
+
+
+def exponent_crossover_depth(algorithm: Optional[BilinearAlgorithm] = None) -> int:
+    """Smallest ``d`` for which the predicted exponent drops below 3.
+
+    For Strassen the paper states this is ``d > 3``, i.e. the function
+    returns 4.
+    """
+    algorithm = algorithm if algorithm is not None else strassen_2x2()
+    if algorithm.omega >= 3.0:
+        raise ValueError("the base algorithm is not subcubic; no depth achieves exponent < 3")
+    d = 1
+    while predicted_exponent(algorithm, d) >= 3.0:
+        d += 1
+        if d > 64:
+            raise AssertionError("crossover depth not found below d=64 (unexpected)")
+    return d
+
+
+def crossover_size(
+    depth_parameter: int,
+    algorithm: Optional[BilinearAlgorithm] = None,
+    kind: str = "trace",
+    bit_width: int = 1,
+    max_exponent: int = 512,
+) -> Optional[int]:
+    """Smallest power-of-T matrix size where the analytic model beats the baseline.
+
+    All arithmetic is exact (Python integers / rationals), so the search can
+    honestly report crossovers at astronomically large N — which is where
+    they land once the polylogarithmic factors hidden in the paper's O~ are
+    accounted for.  Returns ``None`` when no crossover occurs below
+    ``T**max_exponent``.
+    """
+    algorithm = algorithm if algorithm is not None else strassen_2x2()
+    t = algorithm.t
+    for exponent in range(1, max_exponent + 1):
+        n = t ** exponent
+        estimate = analytic_cost(
+            n, bit_width=bit_width, algorithm=algorithm, depth_parameter=depth_parameter, kind=kind
+        )["total"]
+        baseline = naive_triangle_gate_count(n) if kind == "trace" else n ** 3
+        if estimate < baseline:
+            return n
+    return None

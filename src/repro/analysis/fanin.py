@@ -1,0 +1,111 @@
+"""Bounded fan-in analysis (end of paper Section 5).
+
+The circuits use unbounded fan-in; real neuromorphic hardware supports some
+maximum fan-in ``x``.  The paper argues this is not a practical obstacle for
+the convolutional-network use case: the product can be split into
+independent pieces with at most ``x^(1/omega)`` rows of the first matrix
+each, run in parallel at the same depth.  This module quantifies that
+argument: the fan-in profile of a constructed circuit, the number of pieces
+a GEMM must be split into for a given fan-in budget, and the resulting gate
+overhead under the analytic model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.circuits.circuit import ThresholdCircuit
+from repro.core.gate_count_model import analytic_cost
+from repro.fastmm.bilinear import BilinearAlgorithm
+from repro.fastmm.strassen import strassen_2x2
+
+__all__ = ["FanInReport", "fan_in_report", "split_for_fan_in", "split_overhead"]
+
+
+@dataclass(frozen=True)
+class FanInReport:
+    """Fan-in profile of a circuit."""
+
+    max_fan_in: int
+    mean_fan_in: float
+    gates_over_budget: int
+    budget: Optional[int]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict for reports."""
+        return {
+            "max_fan_in": self.max_fan_in,
+            "mean_fan_in": self.mean_fan_in,
+            "gates_over_budget": self.gates_over_budget,
+            "budget": self.budget,
+        }
+
+
+def fan_in_report(circuit: ThresholdCircuit, budget: Optional[int] = None) -> FanInReport:
+    """Summarize the fan-in distribution of a circuit against an optional budget."""
+    fan_ins = [gate.fan_in for gate in circuit.gates]
+    if not fan_ins:
+        return FanInReport(0, 0.0, 0, budget)
+    over = sum(1 for f in fan_ins if budget is not None and f > budget)
+    return FanInReport(
+        max_fan_in=max(fan_ins),
+        mean_fan_in=sum(fan_ins) / len(fan_ins),
+        gates_over_budget=over,
+        budget=budget,
+    )
+
+
+def split_for_fan_in(
+    rows: int,
+    fan_in_budget: int,
+    algorithm: Optional[BilinearAlgorithm] = None,
+) -> int:
+    """Number of row-pieces needed so each piece's circuit respects the budget.
+
+    Following Section 5: a piece with ``x^(1/omega)`` rows keeps the largest
+    gate fan-in (which grows like the piece's gate count, O(rows^omega))
+    within ``x``.
+    """
+    if rows < 1:
+        raise ValueError(f"rows must be positive, got {rows}")
+    if fan_in_budget < 2:
+        raise ValueError(f"fan-in budget must be at least 2, got {fan_in_budget}")
+    algorithm = algorithm if algorithm is not None else strassen_2x2()
+    rows_per_piece = max(1, int(math.floor(fan_in_budget ** (1.0 / algorithm.omega))))
+    return math.ceil(rows / rows_per_piece)
+
+
+def split_overhead(
+    n: int,
+    fan_in_budget: int,
+    algorithm: Optional[BilinearAlgorithm] = None,
+    depth_parameter: int = 4,
+    bit_width: Optional[int] = None,
+) -> Dict[str, float]:
+    """Analytic gate overhead of splitting an N x N product for a fan-in budget.
+
+    Returns the single-circuit estimate, the per-piece estimate times the
+    number of pieces, and their ratio.  Depth is unchanged by the split
+    (pieces run in parallel), which is the paper's point.
+    """
+    algorithm = algorithm if algorithm is not None else strassen_2x2()
+    pieces = split_for_fan_in(n, fan_in_budget, algorithm)
+    whole = analytic_cost(
+        n, bit_width=bit_width, algorithm=algorithm, depth_parameter=depth_parameter, kind="matmul"
+    )["total"]
+    piece_rows = max(1, math.ceil(n / pieces))
+    # Round the piece dimension up to a power of T so the model applies.
+    t = algorithm.t
+    padded = t ** max(1, math.ceil(math.log(piece_rows, t)))
+    per_piece = analytic_cost(
+        padded, bit_width=bit_width, algorithm=algorithm, depth_parameter=depth_parameter, kind="matmul"
+    )["total"]
+    total_split = per_piece * pieces
+    return {
+        "pieces": float(pieces),
+        "whole_circuit_gates": whole,
+        "split_total_gates": total_split,
+        "overhead_ratio": total_split / whole if whole else math.inf,
+    }

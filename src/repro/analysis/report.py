@@ -1,0 +1,41 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark scripts print the rows each experiment regenerates; keeping
+the formatting in one place makes their output uniform and easy to diff
+against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] = None) -> str:
+    """Render dict-rows as an aligned text table (markdown-ish)."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0 or (1e-3 <= abs(value) < 1e7):
+                return f"{value:,.4g}"
+            return f"{value:.3e}"
+        return str(value)
+
+    table = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(line[i]) for line in table)) for i, col in enumerate(columns)]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * w for w in widths)
+    body = [" | ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in table]
+    return "\n".join([header, separator] + body)
+
+
+def print_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] = None, title: str = "") -> None:
+    """Print a table with an optional title (used by the benchmark harness)."""
+    if title:
+        print(f"\n== {title} ==")
+    print(format_table(rows, columns))

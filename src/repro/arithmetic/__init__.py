@@ -1,0 +1,75 @@
+"""Basic TC0 arithmetic circuits (paper Section 3).
+
+Everything the matrix circuits need reduces to three primitives:
+
+* bit extraction from integer-weighted sums of bits (Lemma 3.1),
+* depth-2 computation of all bits of a weighted sum (Lemma 3.2) and its
+  staged depth-2j generalization (used by Theorem 4.1),
+* depth-1 product *representations* (Lemma 3.3),
+
+plus the signed-number conventions of the "Negative numbers" paragraph and a
+single-gate comparator for the final threshold decision.
+"""
+
+from repro.arithmetic.signed import (
+    Rep,
+    SignedValue,
+    BinaryNumber,
+    SignedBinaryNumber,
+)
+from repro.arithmetic.bit_extract import (
+    build_kth_msb,
+    BitPlan,
+    ExtractionPlan,
+    plan_full_extraction,
+    build_full_extraction,
+    count_full_extraction,
+)
+from repro.arithmetic.weighted_sum import (
+    flatten_terms,
+    split_signed_terms,
+    build_unsigned_sum,
+    build_signed_sum,
+    count_unsigned_sum,
+    count_signed_sum,
+)
+from repro.arithmetic.staged_sum import (
+    staged_chunk_sizes,
+    build_staged_extraction,
+    count_staged_extraction,
+)
+from repro.arithmetic.product import (
+    build_unsigned_product_rep,
+    build_signed_product,
+    count_unsigned_product_rep,
+    count_signed_product,
+)
+from repro.arithmetic.comparator import build_ge_comparison, build_range_membership
+
+__all__ = [
+    "Rep",
+    "SignedValue",
+    "BinaryNumber",
+    "SignedBinaryNumber",
+    "build_kth_msb",
+    "BitPlan",
+    "ExtractionPlan",
+    "plan_full_extraction",
+    "build_full_extraction",
+    "count_full_extraction",
+    "flatten_terms",
+    "split_signed_terms",
+    "build_unsigned_sum",
+    "build_signed_sum",
+    "count_unsigned_sum",
+    "count_signed_sum",
+    "staged_chunk_sizes",
+    "build_staged_extraction",
+    "count_staged_extraction",
+    "build_unsigned_product_rep",
+    "build_signed_product",
+    "count_unsigned_product_rep",
+    "count_signed_product",
+    "build_ge_comparison",
+    "build_range_membership",
+]

@@ -1,0 +1,202 @@
+"""Lemma 3.1: extracting bits of a weighted sum of bits with a depth-2 circuit.
+
+Given an integer-weighted sum of binary variables ``s = sum_i w_i x_i`` with
+``s`` guaranteed to lie in ``[0, 2**l)``, the k-th *most significant* bit of
+``s`` (viewing ``s`` as an ``l``-bit number) is 1 exactly when ``s`` falls in
+an interval ``[i * 2**(l-k), (i+1) * 2**(l-k))`` for some odd ``i < 2**k``.
+The circuit therefore has a first layer of ``2**k`` *interval gates*
+``y_i = [s >= i * 2**(l-k)]`` and a single output gate
+``[sum_{i odd}(y_i - y_{i+1}) >= 1]`` — ``2**k + 1`` gates in depth 2
+(Muroga 1959 / Siu et al. 1991, as cited by the paper).
+
+This module provides:
+
+* :func:`build_kth_msb` — the construction exactly as stated in Lemma 3.1;
+* :func:`plan_full_extraction` / :func:`build_full_extraction` — the
+  "workhorse" used by Lemma 3.2: extract *all* bits of a weighted sum of
+  bits.  For each output bit ``j`` (LSB-first, 1-indexed) only the terms
+  whose weight is not divisible by ``2**j`` matter modulo ``2**j``, which is
+  the generalization of the truncation argument in the paper's proof of
+  Lemma 3.2 to arbitrary term weights.  The planner is shared by the circuit
+  builder and by the dry-run gate-count model, so predicted and constructed
+  gate counts agree exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuits.builder import CircuitBuilder
+from repro.util.bits import bits
+
+__all__ = [
+    "build_kth_msb",
+    "BitPlan",
+    "ExtractionPlan",
+    "plan_full_extraction",
+    "build_full_extraction",
+    "count_full_extraction",
+]
+
+Term = Tuple[int, int]  # (node_id, positive weight)
+
+
+def build_kth_msb(
+    builder: CircuitBuilder,
+    terms: Sequence[Term],
+    l: int,
+    k: int,
+    tag: str = "lemma3.1",
+) -> int:
+    """Build the Lemma 3.1 circuit for the k-th most significant bit.
+
+    Parameters
+    ----------
+    builder:
+        Circuit builder to emit gates into.
+    terms:
+        The weighted sum ``s`` as ``(node, weight)`` pairs.  Weights may be
+        any integers as long as ``s`` is guaranteed nonnegative.
+    l:
+        Guaranteed bound ``s < 2**l``.
+    k:
+        Which most-significant bit to extract, ``1 <= k <= l``.
+
+    Returns
+    -------
+    int
+        Node id of the output gate (depth 2 above the deepest source).
+    """
+    if l <= 0:
+        raise ValueError(f"l must be positive, got {l}")
+    if not (1 <= k <= l):
+        raise ValueError(f"k must satisfy 1 <= k <= l, got k={k}, l={l}")
+    sources = [n for n, _ in terms]
+    weights = [w for _, w in terms]
+    step = 1 << (l - k)
+    interval_gates: List[int] = []
+    for i in range(1, (1 << k) + 1):
+        interval_gates.append(
+            builder.add_gate(sources, weights, i * step, tag=f"{tag}/interval")
+        )
+    out_weights = [1 if i % 2 == 1 else -1 for i in range(1, (1 << k) + 1)]
+    return builder.add_gate(interval_gates, out_weights, 1, tag=f"{tag}/select")
+
+
+# --------------------------------------------------------------------------- #
+# Full extraction of every bit of a positively-weighted sum of bits.
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class BitPlan:
+    """Plan for extracting output bit ``position`` (0-indexed, LSB = 0)."""
+
+    position: int
+    kept_indices: Tuple[int, ...]
+    bound: int  # sum of kept weights; the truncated sum s_j lies in [0, bound]
+    l: int  # bits(bound)
+    k: int  # which MSB of the truncated sum equals this output bit
+    n_gates: int  # 2**k + 1, or 0 when the bit is identically zero
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this output bit is identically 0 (no gates emitted)."""
+        return self.n_gates == 0
+
+
+@dataclass(frozen=True)
+class ExtractionPlan:
+    """Full plan: one :class:`BitPlan` per output bit plus totals."""
+
+    bit_plans: Tuple[BitPlan, ...]
+    total_bound: int
+
+    @property
+    def n_bits(self) -> int:
+        """Number of output bit positions covered by the plan."""
+        return len(self.bit_plans)
+
+    @property
+    def total_gates(self) -> int:
+        """Exact number of gates the builder will emit for this plan."""
+        return sum(p.n_gates for p in self.bit_plans)
+
+
+def plan_full_extraction(
+    weights: Sequence[int],
+    n_bits: Optional[int] = None,
+) -> ExtractionPlan:
+    """Plan the extraction of the bits of ``s = sum_i w_i x_i`` (``w_i > 0``).
+
+    Parameters
+    ----------
+    weights:
+        Positive term weights.  (Node ids are irrelevant to the plan.)
+    n_bits:
+        How many low-order bits to extract; defaults to all
+        ``bits(sum(weights))`` bits, i.e. the full value.
+    """
+    weights = [int(w) for w in weights]
+    for w in weights:
+        if w <= 0:
+            raise ValueError(f"plan_full_extraction requires positive weights, got {w}")
+    total = sum(weights)
+    width = bits(total)
+    if n_bits is None:
+        n_bits = width
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be nonnegative, got {n_bits}")
+
+    plans: List[BitPlan] = []
+    for position in range(n_bits):
+        j = position + 1  # 1-indexed LSB position, as in the paper's proof
+        modulus = 1 << j
+        kept = tuple(i for i, w in enumerate(weights) if w % modulus != 0)
+        bound = sum(weights[i] for i in kept)
+        l = bits(bound)
+        if l < j:
+            # The truncated sum is always below 2**(j-1): bit j of s is 0.
+            plans.append(BitPlan(position, kept, bound, l, 0, 0))
+            continue
+        k = l - j + 1
+        plans.append(BitPlan(position, kept, bound, l, k, (1 << k) + 1))
+    return ExtractionPlan(tuple(plans), total)
+
+
+def count_full_extraction(weights: Sequence[int], n_bits: Optional[int] = None) -> int:
+    """Exact gate count of :func:`build_full_extraction` without building it."""
+    return plan_full_extraction(weights, n_bits).total_gates
+
+
+def build_full_extraction(
+    builder: CircuitBuilder,
+    terms: Sequence[Term],
+    n_bits: Optional[int] = None,
+    tag: str = "lemma3.2",
+) -> List[Optional[int]]:
+    """Emit a depth-2 circuit computing the bits of ``s = sum_i w_i x_i``.
+
+    ``terms`` must have positive weights (signed sums are split by the caller
+    into the two nonnegative halves, per Section 3 of the paper).  Returns a
+    list of node ids, LSB first, with ``None`` for bits that are identically
+    zero (those produce no gates and are simply omitted downstream).
+    """
+    terms = [(int(n), int(w)) for n, w in terms]
+    plan = plan_full_extraction([w for _, w in terms], n_bits)
+    outputs: List[Optional[int]] = []
+    for bit_plan in plan.bit_plans:
+        if bit_plan.is_zero:
+            outputs.append(None)
+            continue
+        kept_terms = [terms[i] for i in bit_plan.kept_indices]
+        node = build_kth_msb(
+            builder,
+            kept_terms,
+            bit_plan.l,
+            bit_plan.k,
+            tag=f"{tag}/bit{bit_plan.position}",
+        )
+        outputs.append(node)
+    return outputs

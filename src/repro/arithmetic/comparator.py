@@ -1,0 +1,49 @@
+"""Threshold comparison of a signed value against an integer constant.
+
+This is the final output gate of the trace circuit (Section 4.3): a single
+threshold gate over the terms of a signed representation decides
+``value >= tau``.  Because representations are weighted sums of gate
+outputs, the comparison needs exactly one gate and one extra layer — no bits
+of the value need to be materialized first.
+"""
+
+from __future__ import annotations
+
+from repro.arithmetic.signed import SignedValue
+from repro.circuits.builder import CircuitBuilder
+
+__all__ = ["build_ge_comparison", "build_range_membership"]
+
+
+def build_ge_comparison(
+    builder: CircuitBuilder,
+    value: SignedValue,
+    threshold: int,
+    tag: str = "compare",
+) -> int:
+    """Single gate deciding whether a signed representation is ``>= threshold``."""
+    sources = [n for n, _ in value.pos.terms] + [n for n, _ in value.neg.terms]
+    weights = [w for _, w in value.pos.terms] + [-w for _, w in value.neg.terms]
+    return builder.add_gate(sources, weights, int(threshold), tag=tag)
+
+
+def build_range_membership(
+    builder: CircuitBuilder,
+    value: SignedValue,
+    low: int,
+    high: int,
+    tag: str = "range",
+) -> int:
+    """Depth-2 circuit deciding ``low <= value < high``.
+
+    Built from two comparison gates and one combining gate; provided as a
+    convenience for applications that ask windowed questions (e.g. "does the
+    graph have between low and high triangles?").
+    """
+    if high <= low:
+        raise ValueError(f"empty range [{low}, {high})")
+    at_least_low = build_ge_comparison(builder, value, low, tag=f"{tag}/low")
+    at_least_high = build_ge_comparison(builder, value, high, tag=f"{tag}/high")
+    return builder.add_gate(
+        [at_least_low, at_least_high], [1, -1], 1, tag=f"{tag}/combine"
+    )

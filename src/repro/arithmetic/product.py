@@ -1,0 +1,123 @@
+"""Lemma 3.3: depth-1 circuits producing *representations* of products.
+
+The product of a few small integers given in binary is computed as a
+representation (an integer-weighted sum of gate outputs) rather than in
+binary: for factors ``x = sum_i 2^i x_i``, ``y = sum_j 2^j y_j``,
+``z = sum_k 2^k z_k`` the product expands to
+``sum_{i,j,k} 2^(i+j+k) x_i y_j z_k``, and each conjunction ``x_i y_j z_k``
+is a single threshold gate ``[x_i + y_j + z_k >= 3]``.  The representation is
+consumed directly by later weighted-sum gates, so no carry propagation is
+ever needed — this is why the construction stays depth 1 (Lemma 3.3 of the
+paper, stated there for three factors; the two-factor case used for the
+matrix product is identical with ``m**2`` gates).
+
+Signed factors are expanded over sign combinations exactly as described in
+the paper's "Negative numbers" paragraph (a constant-factor ``2**f`` blow-up
+for ``f`` factors, i.e. 8x for the trace circuit's triple products).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Tuple
+
+from repro.arithmetic.signed import (
+    BinaryNumber,
+    Rep,
+    SignedBinaryNumber,
+    SignedValue,
+)
+from repro.circuits.builder import CircuitBuilder
+
+__all__ = [
+    "build_unsigned_product_rep",
+    "build_signed_product",
+    "count_unsigned_product_rep",
+    "count_signed_product",
+]
+
+
+def build_unsigned_product_rep(
+    builder: CircuitBuilder,
+    factors: Sequence[BinaryNumber],
+    tag: str = "lemma3.3",
+) -> Rep:
+    """Representation of the product of nonnegative binary numbers.
+
+    With a single factor no gates are needed (its own bits already form a
+    representation).  With ``f >= 2`` factors, one gate is emitted per
+    combination of one potentially-nonzero bit from each factor.
+    """
+    if not factors:
+        raise ValueError("a product needs at least one factor")
+    if any(f.n_bits == 0 for f in factors):
+        return Rep.zero()
+    if len(factors) == 1:
+        return factors[0].to_rep()
+
+    terms: List[Tuple[int, int]] = []
+    bit_lists = [list(zip(f.bit_positions, f.bit_nodes)) for f in factors]
+    arity = len(factors)
+    for combo in itertools.product(*bit_lists):
+        weight = 1 << sum(pos for pos, _ in combo)
+        nodes = [node for _, node in combo]
+        gate = builder.add_gate(nodes, [1] * arity, arity, tag=f"{tag}/and")
+        terms.append((gate, weight))
+    return Rep.from_terms(terms)
+
+
+def count_unsigned_product_rep(factor_bit_counts: Sequence[int]) -> int:
+    """Exact gate count of :func:`build_unsigned_product_rep`."""
+    if not factor_bit_counts:
+        raise ValueError("a product needs at least one factor")
+    if any(c == 0 for c in factor_bit_counts):
+        return 0
+    if len(factor_bit_counts) == 1:
+        return 0
+    count = 1
+    for c in factor_bit_counts:
+        count *= c
+    return count
+
+
+def build_signed_product(
+    builder: CircuitBuilder,
+    factors: Sequence[SignedBinaryNumber],
+    tag: str = "lemma3.3",
+) -> SignedValue:
+    """Representation of a product of signed binary numbers.
+
+    Expands ``prod_i (x_i^+ - x_i^-)`` over all sign combinations; each
+    combination is an unsigned product contributing to the positive or
+    negative part of the result according to the parity of minus signs.
+    """
+    if not factors:
+        raise ValueError("a product needs at least one factor")
+    pos_terms: List[Tuple[int, int]] = []
+    neg_terms: List[Tuple[int, int]] = []
+    choices = [((f.pos, +1), (f.neg, -1)) for f in factors]
+    for combo in itertools.product(*choices):
+        parts = [part for part, _ in combo]
+        sign = 1
+        for _, s in combo:
+            sign *= s
+        if any(p.n_bits == 0 for p in parts):
+            continue
+        rep = build_unsigned_product_rep(builder, parts, tag=tag)
+        target = pos_terms if sign > 0 else neg_terms
+        target.extend(rep.terms)
+    return SignedValue(Rep.from_terms(pos_terms), Rep.from_terms(neg_terms))
+
+
+def count_signed_product(factors: Sequence[SignedBinaryNumber]) -> int:
+    """Exact gate count of :func:`build_signed_product` (dry run)."""
+    if not factors:
+        raise ValueError("a product needs at least one factor")
+    total = 0
+    choices = [(f.pos.n_bits, f.neg.n_bits) for f in factors]
+    for combo in itertools.product(*[(0, 1)] * len(factors)):
+        counts = [choices[i][pick] for i, pick in enumerate(combo)]
+        if any(c == 0 for c in counts):
+            continue
+        total += count_unsigned_product_rep(counts)
+    return total

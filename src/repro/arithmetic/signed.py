@@ -1,0 +1,211 @@
+"""Wire-level number representations used by the arithmetic circuits.
+
+The paper manipulates integers inside the circuit in two forms:
+
+* a **binary number**: an explicit base-2 representation, one circuit node
+  per bit (the output format of the Lemma 3.2 addition circuits);
+* a **representation** (paper Section 3, before Lemma 3.3): an
+  integer-weighted sum of binary circuit nodes ``x = sum_i w_i * x_i`` that
+  is *not* required to be a base-2 expansion — the output format of the
+  Lemma 3.3 product circuits.  Representations are only ever consumed as
+  inputs to later threshold gates, which is exactly how the paper uses them.
+
+Signed quantities are carried as a pair of nonnegative parts
+``x = x_plus - x_minus`` (Section 3, "Negative numbers").
+
+These classes are plain descriptions of wires + weights; they emit no gates
+themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["Rep", "SignedValue", "BinaryNumber", "SignedBinaryNumber"]
+
+
+@dataclass(frozen=True)
+class Rep:
+    """A nonnegative integer as a positively-weighted sum of 0/1 nodes.
+
+    ``terms`` is a tuple of ``(node_id, weight)`` with strictly positive
+    integer weights.  The represented value is ``sum(weight * value(node))``,
+    which lies in ``[0, max_value]``.
+    """
+
+    terms: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        for node, weight in self.terms:
+            if weight <= 0:
+                raise ValueError(
+                    f"Rep weights must be positive integers, got {weight} on node {node}"
+                )
+
+    @staticmethod
+    def from_terms(terms: Iterable[Tuple[int, int]]) -> "Rep":
+        """Build a Rep, dropping zero-weight terms and merging duplicates."""
+        merged = {}
+        for node, weight in terms:
+            if weight == 0:
+                continue
+            merged[node] = merged.get(node, 0) + int(weight)
+        return Rep(tuple(sorted((n, w) for n, w in merged.items() if w != 0)))
+
+    @staticmethod
+    def zero() -> "Rep":
+        """The empty representation (value 0)."""
+        return Rep(())
+
+    @property
+    def max_value(self) -> int:
+        """Upper bound on the represented value (all nodes equal to 1)."""
+        return sum(w for _, w in self.terms)
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the representation is identically zero."""
+        return not self.terms
+
+    def scaled(self, factor: int) -> "Rep":
+        """Multiply the represented value by a positive integer constant."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return Rep(tuple((n, w * factor) for n, w in self.terms))
+
+    def value(self, node_values) -> int:
+        """Evaluate the representation against concrete node values."""
+        return sum(w * int(node_values[n]) for n, w in self.terms)
+
+
+@dataclass(frozen=True)
+class SignedValue:
+    """A signed integer carried as a pair of representations ``pos - neg``."""
+
+    pos: Rep = Rep()
+    neg: Rep = Rep()
+
+    @staticmethod
+    def zero() -> "SignedValue":
+        """The signed value 0."""
+        return SignedValue(Rep.zero(), Rep.zero())
+
+    @property
+    def max_abs(self) -> int:
+        """Upper bound on the absolute value."""
+        return max(self.pos.max_value, self.neg.max_value)
+
+    @property
+    def is_zero(self) -> bool:
+        """True when both parts are identically zero."""
+        return self.pos.is_zero and self.neg.is_zero
+
+    def negated(self) -> "SignedValue":
+        """The signed value ``-x`` (swap the two parts; no gates needed)."""
+        return SignedValue(self.neg, self.pos)
+
+    def scaled(self, factor: int) -> "SignedValue":
+        """Multiply by an integer constant (sign handled by swapping parts)."""
+        if factor == 0:
+            return SignedValue.zero()
+        if factor > 0:
+            return SignedValue(self.pos.scaled(factor), self.neg.scaled(factor))
+        return SignedValue(self.neg.scaled(-factor), self.pos.scaled(-factor))
+
+    def value(self, node_values) -> int:
+        """Evaluate ``pos - neg`` against concrete node values."""
+        return self.pos.value(node_values) - self.neg.value(node_values)
+
+
+@dataclass(frozen=True)
+class BinaryNumber:
+    """A nonnegative integer as an explicit binary expansion over nodes.
+
+    ``bit_nodes[i]`` holds the node carrying the bit of weight
+    ``2**bit_positions[i]``.  Bits that are known to be identically zero are
+    simply omitted, so the two tuples only list *potentially nonzero* bits.
+    ``width`` is the nominal bit-width (1 + highest position that could be
+    present), recorded for bookkeeping.
+    """
+
+    bit_positions: Tuple[int, ...] = ()
+    bit_nodes: Tuple[int, ...] = ()
+    width: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.bit_positions) != len(self.bit_nodes):
+            raise ValueError("bit_positions and bit_nodes must be aligned")
+        if len(set(self.bit_positions)) != len(self.bit_positions):
+            raise ValueError("duplicate bit positions in BinaryNumber")
+
+    @staticmethod
+    def zero() -> "BinaryNumber":
+        """The number 0 (no bits)."""
+        return BinaryNumber((), (), 0)
+
+    @staticmethod
+    def from_bits(bit_nodes: Sequence[int]) -> "BinaryNumber":
+        """Binary number whose i-th listed node is the bit of weight 2**i."""
+        nodes = tuple(int(n) for n in bit_nodes)
+        return BinaryNumber(tuple(range(len(nodes))), nodes, len(nodes))
+
+    @property
+    def n_bits(self) -> int:
+        """Number of potentially nonzero bits."""
+        return len(self.bit_nodes)
+
+    @property
+    def max_value(self) -> int:
+        """Upper bound on the value."""
+        return sum(1 << p for p in self.bit_positions)
+
+    def to_rep(self) -> Rep:
+        """View the binary number as a representation (weights = powers of 2)."""
+        return Rep.from_terms(
+            (node, 1 << pos) for pos, node in zip(self.bit_positions, self.bit_nodes)
+        )
+
+    def value(self, node_values) -> int:
+        """Evaluate against concrete node values."""
+        return sum(
+            (1 << pos) * int(node_values[node])
+            for pos, node in zip(self.bit_positions, self.bit_nodes)
+        )
+
+
+@dataclass(frozen=True)
+class SignedBinaryNumber:
+    """A signed integer as a pair of binary numbers ``pos - neg``."""
+
+    pos: BinaryNumber = BinaryNumber.zero()
+    neg: BinaryNumber = BinaryNumber.zero()
+
+    @staticmethod
+    def zero() -> "SignedBinaryNumber":
+        """The signed value 0."""
+        return SignedBinaryNumber(BinaryNumber.zero(), BinaryNumber.zero())
+
+    @staticmethod
+    def from_input_bits(pos_bits: Sequence[int], neg_bits: Sequence[int]) -> "SignedBinaryNumber":
+        """Wrap input wires carrying the two magnitude encodings."""
+        return SignedBinaryNumber(
+            BinaryNumber.from_bits(pos_bits), BinaryNumber.from_bits(neg_bits)
+        )
+
+    @property
+    def max_abs(self) -> int:
+        """Upper bound on the absolute value."""
+        return max(self.pos.max_value, self.neg.max_value)
+
+    def to_signed_value(self) -> SignedValue:
+        """View as a :class:`SignedValue` (representation form)."""
+        return SignedValue(self.pos.to_rep(), self.neg.to_rep())
+
+    def negated(self) -> "SignedBinaryNumber":
+        """The signed value ``-x``."""
+        return SignedBinaryNumber(self.neg, self.pos)
+
+    def value(self, node_values) -> int:
+        """Evaluate ``pos - neg`` against concrete node values."""
+        return self.pos.value(node_values) - self.neg.value(node_values)

@@ -1,0 +1,123 @@
+"""Staged (depth-2j) bit extraction: the depth/size trade-off of Theorem 4.1.
+
+The paper's Theorem 4.1 relies on addition circuits with depth greater than 2
+(citing Siu et al., Corollary 2) that compute a weighted sum of bits in depth
+``O(d)`` with roughly ``O(d * 2**(l/d))`` gates, where ``l`` is the bit-width
+of the sum — compared with ``O(2**l)`` interval gates for the single-shot
+depth-2 construction of Lemma 3.1 applied to every bit.
+
+The construction here is successive approximation, MSB-chunk first:
+
+* split the ``l`` output bit positions into ``j`` contiguous chunks;
+* round 1 extracts the top chunk of bits of ``s`` with Lemma 3.1 circuits;
+* round ``m`` extracts the top chunk of the *residue*
+  ``s' = s - (already-known high bits)``, which is again an integer-weighted
+  sum of binary variables (the known bits enter with negative power-of-two
+  weights), so Lemma 3.1 applies directly with a bound of ``2**(remaining
+  width)``.
+
+Each round costs ``sum_{k=1..chunk} (2**k + 1)`` gates and two layers, giving
+depth ``2j`` and ``O(j * 2**(l/j))`` gates in total.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arithmetic.bit_extract import build_kth_msb
+from repro.circuits.builder import CircuitBuilder
+from repro.util.bits import bits
+
+__all__ = [
+    "staged_chunk_sizes",
+    "build_staged_extraction",
+    "count_staged_extraction",
+]
+
+Term = Tuple[int, int]
+
+
+def staged_chunk_sizes(width: int, stages: int) -> List[int]:
+    """Split ``width`` bit positions into ``stages`` chunks, largest first.
+
+    The number of chunks actually returned is ``min(stages, width)`` (empty
+    chunks are pointless).
+    """
+    if width < 0:
+        raise ValueError(f"width must be nonnegative, got {width}")
+    if stages < 1:
+        raise ValueError(f"stages must be at least 1, got {stages}")
+    stages = min(stages, width) if width > 0 else 0
+    if stages == 0:
+        return []
+    base, extra = divmod(width, stages)
+    return [base + (1 if i < extra else 0) for i in range(stages)]
+
+
+def build_staged_extraction(
+    builder: CircuitBuilder,
+    terms: Sequence[Term],
+    stages: int,
+    n_bits: Optional[int] = None,
+    tag: str = "staged",
+) -> List[Optional[int]]:
+    """Emit a depth-``2*stages`` circuit for the bits of ``s = sum w_i x_i``.
+
+    ``terms`` must have positive weights.  Returns bit nodes LSB-first over
+    the full width of the sum (``None`` entries never occur here; the list
+    may be truncated to ``n_bits`` if requested).
+    """
+    terms = [(int(n), int(w)) for n, w in terms]
+    for _, w in terms:
+        if w <= 0:
+            raise ValueError(f"staged extraction requires positive weights, got {w}")
+    total = sum(w for _, w in terms)
+    width = bits(total)
+    chunks = staged_chunk_sizes(width, stages)
+
+    bit_nodes: List[Optional[int]] = [None] * width
+    known: List[Tuple[int, int]] = []  # (position, node) of already-extracted bits
+    remaining_width = width
+    for round_index, chunk in enumerate(chunks):
+        # Residue s' = s - sum over known bits of 2**position * bit.
+        residue_terms = list(terms) + [(node, -(1 << pos)) for pos, node in known]
+        for k in range(1, chunk + 1):
+            position = remaining_width - k  # 0-indexed bit position
+            node = build_kth_msb(
+                builder,
+                residue_terms,
+                remaining_width,
+                k,
+                tag=f"{tag}/round{round_index}/bit{position}",
+            )
+            bit_nodes[position] = node
+        for k in range(1, chunk + 1):
+            position = remaining_width - k
+            known.append((position, bit_nodes[position]))
+        remaining_width -= chunk
+
+    if n_bits is not None:
+        return bit_nodes[:n_bits]
+    return bit_nodes
+
+
+def count_staged_extraction(
+    weights: Sequence[int],
+    stages: int,
+    n_bits: Optional[int] = None,
+) -> int:
+    """Exact gate count of :func:`build_staged_extraction`.
+
+    Note that unlike the depth-2 path the staged builder always materializes
+    every bit of the sum, so ``n_bits`` does not reduce the count (it only
+    truncates the returned list); the count therefore ignores it.
+    """
+    weights = [int(w) for w in weights if w != 0]
+    total = sum(weights)
+    width = bits(total)
+    chunks = staged_chunk_sizes(width, stages)
+    gates = 0
+    for chunk in chunks:
+        for k in range(1, chunk + 1):
+            gates += (1 << k) + 1
+    return gates

@@ -1,0 +1,157 @@
+"""Lemma 3.2: depth-2 circuits for integer-weighted sums.
+
+``build_unsigned_sum`` computes the binary expansion of a positively
+weighted sum of representations, and ``build_signed_sum`` wraps it for
+signed operands following the paper's ``x = x+ - x-`` convention: the
+positive and the negative half of the sum are each a nonnegative weighted
+sum and are extracted by two independent depth-2 circuits built in parallel
+(no extra depth).
+
+The depth-2 path is the paper's Lemma 3.2; passing ``stages > 1`` switches
+to the staged extraction of :mod:`repro.arithmetic.staged_sum` (depth
+``2 * stages``), which trades depth for gates and underlies Theorem 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arithmetic.bit_extract import (
+    build_full_extraction,
+    count_full_extraction,
+)
+from repro.arithmetic.signed import (
+    BinaryNumber,
+    Rep,
+    SignedBinaryNumber,
+    SignedValue,
+)
+from repro.arithmetic.staged_sum import (
+    build_staged_extraction,
+    count_staged_extraction,
+)
+from repro.circuits.builder import CircuitBuilder
+
+__all__ = [
+    "flatten_terms",
+    "split_signed_terms",
+    "build_unsigned_sum",
+    "build_signed_sum",
+    "count_unsigned_sum",
+    "count_signed_sum",
+]
+
+
+def flatten_terms(items: Sequence[Tuple[Rep, int]]) -> List[Tuple[int, int]]:
+    """Flatten ``sum_i weight_i * rep_i`` into (node, positive weight) terms.
+
+    All ``weight_i`` must be positive; representation weights are positive by
+    construction, so the result is a positively weighted sum of bits.
+    """
+    flat: List[Tuple[int, int]] = []
+    for rep, weight in items:
+        if weight <= 0:
+            raise ValueError(f"flatten_terms requires positive weights, got {weight}")
+        for node, w in rep.terms:
+            flat.append((node, w * weight))
+    return flat
+
+
+def split_signed_terms(
+    items: Sequence[Tuple[SignedValue, int]],
+) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
+    """Split ``sum_i w_i x_i`` over signed values into the s+ and s- halves.
+
+    Follows Section 3 of the paper exactly: with ``x_i = x_i^+ - x_i^-`` and
+    ``W+ = {i : w_i > 0}``, ``W- = {i : w_i < 0}``,
+
+        s+ = sum_{W+} w_i x_i^+ + sum_{W-} (-w_i) x_i^-
+        s- = sum_{W+} w_i x_i^- + sum_{W-} (-w_i) x_i^+
+
+    so that ``s = s+ - s-`` with both halves nonnegative.
+    """
+    positive: List[Tuple[Rep, int]] = []
+    negative: List[Tuple[Rep, int]] = []
+    for value, weight in items:
+        if weight == 0:
+            continue
+        if weight > 0:
+            positive.append((value.pos, weight))
+            negative.append((value.neg, weight))
+        else:
+            positive.append((value.neg, -weight))
+            negative.append((value.pos, -weight))
+    return flatten_terms(positive), flatten_terms(negative)
+
+
+def _bits_to_binary_number(nodes: Sequence[Optional[int]]) -> BinaryNumber:
+    positions = tuple(i for i, n in enumerate(nodes) if n is not None)
+    bit_nodes = tuple(n for n in nodes if n is not None)
+    return BinaryNumber(positions, bit_nodes, len(nodes))
+
+
+def build_unsigned_sum(
+    builder: CircuitBuilder,
+    terms: Sequence[Tuple[int, int]],
+    n_bits: Optional[int] = None,
+    stages: int = 1,
+    tag: str = "sum",
+) -> BinaryNumber:
+    """Binary expansion of a positively weighted sum of bits.
+
+    ``stages=1`` gives the paper's depth-2 Lemma 3.2 circuit; ``stages=j``
+    gives the depth-2j staged circuit (fewer gates for wide sums).
+    """
+    terms = [(n, w) for n, w in terms if w != 0]
+    if not terms:
+        return BinaryNumber.zero()
+    if stages <= 1:
+        nodes = build_full_extraction(builder, terms, n_bits=n_bits, tag=tag)
+    else:
+        nodes = build_staged_extraction(builder, terms, stages, n_bits=n_bits, tag=tag)
+    return _bits_to_binary_number(nodes)
+
+
+def count_unsigned_sum(
+    weights: Sequence[int],
+    n_bits: Optional[int] = None,
+    stages: int = 1,
+) -> int:
+    """Exact gate count of :func:`build_unsigned_sum` for given term weights."""
+    weights = [w for w in weights if w != 0]
+    if not weights:
+        return 0
+    if stages <= 1:
+        return count_full_extraction(weights, n_bits)
+    return count_staged_extraction(weights, stages, n_bits)
+
+
+def build_signed_sum(
+    builder: CircuitBuilder,
+    items: Sequence[Tuple[SignedValue, int]],
+    n_bits: Optional[int] = None,
+    stages: int = 1,
+    tag: str = "sum",
+) -> SignedBinaryNumber:
+    """Signed weighted sum ``sum_i w_i x_i`` with binary output parts.
+
+    The two halves are independent and therefore sit in the same two (or
+    ``2 * stages``) layers of the circuit; the construction adds no depth for
+    sign handling, exactly as argued in Section 3.
+    """
+    pos_terms, neg_terms = split_signed_terms(items)
+    pos = build_unsigned_sum(builder, pos_terms, n_bits=n_bits, stages=stages, tag=f"{tag}/pos")
+    neg = build_unsigned_sum(builder, neg_terms, n_bits=n_bits, stages=stages, tag=f"{tag}/neg")
+    return SignedBinaryNumber(pos, neg)
+
+
+def count_signed_sum(
+    items: Sequence[Tuple[SignedValue, int]],
+    n_bits: Optional[int] = None,
+    stages: int = 1,
+) -> int:
+    """Exact gate count of :func:`build_signed_sum` (dry run, no gates built)."""
+    pos_terms, neg_terms = split_signed_terms(items)
+    return count_unsigned_sum(
+        [w for _, w in pos_terms], n_bits, stages
+    ) + count_unsigned_sum([w for _, w in neg_terms], n_bits, stages)

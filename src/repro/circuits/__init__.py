@@ -1,0 +1,55 @@
+"""Threshold-circuit substrate.
+
+This subpackage is the hardware-model layer of the reproduction: boolean
+circuits of McCulloch–Pitts linear threshold gates with unbounded fan-in
+(the TC0 model of the paper), together with an exact vectorized simulator,
+structural validation, complexity analysis, optimization passes and JSON
+serialization.
+"""
+
+from repro.circuits.gate import Gate
+from repro.circuits.circuit import ThresholdCircuit, CircuitStats
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.counting import CountingBuilder
+from repro.circuits.simulator import CompiledCircuit, SimulationResult, simulate
+from repro.circuits.validate import ValidationReport, validate_circuit
+from repro.circuits.analysis import (
+    LayerProfile,
+    layer_profile,
+    fan_in_histogram,
+    weight_magnitude_histogram,
+    tag_breakdown,
+    measure_energy,
+)
+from repro.circuits.optimize import deduplicate_gates, eliminate_dead_gates
+from repro.circuits.serialize import (
+    circuit_to_dict,
+    circuit_from_dict,
+    dump_circuit,
+    load_circuit,
+)
+
+__all__ = [
+    "Gate",
+    "ThresholdCircuit",
+    "CircuitStats",
+    "CircuitBuilder",
+    "CountingBuilder",
+    "CompiledCircuit",
+    "SimulationResult",
+    "simulate",
+    "ValidationReport",
+    "validate_circuit",
+    "LayerProfile",
+    "layer_profile",
+    "fan_in_histogram",
+    "weight_magnitude_histogram",
+    "tag_breakdown",
+    "measure_energy",
+    "deduplicate_gates",
+    "eliminate_dead_gates",
+    "circuit_to_dict",
+    "circuit_from_dict",
+    "dump_circuit",
+    "load_circuit",
+]

@@ -1,0 +1,131 @@
+"""Incremental construction of threshold circuits.
+
+:class:`CircuitBuilder` is the single entry point the arithmetic and
+matrix-multiplication constructions use to emit gates.  It adds a few
+conveniences on top of :class:`~repro.circuits.circuit.ThresholdCircuit`:
+
+* named input allocation (blocks of wires for matrices, thresholds, ...),
+* optional *structural sharing*: when ``share_gates=True`` a gate that is
+  structurally identical to an existing one (same sources, weights and
+  threshold) is reused instead of duplicated.  The paper's constructions are
+  described without sharing; sharing is exposed so its effect can be measured
+  as an ablation,
+* per-tag gate counters, used to attribute gates to the lemma that created
+  them (Lemma 3.1 interval gates, Lemma 3.3 product gates, output gates, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuits.circuit import ThresholdCircuit
+from repro.circuits.gate import Gate
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Builds a :class:`ThresholdCircuit` incrementally."""
+
+    def __init__(self, name: str = "", share_gates: bool = False) -> None:
+        self._circuit = ThresholdCircuit(0, name=name)
+        self._input_blocks: Dict[str, List[int]] = {}
+        self._share_gates = bool(share_gates)
+        self._gate_cache: Dict[tuple, int] = {}
+        self._tag_counts: Dict[str, int] = {}
+        self._constant_true: Optional[int] = None
+        self._constant_false: Optional[int] = None
+        self._inputs_frozen = False
+
+    # ----------------------------------------------------------------- inputs
+    def allocate_inputs(self, count: int, label: str = "") -> List[int]:
+        """Reserve ``count`` fresh input wires and return their node ids.
+
+        All inputs must be allocated before the first gate is added so that
+        input ids form the contiguous prefix ``0 .. n_inputs - 1``.
+        """
+        if count < 0:
+            raise ValueError(f"cannot allocate a negative number of inputs ({count})")
+        if self._inputs_frozen:
+            raise RuntimeError("inputs must be allocated before any gate is added")
+        start = self._circuit.n_inputs
+        self._circuit.n_inputs += count
+        ids = list(range(start, start + count))
+        if label:
+            self._input_blocks.setdefault(label, []).extend(ids)
+        return ids
+
+    def input_block(self, label: str) -> List[int]:
+        """Return the input wires previously allocated under ``label``."""
+        if label not in self._input_blocks:
+            raise KeyError(f"no input block named {label!r}")
+        return list(self._input_blocks[label])
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of input wires allocated so far."""
+        return self._circuit.n_inputs
+
+    # ------------------------------------------------------------------ gates
+    def add_gate(
+        self,
+        sources: Sequence[int],
+        weights: Sequence[int],
+        threshold: int,
+        tag: str = "",
+    ) -> int:
+        """Add a threshold gate ``sum w_i y_i >= t`` and return its node id."""
+        self._inputs_frozen = True
+        gate = Gate(sources, weights, threshold, tag)
+        if self._share_gates:
+            key = gate.structural_key()
+            cached = self._gate_cache.get(key)
+            if cached is not None:
+                return cached
+            node = self._circuit.add_gate(gate)
+            self._gate_cache[key] = node
+        else:
+            node = self._circuit.add_gate(gate)
+        if tag:
+            self._tag_counts[tag] = self._tag_counts.get(tag, 0) + 1
+        return node
+
+    def constant_true(self) -> int:
+        """Node that always outputs 1 (a gate with an empty sum and threshold 0)."""
+        if self._constant_true is None:
+            self._constant_true = self.add_gate([], [], 0, tag="constant/true")
+        return self._constant_true
+
+    def constant_false(self) -> int:
+        """Node that always outputs 0 (a gate with an empty sum and threshold 1)."""
+        if self._constant_false is None:
+            self._constant_false = self.add_gate([], [], 1, tag="constant/false")
+        return self._constant_false
+
+    def copy_gate(self, node: int, tag: str = "copy") -> int:
+        """Emit a gate computing the identity of an existing node's value."""
+        return self.add_gate([node], [1], 1, tag=tag)
+
+    # ---------------------------------------------------------------- outputs
+    def set_outputs(self, nodes: Sequence[int], labels: Optional[Sequence[str]] = None) -> None:
+        """Declare the circuit outputs."""
+        self._circuit.set_outputs(nodes, labels)
+
+    # ----------------------------------------------------------------- result
+    @property
+    def circuit(self) -> ThresholdCircuit:
+        """The circuit under construction (also the final product)."""
+        return self._circuit
+
+    def build(self) -> ThresholdCircuit:
+        """Finish construction and return the circuit."""
+        return self._circuit
+
+    @property
+    def size(self) -> int:
+        """Number of gates emitted so far."""
+        return self._circuit.size
+
+    def tag_counts(self) -> Dict[str, int]:
+        """Gate counts grouped by the tag supplied at creation time."""
+        return dict(self._tag_counts)

@@ -1,0 +1,201 @@
+"""Threshold circuit container.
+
+A :class:`ThresholdCircuit` is a directed acyclic graph of threshold gates
+over a fixed set of binary inputs.  Node ids are integers:
+
+* ``0 .. n_inputs - 1`` are the circuit inputs,
+* ``n_inputs .. n_inputs + len(gates) - 1`` are the gates, in insertion
+  order.  A gate may only reference nodes with smaller ids, which makes the
+  graph acyclic by construction.
+
+The complexity measures studied in the paper (Section 1) — *size* (number of
+gates), *depth* (longest input-to-output path), *edges* (number of wires) and
+*fan-in* — are exposed as properties/:class:`CircuitStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.gate import Gate
+
+__all__ = ["ThresholdCircuit", "CircuitStats"]
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary of the complexity measures of a circuit."""
+
+    n_inputs: int
+    size: int
+    depth: int
+    edges: int
+    max_fan_in: int
+    max_abs_weight: int
+    n_outputs: int
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (useful for benchmark reporting)."""
+        return {
+            "n_inputs": self.n_inputs,
+            "size": self.size,
+            "depth": self.depth,
+            "edges": self.edges,
+            "max_fan_in": self.max_fan_in,
+            "max_abs_weight": self.max_abs_weight,
+            "n_outputs": self.n_outputs,
+        }
+
+
+class ThresholdCircuit:
+    """A layered boolean circuit of linear threshold gates."""
+
+    def __init__(self, n_inputs: int, name: str = "") -> None:
+        if n_inputs < 0:
+            raise ValueError(f"number of inputs must be nonnegative, got {n_inputs}")
+        self.n_inputs = int(n_inputs)
+        self.name = name
+        self.gates: List[Gate] = []
+        self.outputs: List[int] = []
+        self.output_labels: List[str] = []
+        self._depths: List[int] = []  # depth per gate, aligned with self.gates
+        self.metadata: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ nodes
+    @property
+    def n_nodes(self) -> int:
+        """Total number of nodes (inputs plus gates)."""
+        return self.n_inputs + len(self.gates)
+
+    @property
+    def size(self) -> int:
+        """Number of gates (the paper's *size* measure)."""
+        return len(self.gates)
+
+    def is_input(self, node: int) -> bool:
+        """True when the node id refers to a circuit input."""
+        return 0 <= node < self.n_inputs
+
+    def gate_of(self, node: int) -> Gate:
+        """Return the gate object backing a gate node id."""
+        if not (self.n_inputs <= node < self.n_nodes):
+            raise IndexError(f"node {node} is not a gate of this circuit")
+        return self.gates[node - self.n_inputs]
+
+    def node_depth(self, node: int) -> int:
+        """Depth of a node: 0 for inputs, 1 + max source depth for gates."""
+        if self.is_input(node):
+            return 0
+        return self._depths[node - self.n_inputs]
+
+    # ------------------------------------------------------------------ build
+    def add_gate(self, gate: Gate) -> int:
+        """Append a gate and return its node id.
+
+        The gate must only reference existing nodes (inputs or earlier
+        gates); this keeps the circuit acyclic and topologically ordered.
+        """
+        node_id = self.n_nodes
+        depth = 0
+        for s in gate.sources:
+            if s < 0 or s >= node_id:
+                raise ValueError(
+                    f"gate references node {s}, but only nodes < {node_id} exist"
+                )
+            d = self.node_depth(s)
+            if d > depth:
+                depth = d
+        self.gates.append(gate)
+        self._depths.append(depth + 1)
+        return node_id
+
+    def add_threshold_gate(
+        self,
+        sources: Sequence[int],
+        weights: Sequence[int],
+        threshold: int,
+        tag: str = "",
+    ) -> int:
+        """Convenience wrapper around :meth:`add_gate`."""
+        return self.add_gate(Gate(sources, weights, threshold, tag))
+
+    def set_outputs(self, nodes: Sequence[int], labels: Optional[Sequence[str]] = None) -> None:
+        """Declare the circuit outputs (any existing nodes, typically gates)."""
+        nodes = [int(n) for n in nodes]
+        for n in nodes:
+            if not (0 <= n < self.n_nodes):
+                raise ValueError(f"output node {n} does not exist")
+        if labels is not None and len(labels) != len(nodes):
+            raise ValueError("labels must match outputs one-to-one")
+        self.outputs = nodes
+        self.output_labels = list(labels) if labels is not None else [""] * len(nodes)
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def depth(self) -> int:
+        """Length of the longest input-to-gate path (0 for a gate-free circuit)."""
+        return max(self._depths, default=0)
+
+    @property
+    def edges(self) -> int:
+        """Total number of wires between nodes."""
+        return sum(g.fan_in for g in self.gates)
+
+    @property
+    def max_fan_in(self) -> int:
+        """Largest fan-in over all gates."""
+        return max((g.fan_in for g in self.gates), default=0)
+
+    def stats(self) -> CircuitStats:
+        """Return all complexity measures at once."""
+        return CircuitStats(
+            n_inputs=self.n_inputs,
+            size=self.size,
+            depth=self.depth,
+            edges=self.edges,
+            max_fan_in=self.max_fan_in,
+            max_abs_weight=max((g.max_abs_weight for g in self.gates), default=0),
+            n_outputs=len(self.outputs),
+        )
+
+    def gates_by_depth(self) -> Dict[int, List[int]]:
+        """Group gate node ids by their depth layer (1-based layers)."""
+        layers: Dict[int, List[int]] = {}
+        for idx, depth in enumerate(self._depths):
+            layers.setdefault(depth, []).append(self.n_inputs + idx)
+        return layers
+
+    # -------------------------------------------------------------- reference
+    def evaluate_slow(self, input_values: Sequence[int]) -> np.ndarray:
+        """Gate-by-gate reference evaluation (exact, arbitrary precision).
+
+        This is the semantic ground truth the vectorized simulator is tested
+        against.  Returns the values of all nodes.
+        """
+        if len(input_values) != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} input values, got {len(input_values)}"
+            )
+        values: List[int] = [int(v) for v in input_values]
+        for v in values:
+            if v not in (0, 1):
+                raise ValueError("circuit inputs must be 0/1")
+        for gate in self.gates:
+            values.append(gate.evaluate(values))
+        return np.array(values, dtype=np.int8)
+
+    def output_values(self, node_values: np.ndarray) -> np.ndarray:
+        """Extract the declared outputs from a full node-value vector/batch."""
+        if not self.outputs:
+            raise ValueError("circuit has no declared outputs")
+        return np.asarray(node_values)[self.outputs, ...]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" '{self.name}'" if self.name else ""
+        return (
+            f"ThresholdCircuit({label} inputs={self.n_inputs}, gates={self.size}, "
+            f"depth={self.depth}, outputs={len(self.outputs)})"
+        )

@@ -1,0 +1,149 @@
+"""Dry-run builder that counts gates without materializing them.
+
+:class:`CountingBuilder` implements the same interface the construction code
+uses on :class:`~repro.circuits.builder.CircuitBuilder` (input allocation,
+``add_gate``, constants) but stores only per-node depths and aggregate
+counters.  Running an unchanged construction against it yields the *exact*
+size, depth, edge count and fan-in of the circuit it would have built, using
+far less memory — this is how the gate-count model of
+:mod:`repro.core.gate_count_model` avoids any risk of drifting from the real
+builders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["CountingBuilder"]
+
+
+class CountingBuilder:
+    """Counts the gates a construction would emit (same API as CircuitBuilder)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._depths: List[int] = []  # depth per node (inputs are depth 0)
+        self._n_inputs = 0
+        self._size = 0
+        self._edges = 0
+        self._max_fan_in = 0
+        self._max_depth = 0
+        self._tag_counts: Dict[str, int] = {}
+        self._input_blocks: Dict[str, List[int]] = {}
+        self._constant_true: Optional[int] = None
+        self._constant_false: Optional[int] = None
+        self._outputs: List[int] = []
+        self._last_sources: Optional[Sequence[int]] = None
+        self._last_depth: int = 0
+
+    # ----------------------------------------------------------------- inputs
+    def allocate_inputs(self, count: int, label: str = "") -> List[int]:
+        """Reserve input wires (counted but never simulated)."""
+        if count < 0:
+            raise ValueError(f"cannot allocate a negative number of inputs ({count})")
+        start = len(self._depths)
+        ids = list(range(start, start + count))
+        self._depths.extend([0] * count)
+        self._n_inputs += count
+        if label:
+            self._input_blocks.setdefault(label, []).extend(ids)
+        return ids
+
+    def input_block(self, label: str) -> List[int]:
+        """Wires previously allocated under ``label``."""
+        return list(self._input_blocks[label])
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of allocated input wires."""
+        return self._n_inputs
+
+    # ------------------------------------------------------------------ gates
+    def add_gate(
+        self,
+        sources: Sequence[int],
+        weights: Sequence[int],
+        threshold: int,
+        tag: str = "",
+    ) -> int:
+        """Record a gate and return its (virtual) node id."""
+        node_id = len(self._depths)
+        # The arithmetic builders reuse one source list for whole banks of
+        # interval gates (Lemma 3.1 emits 2^k gates over identical sources),
+        # so memoize the max-depth computation on the list's identity.  The
+        # cache is only valid while no new node could have entered the list,
+        # which holds because source lists always refer to existing nodes.
+        if sources is self._last_sources:
+            depth = self._last_depth
+        else:
+            depth = 0
+            depths = self._depths
+            for s in sources:
+                d = depths[s]
+                if d > depth:
+                    depth = d
+            depth += 1
+            self._last_sources = sources
+            self._last_depth = depth
+        self._depths.append(depth)
+        if depth > self._max_depth:
+            self._max_depth = depth
+        fan_in = len(sources)
+        self._size += 1
+        self._edges += fan_in
+        if fan_in > self._max_fan_in:
+            self._max_fan_in = fan_in
+        if tag:
+            self._tag_counts[tag] = self._tag_counts.get(tag, 0) + 1
+        return node_id
+
+    def constant_true(self) -> int:
+        """Virtual always-true node (counted once)."""
+        if self._constant_true is None:
+            self._constant_true = self.add_gate([], [], 0, tag="constant/true")
+        return self._constant_true
+
+    def constant_false(self) -> int:
+        """Virtual always-false node (counted once)."""
+        if self._constant_false is None:
+            self._constant_false = self.add_gate([], [], 1, tag="constant/false")
+        return self._constant_false
+
+    def copy_gate(self, node: int, tag: str = "copy") -> int:
+        """Virtual identity gate."""
+        return self.add_gate([node], [1], 1, tag=tag)
+
+    # ---------------------------------------------------------------- outputs
+    def set_outputs(self, nodes: Sequence[int], labels=None) -> None:
+        """Record the declared outputs (counted only)."""
+        self._outputs = [int(n) for n in nodes]
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def size(self) -> int:
+        """Number of gates recorded."""
+        return self._size
+
+    @property
+    def depth(self) -> int:
+        """Depth of the deepest recorded gate."""
+        return self._max_depth
+
+    @property
+    def edges(self) -> int:
+        """Total number of wires."""
+        return self._edges
+
+    @property
+    def max_fan_in(self) -> int:
+        """Largest recorded fan-in."""
+        return self._max_fan_in
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of declared outputs."""
+        return len(self._outputs)
+
+    def tag_counts(self) -> Dict[str, int]:
+        """Gate counts grouped by construction tag."""
+        return dict(self._tag_counts)

@@ -1,0 +1,106 @@
+"""Threshold gate model.
+
+A gate computes the linear threshold function
+
+    output = 1  iff  sum_i w_i * y_i >= t
+
+over the outputs ``y_i`` of its source nodes (circuit inputs or other gates),
+with integer weights ``w_i`` and integer threshold ``t`` fixed at
+construction time.  This is exactly the McCulloch–Pitts neuron model the
+paper builds on (Section 1).
+
+Gates are immutable and lightweight: large circuits contain hundreds of
+thousands of them, so the class uses ``__slots__`` and stores the incoming
+wires as parallel tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+__all__ = ["Gate"]
+
+
+class Gate:
+    """A single linear threshold gate.
+
+    Parameters
+    ----------
+    sources:
+        Node ids of the inputs to this gate.  Node ids below the circuit's
+        input count refer to circuit inputs; larger ids refer to earlier
+        gates.
+    weights:
+        Integer weights, one per source.
+    threshold:
+        Integer threshold ``t``.
+    tag:
+        Optional short string describing the gate's role (used for analysis
+        and debugging; e.g. ``"lemma3.1/interval"``).
+    """
+
+    __slots__ = ("sources", "weights", "threshold", "tag")
+
+    def __init__(
+        self,
+        sources: Sequence[int],
+        weights: Sequence[int],
+        threshold: int,
+        tag: str = "",
+    ) -> None:
+        sources = tuple(int(s) for s in sources)
+        weights = tuple(int(w) for w in weights)
+        if len(sources) != len(weights):
+            raise ValueError(
+                f"gate has {len(sources)} sources but {len(weights)} weights"
+            )
+        if len(set(sources)) != len(sources):
+            # Duplicate sources are merged so fan-in statistics are honest.
+            merged = {}
+            for s, w in zip(sources, weights):
+                merged[s] = merged.get(s, 0) + w
+            items = sorted(merged.items())
+            sources = tuple(s for s, _ in items)
+            weights = tuple(w for _, w in items)
+        self.sources = sources
+        self.weights = weights
+        self.threshold = int(threshold)
+        self.tag = tag
+
+    @property
+    def fan_in(self) -> int:
+        """Number of incoming wires."""
+        return len(self.sources)
+
+    @property
+    def max_abs_weight(self) -> int:
+        """Largest absolute weight on an incoming wire (0 for a constant gate)."""
+        return max((abs(w) for w in self.weights), default=0)
+
+    def evaluate(self, values) -> int:
+        """Evaluate the gate on a mapping/sequence of node values (0/1)."""
+        total = 0
+        for s, w in zip(self.sources, self.weights):
+            total += w * int(values[s])
+        return 1 if total >= self.threshold else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        terms = ", ".join(f"{w}*n{s}" for s, w in zip(self.sources, self.weights))
+        label = f" [{self.tag}]" if self.tag else ""
+        return f"Gate({terms} >= {self.threshold}{label})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Gate):
+            return NotImplemented
+        return (
+            self.sources == other.sources
+            and self.weights == other.weights
+            and self.threshold == other.threshold
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.sources, self.weights, self.threshold))
+
+    def structural_key(self) -> Tuple:
+        """Key identifying functionally identical gates (used by the optimizer)."""
+        return (self.sources, self.weights, self.threshold)

@@ -1,0 +1,95 @@
+"""Post-construction circuit optimizations.
+
+Two semantics-preserving transformations are provided:
+
+* :func:`deduplicate_gates` — merge structurally identical gates (same
+  sources, weights and threshold).  The paper notes (proof of Lemma 3.2)
+  that the interval gates built for the most significant bits can be shared;
+  dedicating an explicit pass keeps the primary constructions faithful to
+  the paper's statement while letting the benchmark harness quantify how
+  much sharing buys (ablation E13 companion data).
+* :func:`eliminate_dead_gates` — drop gates that cannot reach any declared
+  output.
+
+Both return a *new* circuit plus a mapping from old node ids to new ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.circuits.circuit import ThresholdCircuit
+from repro.circuits.gate import Gate
+
+__all__ = ["deduplicate_gates", "eliminate_dead_gates"]
+
+
+def deduplicate_gates(circuit: ThresholdCircuit) -> Tuple[ThresholdCircuit, Dict[int, int]]:
+    """Merge structurally identical gates, rewiring consumers.
+
+    Returns ``(optimized_circuit, node_map)`` where ``node_map`` sends every
+    node id of the original circuit to its representative in the optimized
+    one.  Deduplication is applied iteratively in topological order, so gates
+    that become identical only after their sources were merged are also
+    merged.
+    """
+    new_circuit = ThresholdCircuit(circuit.n_inputs, name=circuit.name)
+    new_circuit.metadata = dict(circuit.metadata)
+    node_map: Dict[int, int] = {i: i for i in range(circuit.n_inputs)}
+    seen: Dict[tuple, int] = {}
+
+    for offset, gate in enumerate(circuit.gates):
+        old_id = circuit.n_inputs + offset
+        sources = [node_map[s] for s in gate.sources]
+        candidate = Gate(sources, gate.weights, gate.threshold, gate.tag)
+        key = candidate.structural_key()
+        if key in seen:
+            node_map[old_id] = seen[key]
+        else:
+            new_id = new_circuit.add_gate(candidate)
+            seen[key] = new_id
+            node_map[old_id] = new_id
+
+    if circuit.outputs:
+        new_circuit.set_outputs(
+            [node_map[o] for o in circuit.outputs], circuit.output_labels
+        )
+    return new_circuit, node_map
+
+
+def eliminate_dead_gates(circuit: ThresholdCircuit) -> Tuple[ThresholdCircuit, Dict[int, int]]:
+    """Remove gates that no declared output depends on.
+
+    Requires the circuit to declare outputs; inputs are always kept so the
+    wire layout of encodings remains valid.
+    """
+    if not circuit.outputs:
+        raise ValueError("dead-gate elimination requires declared outputs")
+
+    needed = [False] * circuit.n_nodes
+    for out in circuit.outputs:
+        needed[out] = True
+    # Walk gates in reverse topological order, propagating need to sources.
+    for offset in range(len(circuit.gates) - 1, -1, -1):
+        node_id = circuit.n_inputs + offset
+        if not needed[node_id]:
+            continue
+        for s in circuit.gates[offset].sources:
+            needed[s] = True
+
+    new_circuit = ThresholdCircuit(circuit.n_inputs, name=circuit.name)
+    new_circuit.metadata = dict(circuit.metadata)
+    node_map: Dict[int, int] = {i: i for i in range(circuit.n_inputs)}
+    for offset, gate in enumerate(circuit.gates):
+        old_id = circuit.n_inputs + offset
+        if not needed[old_id]:
+            continue
+        sources = [node_map[s] for s in gate.sources]
+        node_map[old_id] = new_circuit.add_gate(
+            Gate(sources, gate.weights, gate.threshold, gate.tag)
+        )
+
+    new_circuit.set_outputs(
+        [node_map[o] for o in circuit.outputs], circuit.output_labels
+    )
+    return new_circuit, node_map

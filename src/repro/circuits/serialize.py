@@ -1,0 +1,83 @@
+"""JSON (de)serialization of threshold circuits.
+
+The format is deliberately simple so circuits can be exported to other
+toolchains (e.g. a neuromorphic compiler) or archived alongside experiment
+results:
+
+.. code-block:: json
+
+    {
+      "format": "repro-threshold-circuit",
+      "version": 1,
+      "name": "...",
+      "n_inputs": 12,
+      "gates": [[ [sources], [weights], threshold, "tag" ], ...],
+      "outputs": [17, 18],
+      "output_labels": ["C[0][0]+bit0", "..."],
+      "metadata": {...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+from repro.circuits.circuit import ThresholdCircuit
+from repro.circuits.gate import Gate
+
+__all__ = ["circuit_to_dict", "circuit_from_dict", "dump_circuit", "load_circuit"]
+
+_FORMAT = "repro-threshold-circuit"
+_VERSION = 1
+
+
+def circuit_to_dict(circuit: ThresholdCircuit) -> dict:
+    """Convert a circuit to a JSON-compatible dictionary."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "name": circuit.name,
+        "n_inputs": circuit.n_inputs,
+        "gates": [
+            [list(g.sources), list(g.weights), g.threshold, g.tag] for g in circuit.gates
+        ],
+        "outputs": list(circuit.outputs),
+        "output_labels": list(circuit.output_labels),
+        "metadata": dict(circuit.metadata),
+    }
+
+
+def circuit_from_dict(payload: dict) -> ThresholdCircuit:
+    """Reconstruct a circuit from :func:`circuit_to_dict` output."""
+    if payload.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} payload")
+    if payload.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {payload.get('version')!r}")
+    circuit = ThresholdCircuit(int(payload["n_inputs"]), name=payload.get("name", ""))
+    for sources, weights, threshold, tag in payload["gates"]:
+        circuit.add_gate(Gate(sources, weights, int(threshold), tag))
+    if payload.get("outputs"):
+        circuit.set_outputs(payload["outputs"], payload.get("output_labels") or None)
+    circuit.metadata = dict(payload.get("metadata", {}))
+    return circuit
+
+
+def dump_circuit(circuit: ThresholdCircuit, path_or_file: Union[str, "object"]) -> None:
+    """Serialize a circuit to a JSON file (path or open file object)."""
+    payload = circuit_to_dict(circuit)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+    else:
+        json.dump(payload, path_or_file)
+
+
+def load_circuit(path_or_file: Union[str, "object"]) -> ThresholdCircuit:
+    """Load a circuit previously written by :func:`dump_circuit`."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(path_or_file)
+    return circuit_from_dict(payload)

@@ -1,0 +1,96 @@
+"""Structural validation of threshold circuits.
+
+The builders in this package produce circuits that are correct by
+construction, but the validator provides an independent check used by the
+test-suite and available to users who construct or deserialize circuits by
+hand.  It verifies:
+
+* every gate references only earlier nodes (acyclicity / topological order),
+* weights and thresholds are integers,
+* declared outputs exist,
+* recorded depths are consistent with the wiring,
+* optional resource limits (maximum fan-in, maximum depth) are respected —
+  useful when targeting a hardware model with bounded fan-in (paper
+  Section 5 discusses splitting work to respect a fan-in budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.circuits.circuit import ThresholdCircuit
+
+__all__ = ["ValidationReport", "validate_circuit"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_circuit`."""
+
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no issues were found."""
+        return not self.issues
+
+    def raise_if_invalid(self) -> None:
+        """Raise ``ValueError`` listing all issues, if any were found."""
+        if self.issues:
+            raise ValueError("invalid circuit:\n" + "\n".join(self.issues))
+
+
+def validate_circuit(
+    circuit: ThresholdCircuit,
+    max_fan_in: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    require_outputs: bool = False,
+) -> ValidationReport:
+    """Check a circuit's structural invariants and optional resource limits."""
+    report = ValidationReport()
+    n_inputs = circuit.n_inputs
+
+    for offset, gate in enumerate(circuit.gates):
+        node_id = n_inputs + offset
+        if len(gate.sources) != len(gate.weights):
+            report.issues.append(
+                f"gate {node_id}: {len(gate.sources)} sources but {len(gate.weights)} weights"
+            )
+        for s in gate.sources:
+            if not (0 <= s < node_id):
+                report.issues.append(
+                    f"gate {node_id}: source {s} is not an earlier node"
+                )
+        for w in gate.weights:
+            if not isinstance(w, int):
+                report.issues.append(f"gate {node_id}: non-integer weight {w!r}")
+        if not isinstance(gate.threshold, int):
+            report.issues.append(f"gate {node_id}: non-integer threshold {gate.threshold!r}")
+        expected_depth = 1 + max(
+            (circuit.node_depth(s) for s in gate.sources if 0 <= s < node_id),
+            default=0,
+        )
+        if circuit.node_depth(node_id) != expected_depth:
+            report.issues.append(
+                f"gate {node_id}: recorded depth {circuit.node_depth(node_id)} "
+                f"!= computed depth {expected_depth}"
+            )
+        if max_fan_in is not None and gate.fan_in > max_fan_in:
+            report.issues.append(
+                f"gate {node_id}: fan-in {gate.fan_in} exceeds limit {max_fan_in}"
+            )
+
+    for out in circuit.outputs:
+        if not (0 <= out < circuit.n_nodes):
+            report.issues.append(f"output node {out} does not exist")
+
+    if require_outputs and not circuit.outputs:
+        report.issues.append("circuit declares no outputs")
+
+    if max_depth is not None and circuit.depth > max_depth:
+        report.issues.append(
+            f"circuit depth {circuit.depth} exceeds limit {max_depth}"
+        )
+
+    return report

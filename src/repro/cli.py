@@ -1,0 +1,266 @@
+"""Command-line interface for the reproduction.
+
+The CLI exposes the operations a user typically wants without writing
+Python: inspecting a fast-multiplication algorithm and its sparsity
+constants, predicting circuit sizes, building a circuit and exporting it to
+JSON, and answering a triangle-threshold query for a graph given as an edge
+list.
+
+Examples
+--------
+::
+
+    python -m repro.cli algorithms
+    python -m repro.cli info strassen
+    python -m repro.cli count --kind trace --n 16 --d 3 --bit-width 1
+    python -m repro.cli predict --d 4
+    python -m repro.cli build-trace --n 8 --tau 30 --d 3 --output trace8.json
+    python -m repro.cli build-matmul --n 4 --bit-width 2 --d 2 --output mm4.json
+    python -m repro.cli triangles --edges graph.txt --tau 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Threshold circuits for matrix multiplication (Parekh et al., SPAA 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("algorithms", help="list the registered fast multiplication algorithms")
+
+    info = sub.add_parser("info", help="describe an algorithm and its sparsity constants")
+    info.add_argument("algorithm", help="algorithm name (see `algorithms`)")
+
+    count = sub.add_parser("count", help="exact dry-run gate count of a construction")
+    count.add_argument("--kind", choices=["trace", "matmul"], default="trace")
+    count.add_argument("--n", type=int, required=True, help="matrix dimension (power of T)")
+    count.add_argument("--d", type=int, default=None, help="depth parameter (omit for log-log schedule)")
+    count.add_argument("--bit-width", type=int, default=None, help="bits per signed entry magnitude")
+    count.add_argument("--algorithm", default="strassen")
+    count.add_argument("--stages", type=int, default=1)
+
+    predict = sub.add_parser("predict", help="predicted gate-count exponent omega + c*gamma^d")
+    predict.add_argument("--d", type=int, default=None)
+    predict.add_argument("--algorithm", default="strassen")
+
+    trace = sub.add_parser("build-trace", help="build a trace(A^3) >= tau circuit and export JSON")
+    trace.add_argument("--n", type=int, required=True)
+    trace.add_argument("--tau", type=int, required=True)
+    trace.add_argument("--d", type=int, default=2)
+    trace.add_argument("--bit-width", type=int, default=None)
+    trace.add_argument("--algorithm", default="strassen")
+    trace.add_argument("--output", default=None, help="path for the JSON netlist")
+
+    matmul = sub.add_parser("build-matmul", help="build a C = AB circuit and export JSON")
+    matmul.add_argument("--n", type=int, required=True)
+    matmul.add_argument("--d", type=int, default=2)
+    matmul.add_argument("--bit-width", type=int, default=None)
+    matmul.add_argument("--algorithm", default="strassen")
+    matmul.add_argument("--output", default=None)
+
+    triangles = sub.add_parser("triangles", help="answer a triangle-threshold query for an edge list")
+    triangles.add_argument("--edges", required=True, help="text file with one 'u v' edge per line")
+    triangles.add_argument("--tau", type=int, required=True, help="triangle threshold")
+    triangles.add_argument("--d", type=int, default=2)
+    triangles.add_argument("--naive", action="store_true", help="also run the naive depth-2 circuit")
+
+    return parser
+
+
+def _print(payload: dict, stream) -> None:
+    json.dump(payload, stream, indent=2, default=str)
+    stream.write("\n")
+
+
+def _cmd_algorithms(args, stream) -> int:
+    from repro.fastmm import available_algorithms
+
+    _print({"algorithms": available_algorithms()}, stream)
+    return 0
+
+
+def _cmd_info(args, stream) -> int:
+    from repro.fastmm import get_algorithm, sparsity_parameters
+
+    algorithm = get_algorithm(args.algorithm)
+    params = sparsity_parameters(algorithm)
+    _print(
+        {
+            "description": algorithm.describe().splitlines(),
+            "sparsity": params.as_dict(),
+        },
+        stream,
+    )
+    return 0
+
+
+def _cmd_count(args, stream) -> int:
+    from repro.core.gate_count_model import count_matmul_circuit, count_trace_circuit
+    from repro.fastmm import get_algorithm
+
+    algorithm = get_algorithm(args.algorithm)
+    if args.kind == "trace":
+        cost = count_trace_circuit(
+            args.n,
+            bit_width=args.bit_width,
+            algorithm=algorithm,
+            depth_parameter=args.d,
+            stages=args.stages,
+        )
+    else:
+        cost = count_matmul_circuit(
+            args.n,
+            bit_width=args.bit_width,
+            algorithm=algorithm,
+            depth_parameter=args.d,
+            stages=args.stages,
+        )
+    _print({"kind": args.kind, "n": args.n, "d": args.d, **cost.as_dict()}, stream)
+    return 0
+
+
+def _cmd_predict(args, stream) -> int:
+    from repro.core.gate_count_model import predicted_exponent
+    from repro.fastmm import get_algorithm, sparsity_parameters
+
+    algorithm = get_algorithm(args.algorithm)
+    params = sparsity_parameters(algorithm)
+    _print(
+        {
+            "algorithm": args.algorithm,
+            "omega": algorithm.omega,
+            "gamma": params.side_A.gamma,
+            "c": params.side_A.c,
+            "d": args.d,
+            "exponent": predicted_exponent(algorithm, args.d),
+        },
+        stream,
+    )
+    return 0
+
+
+def _export(circuit, path: Optional[str], stream, extra: dict) -> int:
+    from repro.circuits.serialize import dump_circuit
+
+    stats = circuit.stats()
+    payload = {**extra, **stats.as_dict()}
+    if path:
+        dump_circuit(circuit, path)
+        payload["written_to"] = path
+    _print(payload, stream)
+    return 0
+
+
+def _cmd_build_trace(args, stream) -> int:
+    from repro.core.trace_circuit import build_trace_circuit
+    from repro.fastmm import get_algorithm
+
+    built = build_trace_circuit(
+        args.n,
+        args.tau,
+        bit_width=args.bit_width,
+        algorithm=get_algorithm(args.algorithm),
+        depth_parameter=args.d,
+    )
+    return _export(built.circuit, args.output, stream, {"kind": "trace", "tau": args.tau})
+
+
+def _cmd_build_matmul(args, stream) -> int:
+    from repro.core.matmul_circuit import build_matmul_circuit
+    from repro.fastmm import get_algorithm
+
+    built = build_matmul_circuit(
+        args.n,
+        bit_width=args.bit_width,
+        algorithm=get_algorithm(args.algorithm),
+        depth_parameter=args.d,
+    )
+    return _export(built.circuit, args.output, stream, {"kind": "matmul"})
+
+
+def _read_edge_list(path: str) -> np.ndarray:
+    edges: List[tuple] = []
+    max_vertex = -1
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{line_number}: expected 'u v', got {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            if u == v:
+                continue
+            edges.append((u, v))
+            max_vertex = max(max_vertex, u, v)
+    if max_vertex < 0:
+        raise ValueError(f"{path}: no edges found")
+    adjacency = np.zeros((max_vertex + 1, max_vertex + 1), dtype=np.int64)
+    for u, v in edges:
+        adjacency[u, v] = adjacency[v, u] = 1
+    return adjacency
+
+
+def _cmd_triangles(args, stream) -> int:
+    from repro.core.naive_circuits import build_naive_triangle_circuit
+    from repro.triangles import build_triangle_query, triangle_count
+
+    adjacency = _read_edge_list(args.edges)
+    n = adjacency.shape[0]
+    query = build_triangle_query(n, tau_triangles=args.tau, depth_parameter=args.d)
+    answer = query.evaluate(adjacency)
+    payload = {
+        "vertices": n,
+        "edges": int(adjacency.sum() // 2),
+        "tau": args.tau,
+        "circuit_answer": bool(answer),
+        "exact_triangles": triangle_count(adjacency),
+        "circuit_gates": query.trace_circuit.circuit.size,
+        "circuit_depth": query.trace_circuit.circuit.depth,
+    }
+    if args.naive:
+        naive = build_naive_triangle_circuit(max(n, 3), args.tau)
+        padded = np.zeros((max(n, 3), max(n, 3)), dtype=np.int64)
+        padded[:n, :n] = adjacency
+        payload["naive_answer"] = bool(naive.evaluate(padded))
+        payload["naive_gates"] = naive.circuit.size
+    _print(payload, stream)
+    return 0
+
+
+_COMMANDS = {
+    "algorithms": _cmd_algorithms,
+    "info": _cmd_info,
+    "count": _cmd_count,
+    "predict": _cmd_predict,
+    "build-trace": _cmd_build_trace,
+    "build-matmul": _cmd_build_matmul,
+    "triangles": _cmd_triangles,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
+    """Entry point; returns a process exit code."""
+    stream = stream if stream is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args, stream)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Convolution-as-matrix-multiplication application (paper Section 5)."""
+
+from repro.convolution.im2col import (
+    ConvolutionShape,
+    im2col,
+    kernels_to_matrix,
+    conv2d_reference,
+)
+from repro.convolution.conv_layer import CircuitConvolutionLayer, build_convolution_layer
+
+__all__ = [
+    "ConvolutionShape",
+    "im2col",
+    "kernels_to_matrix",
+    "conv2d_reference",
+    "CircuitConvolutionLayer",
+    "build_convolution_layer",
+]

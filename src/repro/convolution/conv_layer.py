@@ -1,0 +1,88 @@
+"""Circuit-backed convolution layers.
+
+The GEMM induced by a convolution layer (see :mod:`repro.convolution.im2col`)
+is rectangular (P x Q times Q x K); the paper's circuits multiply square
+matrices whose dimension is a power of the base dimension T.  The layer
+therefore embeds the two factors into the top-left corner of square
+zero-padded matrices, runs the Theorem 4.9 product circuit once, and crops
+the result — precisely the "pad to the nearest convenient size" treatment a
+hardware mapping would use.  For fan-in-limited targets the GEMM can instead
+be split row-wise (see :mod:`repro.analysis.fanin`), as discussed at the end
+of Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.convolution.im2col import ConvolutionShape, conv2d_reference, im2col, kernels_to_matrix
+from repro.core.matmul_circuit import MatmulCircuit, build_matmul_circuit
+from repro.fastmm.bilinear import BilinearAlgorithm
+from repro.fastmm.strassen import strassen_2x2
+from repro.util.bits import max_abs_entry_bits
+from repro.util.intmath import ceil_log
+
+__all__ = ["CircuitConvolutionLayer", "build_convolution_layer"]
+
+
+@dataclass
+class CircuitConvolutionLayer:
+    """A convolution layer whose GEMM runs on a threshold circuit."""
+
+    shape: ConvolutionShape
+    matmul: MatmulCircuit
+    gemm_dimension: int
+
+    def _embed(self, matrix: np.ndarray) -> np.ndarray:
+        out = np.zeros((self.gemm_dimension, self.gemm_dimension), dtype=np.int64)
+        out[: matrix.shape[0], : matrix.shape[1]] = matrix
+        return out
+
+    def apply(self, image: np.ndarray, kernels: np.ndarray) -> np.ndarray:
+        """Convolve ``image`` with ``kernels`` via the threshold circuit.
+
+        Returns the ``P x K`` integer score matrix.
+        """
+        patches = im2col(image, self.shape)
+        kernel_matrix = kernels_to_matrix(kernels, self.shape)
+        bound = 1 << (self.matmul.bit_width)
+        if np.abs(patches).max(initial=0) >= bound or np.abs(kernel_matrix).max(initial=0) >= bound:
+            raise ValueError(
+                f"image/kernel entries exceed the circuit's {self.matmul.bit_width}-bit budget"
+            )
+        product = self.matmul.evaluate(self._embed(patches), self._embed(kernel_matrix))
+        p, _, k = self.shape.gemm_shape
+        return product[:p, :k]
+
+    def reference(self, image: np.ndarray, kernels: np.ndarray) -> np.ndarray:
+        """Exact convolution oracle."""
+        return conv2d_reference(image, kernels, self.shape)
+
+
+def build_convolution_layer(
+    shape: ConvolutionShape,
+    bit_width: Optional[int] = None,
+    algorithm: Optional[BilinearAlgorithm] = None,
+    depth_parameter: int = 2,
+) -> CircuitConvolutionLayer:
+    """Build the circuit for a convolution layer of the given static shape.
+
+    ``bit_width`` is the per-entry magnitude budget for image and kernel
+    values (default 4 bits, i.e. entries in ``(-16, 16)``, a typical
+    quantized-network regime).
+    """
+    algorithm = algorithm if algorithm is not None else strassen_2x2()
+    bit_width = 4 if bit_width is None else bit_width
+    p, q, k = shape.gemm_shape
+    gemm_dim = max(p, q, k)
+    padded_dim = algorithm.t ** ceil_log(max(gemm_dim, algorithm.t), algorithm.t)
+    matmul = build_matmul_circuit(
+        padded_dim,
+        bit_width=bit_width,
+        algorithm=algorithm,
+        depth_parameter=depth_parameter,
+    )
+    return CircuitConvolutionLayer(shape=shape, matmul=matmul, gemm_dimension=padded_dim)

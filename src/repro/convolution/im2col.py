@@ -1,0 +1,98 @@
+"""im2col: convolution layers as matrix multiplication (paper Section 5).
+
+Following Warden's description cited by the paper, a convolutional layer on
+an ``n x n`` image with ``channels`` channels, ``K`` kernels of spatial size
+``q x q`` and a given stride is one matrix product:
+
+* the *patch matrix* is ``P x Q`` where ``P`` is the number of patches
+  (kernel placements) and ``Q = q * q * channels`` the number of values per
+  patch;
+* the *kernel matrix* is ``Q x K``;
+* their product is the ``P x K`` score matrix.
+
+The helpers here build those matrices from integer images and kernels so the
+product can be computed either conventionally or with the threshold circuits
+of :mod:`repro.core.matmul_circuit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["ConvolutionShape", "im2col", "kernels_to_matrix", "conv2d_reference"]
+
+
+@dataclass(frozen=True)
+class ConvolutionShape:
+    """Static shape information of a convolution-as-GEMM."""
+
+    image_size: int
+    channels: int
+    kernel_size: int
+    stride: int
+    n_kernels: int
+
+    def __post_init__(self) -> None:
+        if self.kernel_size > self.image_size:
+            raise ValueError("kernel larger than image")
+        if self.stride < 1:
+            raise ValueError(f"stride must be positive, got {self.stride}")
+        for name in ("image_size", "channels", "kernel_size", "n_kernels"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def patches_per_side(self) -> int:
+        """Number of kernel placements along one image dimension."""
+        return (self.image_size - self.kernel_size) // self.stride + 1
+
+    @property
+    def n_patches(self) -> int:
+        """P: total number of patches."""
+        return self.patches_per_side ** 2
+
+    @property
+    def patch_length(self) -> int:
+        """Q: values per patch (= kernel entries times channels)."""
+        return self.kernel_size * self.kernel_size * self.channels
+
+    @property
+    def gemm_shape(self) -> Tuple[int, int, int]:
+        """The (P, Q, K) dimensions of the induced matrix product."""
+        return (self.n_patches, self.patch_length, self.n_kernels)
+
+
+def im2col(image: np.ndarray, shape: ConvolutionShape) -> np.ndarray:
+    """Extract the P x Q patch matrix from an image of shape (H, W, channels)."""
+    image = np.asarray(image)
+    if image.ndim == 2:
+        image = image[:, :, None]
+    expected = (shape.image_size, shape.image_size, shape.channels)
+    if image.shape != expected:
+        raise ValueError(f"expected an image of shape {expected}, got {image.shape}")
+    q, stride = shape.kernel_size, shape.stride
+    rows = []
+    for top in range(0, shape.image_size - q + 1, stride):
+        for left in range(0, shape.image_size - q + 1, stride):
+            patch = image[top : top + q, left : left + q, :]
+            rows.append(patch.reshape(-1))
+    return np.stack(rows, axis=0)
+
+
+def kernels_to_matrix(kernels: np.ndarray, shape: ConvolutionShape) -> np.ndarray:
+    """Flatten kernels of shape (K, q, q, channels) into the Q x K matrix."""
+    kernels = np.asarray(kernels)
+    expected = (shape.n_kernels, shape.kernel_size, shape.kernel_size, shape.channels)
+    if kernels.shape != expected:
+        raise ValueError(f"expected kernels of shape {expected}, got {kernels.shape}")
+    return kernels.reshape(shape.n_kernels, -1).T
+
+
+def conv2d_reference(image: np.ndarray, kernels: np.ndarray, shape: ConvolutionShape) -> np.ndarray:
+    """Direct (loop-based) convolution used as the correctness oracle."""
+    patches = im2col(image, shape)
+    kernel_matrix = kernels_to_matrix(kernels, shape)
+    return patches.astype(object) @ kernel_matrix.astype(object)

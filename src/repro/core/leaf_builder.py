@@ -1,0 +1,121 @@
+"""Top-down computation of selected tree levels (Lemma 4.2 / Lemma 4.3).
+
+Given the root matrix of a side (A, B, or the transposed pairing matrix for
+the C side) as circuit values, and a level schedule, this module emits the
+circuits that compute every matrix at every selected level and returns the
+scalars at the leaves.  Each transition ``h_{i-1} -> h_i`` is one batch of
+depth-2 signed weighted-sum circuits (Lemma 3.2), so the whole stage has
+depth ``2 t`` (or ``2 t * stages`` when staged extraction is requested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.arithmetic.signed import SignedBinaryNumber, SignedValue
+from repro.arithmetic.weighted_sum import build_signed_sum
+from repro.core.schedule import LevelSchedule
+from repro.core.trees import Side, edge_matrices, iter_paths, relative_functional
+from repro.fastmm.bilinear import BilinearAlgorithm
+
+__all__ = ["matrix_of_inputs", "build_tree_levels"]
+
+Path = Tuple[int, ...]
+
+
+def matrix_of_inputs(encoding, builder=None) -> np.ndarray:
+    """Wrap a :class:`~repro.util.encoding.MatrixEncoding` as circuit values.
+
+    Returns an ``n x n`` object array whose entries are
+    :class:`SignedBinaryNumber` instances referring to the encoding's input
+    wires.
+    """
+    n = encoding.n
+    values = np.empty((n, n), dtype=object)
+    for i in range(n):
+        for j in range(n):
+            pos, neg = encoding.entry_wires(i, j)
+            values[i, j] = SignedBinaryNumber.from_input_bits(pos, neg)
+    return values
+
+
+def _as_signed_value(entry) -> SignedValue:
+    if isinstance(entry, SignedValue):
+        return entry
+    if isinstance(entry, SignedBinaryNumber):
+        return entry.to_signed_value()
+    raise TypeError(f"unsupported circuit value type: {type(entry)!r}")
+
+
+def build_tree_levels(
+    builder,
+    algorithm: BilinearAlgorithm,
+    side: Side,
+    root_values: np.ndarray,
+    schedule: LevelSchedule,
+    stages: int = 1,
+    tag: str = "tree",
+) -> Dict[Path, SignedBinaryNumber]:
+    """Compute the leaves of a side's tree through the selected levels.
+
+    Parameters
+    ----------
+    builder:
+        A :class:`CircuitBuilder` or :class:`CountingBuilder`.
+    algorithm:
+        The bilinear base-case algorithm defining the tree.
+    side:
+        ``"A"``, ``"B"`` or ``"C"`` — selects the edge coefficient tensors.
+    root_values:
+        ``n x n`` object array of :class:`SignedBinaryNumber` (the level-0
+        matrix; for the C side pass the transposed array).
+    schedule:
+        The selected levels; ``schedule.leaf_level`` must equal ``log_T n``.
+    stages:
+        1 for the paper's depth-2 sums, larger for staged extraction.
+
+    Returns
+    -------
+    dict
+        Mapping from full leaf paths (length ``log_T n``) to the scalar
+        :class:`SignedBinaryNumber` computed for that leaf.
+    """
+    n = root_values.shape[0]
+    t = algorithm.t
+    if t ** schedule.leaf_level != n:
+        raise ValueError(
+            f"schedule leaf level {schedule.leaf_level} does not match matrix size {n}"
+        )
+    edges = edge_matrices(algorithm, side)
+
+    current: Dict[Path, np.ndarray] = {(): root_values}
+    for g, h in zip(schedule.levels, schedule.levels[1:]):
+        delta = h - g
+        k_h = n // t ** h
+        # The relative functional only depends on the sub-path below the
+        # ancestor, so compute it once per sub-path and reuse it for every
+        # ancestor node (they all have identical subtrees).
+        functionals = {
+            sigma: relative_functional(edges, sigma)
+            for sigma in iter_paths(algorithm.r, delta)
+        }
+        level_tag = f"{tag}/level{h}"
+        new: Dict[Path, np.ndarray] = {}
+        for ancestor_path, ancestor in current.items():
+            for sigma, functional in functionals.items():
+                child = np.empty((k_h, k_h), dtype=object)
+                for x in range(k_h):
+                    for y in range(k_h):
+                        items = [
+                            (_as_signed_value(ancestor[p * k_h + x, q * k_h + y]), coeff)
+                            for (p, q), coeff in functional.items()
+                        ]
+                        child[x, y] = build_signed_sum(
+                            builder, items, stages=stages, tag=level_tag
+                        )
+                new[ancestor_path + sigma] = child
+        current = new
+
+    return {path: matrix[0, 0] for path, matrix in current.items()}

@@ -1,0 +1,185 @@
+"""The naive Theta(N^3)-gate baselines from the paper's introduction.
+
+Two constructions are provided:
+
+* :func:`build_naive_triangle_circuit` — the depth-2 circuit described
+  verbatim in Section 1: one input ``x_ij`` per vertex pair, one gate
+  ``g_ijk = [x_ij + x_ik + x_jk >= 3]`` per vertex triple, and one output
+  gate ``[sum g_ijk >= tau]``.  Exactly ``C(N, 3) + 1`` gates — the size the
+  subcubic circuits are measured against (experiment E4).
+* :func:`build_naive_matmul_circuit` — the definition-based product circuit
+  for integer matrices: one Lemma 3.3 product per ``(i, k, j)`` triple and a
+  depth-2 Lemma 3.2 sum per output entry, i.e. ``Theta(N^3 b^2)`` gates in
+  depth 3.  This is the integer-matrix counterpart of the naive baseline.
+* :func:`build_naive_trace_circuit` — the same idea specialized to
+  ``trace(A^3) >= tau``: triple products over all index triples and a single
+  output gate, depth 2, ``Theta(N^3 b^3)`` gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.arithmetic.comparator import build_ge_comparison
+from repro.arithmetic.product import build_signed_product
+from repro.arithmetic.signed import Rep, SignedValue
+from repro.arithmetic.weighted_sum import build_signed_sum
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.circuit import ThresholdCircuit
+from repro.circuits.simulator import CompiledCircuit
+from repro.core.leaf_builder import matrix_of_inputs
+from repro.core.matmul_circuit import MatmulCircuit
+from repro.core.trace_circuit import TraceCircuit, default_bit_width
+from repro.util.encoding import MatrixEncoding
+
+__all__ = [
+    "NaiveTriangleCircuit",
+    "build_naive_triangle_circuit",
+    "build_naive_matmul_circuit",
+    "build_naive_trace_circuit",
+]
+
+
+@dataclass
+class NaiveTriangleCircuit:
+    """The introduction's depth-2 triangle-threshold circuit."""
+
+    circuit: ThresholdCircuit
+    n: int
+    tau: int
+    edge_index: dict
+    _compiled: Optional[CompiledCircuit] = field(default=None, repr=False)
+
+    @property
+    def compiled(self) -> CompiledCircuit:
+        """Compiled form, built lazily."""
+        if self._compiled is None:
+            self._compiled = CompiledCircuit(self.circuit)
+        return self._compiled
+
+    def encode(self, adjacency) -> np.ndarray:
+        """Encode a symmetric 0/1 adjacency matrix onto the edge inputs."""
+        adjacency = np.asarray(adjacency)
+        if adjacency.shape != (self.n, self.n):
+            raise ValueError(f"expected a {self.n}x{self.n} adjacency matrix")
+        vec = np.zeros(self.circuit.n_inputs, dtype=np.int8)
+        for (i, j), wire in self.edge_index.items():
+            vec[wire] = 1 if adjacency[i, j] else 0
+        return vec
+
+    def evaluate(self, adjacency) -> bool:
+        """Decide whether the graph has at least ``tau`` triangles."""
+        result = self.compiled.evaluate(self.encode(adjacency))
+        return bool(np.atleast_1d(result.outputs)[0])
+
+
+def build_naive_triangle_circuit(n: int, tau: int) -> NaiveTriangleCircuit:
+    """Build the Section 1 depth-2 circuit with exactly ``C(n,3) + 1`` gates."""
+    if n < 3:
+        raise ValueError(f"triangle counting needs at least 3 vertices, got {n}")
+    builder = CircuitBuilder(name=f"naive-triangles-n{n}")
+    pairs = list(combinations(range(n), 2))
+    wires = builder.allocate_inputs(len(pairs), "edges")
+    edge_index = {pair: wire for pair, wire in zip(pairs, wires)}
+
+    triangle_gates: List[int] = []
+    for i, j, k in combinations(range(n), 3):
+        sources = [edge_index[(i, j)], edge_index[(i, k)], edge_index[(j, k)]]
+        triangle_gates.append(
+            builder.add_gate(sources, [1, 1, 1], 3, tag="naive/triangle")
+        )
+    output = builder.add_gate(
+        triangle_gates, [1] * len(triangle_gates), tau, tag="naive/output"
+    )
+    builder.set_outputs([output], [f"triangles >= {tau}"])
+    circuit = builder.build()
+    circuit.metadata.update({"kind": "naive-triangles", "n": n, "tau": tau})
+    return NaiveTriangleCircuit(circuit=circuit, n=n, tau=tau, edge_index=edge_index)
+
+
+def build_naive_matmul_circuit(n: int, bit_width: Optional[int] = None) -> MatmulCircuit:
+    """Definition-based product circuit: ``C_ij = sum_k A_ik B_kj`` (depth 3)."""
+    bit_width = bit_width if bit_width is not None else default_bit_width(n)
+    builder = CircuitBuilder(name=f"naive-matmul-n{n}")
+    a_wires = builder.allocate_inputs(n * n * 2 * bit_width, "A")
+    b_wires = builder.allocate_inputs(n * n * 2 * bit_width, "B")
+    encoding_a = MatrixEncoding(n, bit_width, offset=a_wires[0])
+    encoding_b = MatrixEncoding(n, bit_width, offset=b_wires[0])
+    root_a = matrix_of_inputs(encoding_a)
+    root_b = matrix_of_inputs(encoding_b)
+
+    entries = np.empty((n, n), dtype=object)
+    for i in range(n):
+        for j in range(n):
+            items = []
+            for k in range(n):
+                product = build_signed_product(
+                    builder, [root_a[i, k], root_b[k, j]], tag="naive/product"
+                )
+                items.append((product, 1))
+            entries[i, j] = build_signed_sum(builder, items, tag="naive/sum")
+
+    output_nodes: List[int] = []
+    output_labels: List[str] = []
+    for i in range(n):
+        for j in range(n):
+            entry = entries[i, j]
+            for sign, part in (("+", entry.pos), ("-", entry.neg)):
+                for position, node in zip(part.bit_positions, part.bit_nodes):
+                    output_nodes.append(node)
+                    output_labels.append(f"C[{i}][{j}]{sign}bit{position}")
+    builder.set_outputs(output_nodes, output_labels)
+    circuit = builder.build()
+    circuit.metadata.update({"kind": "naive-matmul", "n": n, "bit_width": bit_width})
+    return MatmulCircuit(
+        circuit=circuit,
+        encoding_a=encoding_a,
+        encoding_b=encoding_b,
+        entries=entries,
+        n=n,
+        bit_width=bit_width,
+        algorithm=None,
+        schedule=None,
+    )
+
+
+def build_naive_trace_circuit(
+    n: int,
+    tau: int,
+    bit_width: Optional[int] = None,
+) -> TraceCircuit:
+    """Definition-based ``trace(A^3) >= tau`` circuit (depth 2, Theta(N^3) gates)."""
+    bit_width = bit_width if bit_width is not None else default_bit_width(n)
+    builder = CircuitBuilder(name=f"naive-trace-n{n}")
+    wires = builder.allocate_inputs(n * n * 2 * bit_width, "A")
+    encoding = MatrixEncoding(n, bit_width, offset=wires[0])
+    root = matrix_of_inputs(encoding)
+
+    pos_terms: List[Tuple[int, int]] = []
+    neg_terms: List[Tuple[int, int]] = []
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                product = build_signed_product(
+                    builder, [root[i, j], root[j, k], root[k, i]], tag="naive/product"
+                )
+                pos_terms.extend(product.pos.terms)
+                neg_terms.extend(product.neg.terms)
+    total = SignedValue(Rep.from_terms(pos_terms), Rep.from_terms(neg_terms))
+    output = build_ge_comparison(builder, total, tau, tag="naive/output")
+    builder.set_outputs([output], [f"trace(A^3) >= {tau}"])
+    circuit = builder.build()
+    circuit.metadata.update({"kind": "naive-trace", "n": n, "tau": tau, "bit_width": bit_width})
+    return TraceCircuit(
+        circuit=circuit,
+        encoding=encoding,
+        n=n,
+        bit_width=bit_width,
+        tau=tau,
+        algorithm=None,
+        schedule=None,
+    )

@@ -1,0 +1,56 @@
+"""The scalar-product stage between the leaf trees and the output stage.
+
+Every fast matrix multiplication algorithm computes exactly
+``N^{log_T r}`` scalar products — one per leaf path.  For the matrix-product
+circuit each product has two factors (the corresponding leaves of T_A and
+T_B); for the trace circuit there are three factors (the pairing functional
+applied to A contributes the third, see equation (4) of the paper).  Both
+cases are a single application of Lemma 3.3 per leaf, i.e. one extra layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.arithmetic.product import build_signed_product
+from repro.arithmetic.signed import SignedBinaryNumber, SignedValue
+
+__all__ = ["build_leaf_products"]
+
+Path = Tuple[int, ...]
+
+
+def build_leaf_products(
+    builder,
+    leaf_sets: Sequence[Dict[Path, SignedBinaryNumber]],
+    tag: str = "products",
+) -> Dict[Path, SignedValue]:
+    """Multiply corresponding leaves of two or three trees (Lemma 3.3).
+
+    Parameters
+    ----------
+    builder:
+        A :class:`CircuitBuilder` or :class:`CountingBuilder`.
+    leaf_sets:
+        The per-tree leaf dictionaries produced by
+        :func:`repro.core.leaf_builder.build_tree_levels`.  They must share
+        exactly the same set of paths.
+
+    Returns
+    -------
+    dict
+        Path -> product value in representation form (depth 1 above the
+        deepest leaf).
+    """
+    if len(leaf_sets) < 2:
+        raise ValueError("the product stage needs at least two leaf trees")
+    paths = set(leaf_sets[0])
+    for other in leaf_sets[1:]:
+        if set(other) != paths:
+            raise ValueError("leaf trees disagree on the set of leaf paths")
+
+    products: Dict[Path, SignedValue] = {}
+    for path in sorted(paths):
+        factors = [leaves[path] for leaves in leaf_sets]
+        products[path] = build_signed_product(builder, factors, tag=tag)
+    return products

@@ -1,0 +1,115 @@
+"""Bottom-up recombination of the product tree T_AB (Lemmas 4.6 and 4.7).
+
+Each node of T_AB represents the product of the matrices at the
+corresponding nodes of T_A and T_B; the leaves are the scalar products of
+the product stage and the root is the matrix product ``C = AB``.  The
+recursion of the fast multiplication algorithm gives, for a node at level
+``g`` and its descendants at the next selected level ``h`` (``delta = h-g``),
+
+    block_{(p, q)} of the node = sum over length-delta paths sigma of
+        (prod_t  w[p_t, q_t, i_t]) * (matrix of descendant sigma)
+
+where ``(p_t, q_t)`` are the base-T digits of the block position.  The inner
+sums are Lemma 3.2 circuits, two layers per selected level, exactly
+mirroring the top-down leaf stage.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.arithmetic.signed import SignedBinaryNumber, SignedValue
+from repro.arithmetic.weighted_sum import build_signed_sum
+from repro.core.schedule import LevelSchedule
+from repro.core.trees import edge_matrices, iter_paths, relative_functional
+from repro.fastmm.bilinear import BilinearAlgorithm
+
+__all__ = ["build_product_tree"]
+
+Path = Tuple[int, ...]
+
+
+def _as_signed_value(entry) -> SignedValue:
+    if isinstance(entry, SignedValue):
+        return entry
+    if isinstance(entry, SignedBinaryNumber):
+        return entry.to_signed_value()
+    raise TypeError(f"unsupported circuit value type: {type(entry)!r}")
+
+
+def build_product_tree(
+    builder,
+    algorithm: BilinearAlgorithm,
+    leaf_products: Dict[Path, SignedValue],
+    schedule: LevelSchedule,
+    n: int,
+    stages: int = 1,
+    tag: str = "TAB",
+) -> np.ndarray:
+    """Recombine leaf products into the entries of ``C = AB``.
+
+    Returns an ``n x n`` object array of :class:`SignedBinaryNumber` holding
+    the binary expansion (positive and negative part) of each entry of the
+    product matrix.
+    """
+    t = algorithm.t
+    leaf_level = schedule.leaf_level
+    if t ** leaf_level != n:
+        raise ValueError(
+            f"schedule leaf level {leaf_level} does not match matrix size {n}"
+        )
+    edges = edge_matrices(algorithm, "C")
+
+    # Values at the deepest level: 1x1 matrices holding the leaf products.
+    current: Dict[Path, np.ndarray] = {}
+    for path, value in leaf_products.items():
+        cell = np.empty((1, 1), dtype=object)
+        cell[0, 0] = value
+        current[path] = cell
+
+    levels = list(schedule.levels)
+    for g, h in zip(reversed(levels[:-1]), reversed(levels[1:])):
+        delta = h - g
+        k_h = n // t ** h  # dimension of the (already computed) level-h matrices
+        k_g = n // t ** g  # dimension of the level-g matrices being built
+        level_tag = f"{tag}/level{g}"
+
+        # For each block position (p, q) of the T^delta grid, the list of
+        # (sub-path, coefficient) pairs contributing to that block.
+        block_terms: Dict[Tuple[int, int], List[Tuple[Path, int]]] = defaultdict(list)
+        for sigma in iter_paths(algorithm.r, delta):
+            functional = relative_functional(edges, sigma)
+            for position, coeff in functional.items():
+                block_terms[position].append((sigma, coeff))
+
+        parent_paths = sorted({path[:g] for path in current})
+        new: Dict[Path, np.ndarray] = {}
+        for parent_path in parent_paths:
+            parent = np.empty((k_g, k_g), dtype=object)
+            grid = t ** delta
+            for p in range(grid):
+                for q in range(grid):
+                    terms = block_terms.get((p, q), [])
+                    for x in range(k_h):
+                        for y in range(k_h):
+                            items = [
+                                (
+                                    _as_signed_value(
+                                        current[parent_path + sigma][x, y]
+                                    ),
+                                    coeff,
+                                )
+                                for sigma, coeff in terms
+                            ]
+                            parent[p * k_h + x, q * k_h + y] = build_signed_sum(
+                                builder, items, stages=stages, tag=level_tag
+                            )
+            new[parent_path] = parent
+        current = new
+
+    if list(current.keys()) != [()]:
+        raise AssertionError("recombination did not terminate at the root")
+    return current[()]

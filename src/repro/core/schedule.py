@@ -1,0 +1,189 @@
+"""Level-selection schedules (Lemma 4.3, Theorems 4.4 and 4.5).
+
+A schedule is the increasing sequence of tree levels
+``0 = h_0 < h_1 < ... < h_t = log_T N`` the circuit actually materializes.
+The paper's key insight is that the geometric choice
+``h_i = ceil((1 - gamma^i) * rho)`` balances the per-level gate counts
+(Lemma 4.3), with
+
+* ``rho = log_T N`` giving the O(log log N)-depth, O~(N^omega)-gate circuits
+  of Theorems 4.4 / 4.8, and
+* ``rho = log_T N + eps * log_{alpha*beta} N`` with
+  ``eps = gamma^d * log_T(alpha*beta) / (1 - gamma)`` giving the
+  constant-depth circuits of Theorems 4.5 / 4.9 with at most ``d`` selected
+  levels and gate exponent ``omega + c * gamma^d``.
+
+The module also provides the schedules the paper mentions only to dismiss —
+the single-jump "direct" schedule of the Section 4.2 motivation / Theorem 4.1
+and the uniform "every k-th level" schedule — so the ablation experiment E13
+can quantify the difference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.fastmm.bilinear import BilinearAlgorithm
+from repro.fastmm.sparsity import SideParameters, sparsity_parameters
+from repro.util.intmath import ilog
+
+__all__ = [
+    "LevelSchedule",
+    "loglog_schedule",
+    "constant_depth_schedule",
+    "direct_schedule",
+    "every_k_schedule",
+    "schedule_for",
+]
+
+
+@dataclass(frozen=True)
+class LevelSchedule:
+    """An increasing sequence of selected tree levels, ``levels[0] == 0``."""
+
+    levels: Tuple[int, ...]
+    kind: str = "custom"
+    rho: Optional[float] = None
+    gamma: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.levels or self.levels[0] != 0:
+            raise ValueError(f"a schedule must start at level 0, got {self.levels}")
+        for a, b in zip(self.levels, self.levels[1:]):
+            if b <= a:
+                raise ValueError(f"schedule levels must strictly increase, got {self.levels}")
+
+    @property
+    def t_steps(self) -> int:
+        """Number of level transitions (the paper's ``t``)."""
+        return len(self.levels) - 1
+
+    @property
+    def leaf_level(self) -> int:
+        """The deepest selected level (must equal ``log_T N`` when used)."""
+        return self.levels[-1]
+
+    def deltas(self) -> List[int]:
+        """The per-transition jumps ``h_i - h_{i-1}``."""
+        return [b - a for a, b in zip(self.levels, self.levels[1:])]
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        return f"{self.kind} schedule, t={self.t_steps}, levels={list(self.levels)}"
+
+
+def _geometric_levels(rho: float, gamma: float, leaf_level: int) -> List[int]:
+    """Evaluate ``h_i = ceil((1 - gamma^i) rho)`` until the leaf level is reached."""
+    levels: List[int] = [0]
+    i = 1
+    # gamma == 0 degenerates to a single jump straight to the leaves.
+    if gamma <= 0.0:
+        return [0, leaf_level]
+    while levels[-1] < leaf_level:
+        h = math.ceil((1.0 - gamma ** i) * rho)
+        h = min(h, leaf_level)
+        if h > levels[-1]:
+            levels.append(h)
+        i += 1
+        if i > 10 * leaf_level + 64:
+            # Safety net: rho too small for the geometric sequence to reach
+            # the leaves (cannot happen for the theorem parameters).
+            levels.append(leaf_level)
+    return levels
+
+
+def _leaf_level(algorithm: BilinearAlgorithm, n: int) -> int:
+    try:
+        return ilog(n, algorithm.t)
+    except ValueError as exc:
+        raise ValueError(
+            f"matrix dimension {n} must be a power of the base dimension T={algorithm.t}"
+        ) from exc
+
+
+def loglog_schedule(
+    algorithm: BilinearAlgorithm,
+    n: int,
+    side: str = "A",
+) -> LevelSchedule:
+    """The Theorem 4.4 / 4.8 schedule: ``rho = log_T N``, ``t = O(log log N)``."""
+    leaf_level = _leaf_level(algorithm, n)
+    params = _side(algorithm, side)
+    rho = float(leaf_level)
+    levels = _geometric_levels(rho, params.gamma, leaf_level)
+    return LevelSchedule(tuple(levels), kind="loglog", rho=rho, gamma=params.gamma)
+
+
+def constant_depth_schedule(
+    algorithm: BilinearAlgorithm,
+    n: int,
+    d: int,
+    side: str = "A",
+) -> LevelSchedule:
+    """The Theorem 4.5 / 4.9 schedule with at most ``d`` level transitions.
+
+    Uses ``rho = log_T N + eps log_{alpha beta} N`` with
+    ``eps = gamma^d log_T(alpha beta) / (1 - gamma)``; the paper shows the
+    geometric sequence then reaches the leaves within ``d`` steps.
+    """
+    if d < 1:
+        raise ValueError(f"d must be a positive integer, got {d}")
+    leaf_level = _leaf_level(algorithm, n)
+    params = _side(algorithm, side)
+    gamma = params.gamma
+    if gamma <= 0.0:
+        return LevelSchedule((0, leaf_level), kind="constant-depth", rho=float(leaf_level), gamma=gamma)
+    alpha_beta = float(params.alpha_beta)
+    log_t_ab = math.log(alpha_beta) / math.log(algorithm.t)
+    log_ab_n = math.log(n) / math.log(alpha_beta)
+    eps = (gamma ** d) * log_t_ab / (1.0 - gamma)
+    rho = leaf_level + eps * log_ab_n
+    levels = _geometric_levels(rho, gamma, leaf_level)
+    schedule = LevelSchedule(tuple(levels), kind="constant-depth", rho=rho, gamma=gamma)
+    if schedule.t_steps > d:
+        # The ceiling in h_i can add one extra step for tiny N; fold the last
+        # two transitions together to honour the depth budget.
+        levels = list(schedule.levels[: d]) + [leaf_level]
+        schedule = LevelSchedule(tuple(levels), kind="constant-depth", rho=rho, gamma=gamma)
+    return schedule
+
+
+def direct_schedule(algorithm: BilinearAlgorithm, n: int) -> LevelSchedule:
+    """Single jump from the root to the leaves (Section 4.2 motivation, Theorem 4.1)."""
+    leaf_level = _leaf_level(algorithm, n)
+    return LevelSchedule((0, leaf_level), kind="direct")
+
+
+def every_k_schedule(algorithm: BilinearAlgorithm, n: int, k: int) -> LevelSchedule:
+    """The uniform schedule ``h_i = i*k`` the paper notes is suboptimal."""
+    if k < 1:
+        raise ValueError(f"k must be a positive integer, got {k}")
+    leaf_level = _leaf_level(algorithm, n)
+    levels = list(range(0, leaf_level, k)) + [leaf_level]
+    return LevelSchedule(tuple(levels), kind=f"every-{k}")
+
+
+def schedule_for(
+    algorithm: BilinearAlgorithm,
+    n: int,
+    depth_parameter: Optional[int] = None,
+    side: str = "A",
+) -> LevelSchedule:
+    """Convenience dispatcher: constant-depth when ``depth_parameter`` is given,
+    otherwise the O(log log N) schedule."""
+    if depth_parameter is None:
+        return loglog_schedule(algorithm, n, side=side)
+    return constant_depth_schedule(algorithm, n, depth_parameter, side=side)
+
+
+def _side(algorithm: BilinearAlgorithm, side: str) -> SideParameters:
+    params = sparsity_parameters(algorithm)
+    if side == "A":
+        return params.side_A
+    if side == "B":
+        return params.side_B
+    if side == "C":
+        return params.side_C
+    raise ValueError(f"side must be 'A', 'B' or 'C', got {side!r}")

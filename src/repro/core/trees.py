@@ -1,0 +1,138 @@
+"""The r-ary trees of Figure 2: T_A, T_B and the C-side functional tree.
+
+A node of T_A at level ``h`` is identified by its *path* — the sequence
+``(i_1, ..., i_h)`` of multiplication indices from the root — and represents
+a weighted sum of ``N/T^h x N/T^h`` blocks of the root matrix A.  The weight
+of block ``(p, q)`` (indices in the ``T^h x T^h`` block grid) is the product
+of base-case coefficients picked up along the path; Figure 2's example
+``(A12 - A22)12 - (A12 - A22)22`` is the Strassen node with path ``(7, 1)``
+(1-indexed as in the paper).
+
+Three trees share this structure and differ only in which coefficient
+tensor labels the edges:
+
+* ``side="A"`` uses ``u[i]`` — the tree T_A of the paper,
+* ``side="B"`` uses ``v[i]`` — the tree T_B,
+* ``side="C"`` uses ``w[:, :, i]`` — the tree of functionals that pairs the
+  leaf products back into outputs.  For the trace circuit its root is A^T
+  (equation (4) of the paper); for the product circuit the same coefficients
+  drive the bottom-up recombination of T_AB (Lemma 4.6).
+
+Only *relative* functionals between two selected levels are ever
+materialized, which is exactly what the level-selection technique of
+Section 4 needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.fastmm.bilinear import BilinearAlgorithm
+from repro.util.intmath import prod
+
+__all__ = [
+    "Side",
+    "edge_matrices",
+    "edge_term_counts",
+    "iter_paths",
+    "relative_functional",
+    "path_size",
+    "functional_weight_sum",
+    "subtree_size_sum",
+    "leaf_functionals",
+]
+
+Side = str  # "A", "B" or "C"
+Path = Tuple[int, ...]
+Functional = Dict[Tuple[int, int], int]
+
+
+def edge_matrices(algorithm: BilinearAlgorithm, side: Side) -> List[np.ndarray]:
+    """Return the T x T coefficient matrix labelling edge ``i`` for a side."""
+    if side == "A":
+        return [np.asarray(algorithm.u[i]) for i in range(algorithm.r)]
+    if side == "B":
+        return [np.asarray(algorithm.v[i]) for i in range(algorithm.r)]
+    if side == "C":
+        return [np.asarray(algorithm.w[:, :, i]) for i in range(algorithm.r)]
+    raise ValueError(f"side must be 'A', 'B' or 'C', got {side!r}")
+
+
+def edge_term_counts(algorithm: BilinearAlgorithm, side: Side) -> List[int]:
+    """The per-edge term counts: a_i, b_i or c_i of Definition 2.1."""
+    return [int((mat != 0).sum()) for mat in edge_matrices(algorithm, side)]
+
+
+def iter_paths(r: int, length: int) -> Iterator[Path]:
+    """All ``r**length`` paths of the given length (lexicographic order)."""
+    return itertools.product(range(r), repeat=length)
+
+
+def relative_functional(edges: Sequence[np.ndarray], path: Sequence[int]) -> Functional:
+    """Coefficients of a node's matrix over the blocks of an ancestor's matrix.
+
+    ``edges`` are the T x T per-multiplication coefficient matrices of the
+    side; ``path`` is the sequence of multiplication indices leading from the
+    ancestor down to the node.  The returned dictionary maps block indices
+    ``(p, q)`` in the ``T^len(path)`` grid of the ancestor's matrix to the
+    (nonzero) integer coefficient of that block.  Coefficients that cancel to
+    zero are dropped.
+    """
+    functional: Functional = {(0, 0): 1}
+    if not path:
+        return functional
+    t = edges[0].shape[0]
+    for index in path:
+        mat = edges[index]
+        new: Functional = {}
+        nonzero = np.argwhere(mat != 0)
+        for (p, q), coeff in functional.items():
+            for a, b in nonzero:
+                key = (p * t + int(a), q * t + int(b))
+                value = new.get(key, 0) + coeff * int(mat[a, b])
+                if value:
+                    new[key] = value
+                elif key in new:
+                    del new[key]
+        functional = new
+    return functional
+
+
+def path_size(term_counts: Sequence[int], path: Sequence[int]) -> int:
+    """The paper's ``size(u)``: the product of edge labels along the path.
+
+    This counts block *appearances* (the quantity bounded by equation (3));
+    the number of blocks with a nonzero net coefficient can only be smaller
+    (cancellations), and the circuit builders use the latter.
+    """
+    return prod(term_counts[i] for i in path)
+
+
+def functional_weight_sum(functional: Functional) -> int:
+    """Sum of absolute coefficients — bounds the value growth of the node."""
+    return sum(abs(c) for c in functional.values())
+
+
+def subtree_size_sum(term_counts: Sequence[int], delta: int) -> int:
+    """``sum over paths of length delta of path_size`` = ``(sum term_counts)**delta``.
+
+    This is equation (3) (and (5) for the C side) of the paper, proved there
+    via the multinomial theorem; here it is simply the closed form, used both
+    by the analytic gate-count model and as a test oracle against explicit
+    enumeration.
+    """
+    return sum(term_counts) ** delta
+
+
+def leaf_functionals(
+    algorithm: BilinearAlgorithm,
+    side: Side,
+    length: int,
+) -> Iterator[Tuple[Path, Functional]]:
+    """Iterate ``(path, functional relative to the root)`` for all level-``length`` nodes."""
+    edges = edge_matrices(algorithm, side)
+    for path in iter_paths(algorithm.r, length):
+        yield path, relative_functional(edges, path)

@@ -1,0 +1,38 @@
+"""Fast matrix multiplication substrate (paper Section 2.1 and Definition 2.1).
+
+Bilinear base-case algorithms (Strassen, Winograd, naive, compositions), the
+Brent-equation verifier, the recursive exact-integer driver used as a test
+oracle, and the sparsity parameters that drive the circuit constructions.
+"""
+
+from repro.fastmm.bilinear import BilinearAlgorithm
+from repro.fastmm.strassen import strassen_2x2
+from repro.fastmm.winograd import winograd_2x2
+from repro.fastmm.naive_algorithm import naive_algorithm
+from repro.fastmm.compose import compose, self_compose
+from repro.fastmm.sparsity import (
+    SideParameters,
+    SparsityParameters,
+    side_parameters,
+    sparsity_parameters,
+)
+from repro.fastmm.recursive import fast_matmul, OperationCounts, operation_counts
+from repro.fastmm.catalog import available_algorithms, get_algorithm
+
+__all__ = [
+    "BilinearAlgorithm",
+    "strassen_2x2",
+    "winograd_2x2",
+    "naive_algorithm",
+    "compose",
+    "self_compose",
+    "SideParameters",
+    "SparsityParameters",
+    "side_parameters",
+    "sparsity_parameters",
+    "fast_matmul",
+    "OperationCounts",
+    "operation_counts",
+    "available_algorithms",
+    "get_algorithm",
+]

@@ -1,0 +1,173 @@
+"""Bilinear (Strassen-like) fast matrix multiplication algorithms.
+
+A *bilinear algorithm* for multiplying two T x T matrices with r scalar
+multiplications is given by three integer coefficient tensors (Section 2.1
+and 2.3 of the paper):
+
+* ``u[i, p, q]`` — coefficient of block ``A[p, q]`` in the left factor of
+  the i-th multiplication ``M_i``;
+* ``v[i, p, q]`` — coefficient of block ``B[p, q]`` in the right factor;
+* ``w[p, q, i]`` — coefficient of ``M_i`` in the expression for ``C[p, q]``.
+
+So ``M_i = (sum_pq u[i,p,q] A_pq) * (sum_pq v[i,p,q] B_pq)`` and
+``C_pq = sum_i w[p,q,i] M_i``.  The paper restricts attention to
+``{-1, 0, 1}`` coefficients for exposition; this implementation accepts any
+integers (the weighted-sum circuits support arbitrary integer weights).
+
+Correctness of an algorithm is equivalent to the Brent equations,
+checked exactly by :meth:`BilinearAlgorithm.verify`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["BilinearAlgorithm"]
+
+
+@dataclass(frozen=True)
+class BilinearAlgorithm:
+    """A base-case fast matrix multiplication algorithm (see module docs)."""
+
+    name: str
+    t: int
+    u: np.ndarray  # shape (r, t, t)
+    v: np.ndarray  # shape (r, t, t)
+    w: np.ndarray  # shape (t, t, r)
+
+    def __post_init__(self) -> None:
+        u = np.asarray(self.u, dtype=np.int64)
+        v = np.asarray(self.v, dtype=np.int64)
+        w = np.asarray(self.w, dtype=np.int64)
+        object.__setattr__(self, "u", u)
+        object.__setattr__(self, "v", v)
+        object.__setattr__(self, "w", w)
+        t = self.t
+        if u.ndim != 3 or u.shape[1:] != (t, t):
+            raise ValueError(f"u must have shape (r, {t}, {t}), got {u.shape}")
+        if v.shape != u.shape:
+            raise ValueError(f"v must have shape {u.shape}, got {v.shape}")
+        if w.shape != (t, t, u.shape[0]):
+            raise ValueError(f"w must have shape ({t}, {t}, {u.shape[0]}), got {w.shape}")
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def r(self) -> int:
+        """Number of scalar multiplications per base-case application."""
+        return int(self.u.shape[0])
+
+    @property
+    def omega(self) -> float:
+        """Exponent of the derived recursive algorithm: ``log_T r``."""
+        return float(np.log(self.r) / np.log(self.t))
+
+    # -------------------------------------------------------------- validation
+    def brent_residual(self) -> np.ndarray:
+        """Left-hand side minus right-hand side of the Brent equations.
+
+        The algorithm is correct iff the returned tensor is identically zero.
+        Shape: ``(t, t, t, t, t, t)`` indexed by ``(a, b, c, d, e, f)`` for
+        the identity ``sum_i u[i,a,b] v[i,c,d] w[e,f,i] =
+        [b == c][a == e][d == f]``.
+        """
+        t = self.t
+        lhs = np.einsum("iab,icd,efi->abcdef", self.u, self.v, self.w)
+        eye = np.eye(t, dtype=np.int64)
+        rhs = np.einsum("bc,ae,df->abcdef", eye, eye, eye)
+        return lhs - rhs
+
+    def verify(self) -> bool:
+        """True when the algorithm satisfies the Brent equations exactly."""
+        return not self.brent_residual().any()
+
+    # ------------------------------------------------------------ application
+    def apply_once(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Apply one level of the algorithm to matrices of dimension ``k*t``.
+
+        Blocks are multiplied with ordinary (exact) matrix multiplication;
+        this is the non-recursive reference used in tests and by the
+        recursive driver in :mod:`repro.fastmm.recursive`.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        n = a.shape[0]
+        t = self.t
+        if a.shape != b.shape or a.shape[0] != a.shape[1]:
+            raise ValueError("apply_once requires two square matrices of equal shape")
+        if n % t != 0:
+            raise ValueError(f"matrix dimension {n} is not divisible by t={t}")
+        k = n // t
+        out = np.zeros_like(a)
+        products: List[np.ndarray] = []
+        for i in range(self.r):
+            left = np.zeros((k, k), dtype=a.dtype)
+            right = np.zeros((k, k), dtype=a.dtype)
+            for p in range(t):
+                for q in range(t):
+                    cu = int(self.u[i, p, q])
+                    cv = int(self.v[i, p, q])
+                    if cu:
+                        left = left + cu * a[p * k : (p + 1) * k, q * k : (q + 1) * k]
+                    if cv:
+                        right = right + cv * b[p * k : (p + 1) * k, q * k : (q + 1) * k]
+            products.append(left @ right)
+        for p in range(t):
+            for q in range(t):
+                acc = np.zeros((k, k), dtype=a.dtype)
+                for i in range(self.r):
+                    cw = int(self.w[p, q, i])
+                    if cw:
+                        acc = acc + cw * products[i]
+                out[p * k : (p + 1) * k, q * k : (q + 1) * k] = acc
+        return out
+
+    # ------------------------------------------------------------ descriptors
+    def multiplication_terms(self, i: int) -> Tuple[List[Tuple[int, int, int]], List[Tuple[int, int, int]]]:
+        """Nonzero (p, q, coefficient) terms of the two factors of ``M_i``."""
+        left = [
+            (p, q, int(self.u[i, p, q]))
+            for p in range(self.t)
+            for q in range(self.t)
+            if self.u[i, p, q]
+        ]
+        right = [
+            (p, q, int(self.v[i, p, q]))
+            for p in range(self.t)
+            for q in range(self.t)
+            if self.v[i, p, q]
+        ]
+        return left, right
+
+    def output_terms(self, p: int, q: int) -> List[Tuple[int, int]]:
+        """Nonzero (i, coefficient) terms of the expression for ``C[p, q]``."""
+        return [(i, int(self.w[p, q, i])) for i in range(self.r) if self.w[p, q, i]]
+
+    def describe(self) -> str:
+        """Human-readable rendering in the style of the paper's Figure 1."""
+        def block(name: str, p: int, q: int) -> str:
+            return f"{name}{p + 1}{q + 1}"
+
+        lines: List[str] = [f"{self.name}: T={self.t}, r={self.r}, omega={self.omega:.4f}"]
+        for i in range(self.r):
+            left, right = self.multiplication_terms(i)
+            left_s = " + ".join(
+                f"{'' if c == 1 else '-' if c == -1 else str(c) + '*'}{block('A', p, q)}"
+                for p, q, c in left
+            ).replace("+ -", "- ")
+            right_s = " + ".join(
+                f"{'' if c == 1 else '-' if c == -1 else str(c) + '*'}{block('B', p, q)}"
+                for p, q, c in right
+            ).replace("+ -", "- ")
+            lines.append(f"M{i + 1} = ({left_s}) * ({right_s})")
+        for p in range(self.t):
+            for q in range(self.t):
+                terms = self.output_terms(p, q)
+                expr = " + ".join(
+                    f"{'' if c == 1 else '-' if c == -1 else str(c) + '*'}M{i + 1}"
+                    for i, c in terms
+                ).replace("+ -", "- ")
+                lines.append(f"{block('C', p, q)} = {expr}")
+        return "\n".join(lines)

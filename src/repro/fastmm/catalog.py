@@ -1,0 +1,48 @@
+"""Registry of the bilinear algorithms shipped with the package."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.fastmm.bilinear import BilinearAlgorithm
+from repro.fastmm.compose import self_compose
+from repro.fastmm.naive_algorithm import naive_algorithm
+from repro.fastmm.strassen import strassen_2x2
+from repro.fastmm.winograd import winograd_2x2
+
+__all__ = ["available_algorithms", "get_algorithm"]
+
+
+def _strassen_squared() -> BilinearAlgorithm:
+    return self_compose(strassen_2x2(), times=1, name="strassen^2")
+
+
+_REGISTRY: Dict[str, Callable[[], BilinearAlgorithm]] = {
+    "strassen": strassen_2x2,
+    "winograd": winograd_2x2,
+    "naive-2": lambda: naive_algorithm(2),
+    "naive-3": lambda: naive_algorithm(3),
+    "strassen-squared": _strassen_squared,
+}
+
+
+def available_algorithms() -> List[str]:
+    """Names accepted by :func:`get_algorithm`."""
+    return sorted(_REGISTRY)
+
+
+def get_algorithm(name: str) -> BilinearAlgorithm:
+    """Instantiate a registered algorithm by name.
+
+    Raises
+    ------
+    KeyError
+        If the name is unknown; the message lists the available names.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+        ) from None
+    return factory()

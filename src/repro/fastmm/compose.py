@@ -1,0 +1,54 @@
+"""Composition (tensor product) of bilinear algorithms.
+
+Composing an algorithm for T1 x T1 matrices using r1 multiplications with an
+algorithm for T2 x T2 matrices using r2 multiplications yields an algorithm
+for (T1*T2) x (T1*T2) matrices using r1*r2 multiplications — this is exactly
+one level of recursive application written out as a single larger base case.
+The paper's framework ("we assume we are given an algorithm for multiplying
+two T x T matrices using a total of r multiplications", Section 2.3) is
+agnostic to how the base algorithm was obtained, so composed algorithms are
+a convenient way to exercise the constructions with larger T (e.g. Strassen
+composed with itself: T = 4, r = 49).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fastmm.bilinear import BilinearAlgorithm
+
+__all__ = ["compose", "self_compose"]
+
+
+def compose(outer: BilinearAlgorithm, inner: BilinearAlgorithm, name: str = "") -> BilinearAlgorithm:
+    """Tensor-compose two bilinear algorithms.
+
+    The outer algorithm partitions the matrix into ``T1 x T1`` blocks and the
+    inner algorithm is applied to those blocks, giving block index
+    ``(p1 * T2 + p2, q1 * T2 + q2)`` and multiplication index
+    ``i1 * r2 + i2``.
+    """
+    t1, t2 = outer.t, inner.t
+    r1, r2 = outer.r, inner.r
+    t = t1 * t2
+    r = r1 * r2
+
+    # u[(i1, i2), (p1, p2), (q1, q2)] = u1[i1, p1, q1] * u2[i2, p2, q2]
+    u = np.einsum("iab,jcd->ijacbd", outer.u, inner.u).reshape(r, t, t)
+    v = np.einsum("iab,jcd->ijacbd", outer.v, inner.v).reshape(r, t, t)
+    w = np.einsum("abi,cdj->acbdij", outer.w, inner.w).reshape(t, t, r)
+
+    label = name or f"{outer.name}∘{inner.name}"
+    return BilinearAlgorithm(label, t, u, v, w)
+
+
+def self_compose(algorithm: BilinearAlgorithm, times: int = 1, name: str = "") -> BilinearAlgorithm:
+    """Compose an algorithm with itself ``times`` times (0 returns it unchanged)."""
+    if times < 0:
+        raise ValueError(f"times must be nonnegative, got {times}")
+    result = algorithm
+    for _ in range(times):
+        result = compose(result, algorithm)
+    if name:
+        result = BilinearAlgorithm(name, result.t, result.u, result.v, result.w)
+    return result

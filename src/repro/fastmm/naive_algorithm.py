@@ -1,0 +1,36 @@
+"""The naive (definition-based) T x T multiplication as a bilinear algorithm.
+
+The naive algorithm uses ``r = T**3`` multiplications ``M_{(p,k,q)} =
+A[p,k] * B[k,q]`` and sums them into ``C[p,q] = sum_k M_{(p,k,q)}``.  It is
+the ``omega = 3`` baseline the paper's introduction compares against, and a
+useful degenerate case for the circuit constructions (its sparsity ratio
+``alpha = r / s_A`` equals 1, so the geometric level schedule collapses to a
+single jump — see :mod:`repro.core.schedule`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fastmm.bilinear import BilinearAlgorithm
+
+__all__ = ["naive_algorithm"]
+
+
+def naive_algorithm(t: int = 2) -> BilinearAlgorithm:
+    """Return the definition-based algorithm for ``t x t`` block matrices."""
+    if t < 1:
+        raise ValueError(f"block dimension must be at least 1, got {t}")
+    r = t ** 3
+    u = np.zeros((r, t, t), dtype=np.int64)
+    v = np.zeros((r, t, t), dtype=np.int64)
+    w = np.zeros((t, t, r), dtype=np.int64)
+    index = 0
+    for p in range(t):
+        for k in range(t):
+            for q in range(t):
+                u[index, p, k] = 1
+                v[index, k, q] = 1
+                w[p, q, index] = 1
+                index += 1
+    return BilinearAlgorithm(f"naive-{t}x{t}", t, u, v, w)

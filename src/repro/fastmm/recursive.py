@@ -1,0 +1,145 @@
+"""Conventional (non-circuit) recursive fast matrix multiplication.
+
+This is the classical divide-and-conquer driver over a bilinear base-case
+algorithm (Section 2.1 of the paper): partition into T x T blocks, form the
+r left/right linear combinations, recurse, and recombine.  It serves three
+purposes in the reproduction:
+
+* the exact-integer oracle the threshold circuits are validated against;
+* the source of the operation counts reported in experiment E1 (the paper's
+  recurrence ``T(N) = 7 T(N/2) + 18 (N/2)^2`` for Strassen);
+* the "conventional parallel algorithm" baseline the paper contrasts its
+  constant-depth circuits with.
+
+Arithmetic is exact: inputs are converted to ``dtype=object`` arrays of
+Python integers, so no overflow can occur for any entry width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.fastmm.bilinear import BilinearAlgorithm
+from repro.fastmm.strassen import strassen_2x2
+from repro.util.intmath import ceil_log
+from repro.util.matrices import as_exact_array, pad_to_power
+
+__all__ = ["fast_matmul", "OperationCounts", "operation_counts"]
+
+
+def _recurse(a: np.ndarray, b: np.ndarray, algorithm: BilinearAlgorithm, cutoff: int) -> np.ndarray:
+    n = a.shape[0]
+    if n <= cutoff or n % algorithm.t != 0:
+        return a @ b
+    t = algorithm.t
+    k = n // t
+
+    def block(m: np.ndarray, p: int, q: int) -> np.ndarray:
+        return m[p * k : (p + 1) * k, q * k : (q + 1) * k]
+
+    products = []
+    for i in range(algorithm.r):
+        left = np.zeros((k, k), dtype=object)
+        right = np.zeros((k, k), dtype=object)
+        for p in range(t):
+            for q in range(t):
+                cu = int(algorithm.u[i, p, q])
+                cv = int(algorithm.v[i, p, q])
+                if cu:
+                    left = left + cu * block(a, p, q)
+                if cv:
+                    right = right + cv * block(b, p, q)
+        products.append(_recurse(left, right, algorithm, cutoff))
+
+    out = np.zeros((n, n), dtype=object)
+    for p in range(t):
+        for q in range(t):
+            acc = np.zeros((k, k), dtype=object)
+            for i in range(algorithm.r):
+                cw = int(algorithm.w[p, q, i])
+                if cw:
+                    acc = acc + cw * products[i]
+            out[p * k : (p + 1) * k, q * k : (q + 1) * k] = acc
+    return out
+
+
+def fast_matmul(
+    a,
+    b,
+    algorithm: Optional[BilinearAlgorithm] = None,
+    cutoff: int = 1,
+) -> np.ndarray:
+    """Multiply two square integer matrices with a recursive fast algorithm.
+
+    Matrices are zero-padded to the next power of the algorithm's block
+    dimension; the result is cropped back to the original size.  ``cutoff``
+    is the dimension at or below which the recursion switches to the naive
+    product (1 reproduces the fully recursive algorithm of the paper).
+    """
+    algorithm = algorithm if algorithm is not None else strassen_2x2()
+    a = as_exact_array(a)
+    b = as_exact_array(b)
+    if a.shape != b.shape or a.shape[0] != a.shape[1]:
+        raise ValueError(f"expected equal square matrices, got {a.shape} and {b.shape}")
+    n = a.shape[0]
+    a_padded, _ = pad_to_power(a, algorithm.t)
+    b_padded, _ = pad_to_power(b, algorithm.t)
+    product = _recurse(a_padded, b_padded, algorithm, max(1, cutoff))
+    return product[:n, :n]
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Exact operation counts of the recursive algorithm on N x N matrices."""
+
+    n: int
+    levels: int
+    scalar_multiplications: int
+    scalar_additions: int
+
+    @property
+    def total_operations(self) -> int:
+        """Scalar multiplications plus scalar additions/subtractions."""
+        return self.scalar_multiplications + self.scalar_additions
+
+
+def operation_counts(algorithm: BilinearAlgorithm, n: int) -> OperationCounts:
+    """Count scalar operations of the fully recursive algorithm (experiment E1).
+
+    Follows the paper's recurrence: each level performs ``r`` recursive calls
+    plus one addition/subtraction per entry per (nonzero coefficient beyond
+    the first) in the left, right and output linear combinations.  For
+    Strassen this is ``T(N) = 7 T(N/2) + 18 (N/2)^2``.
+    """
+    t = algorithm.t
+    levels = ceil_log(n, t)
+    if t ** levels != n:
+        raise ValueError(f"N={n} is not a power of the block dimension T={t}")
+
+    # additions per application of the base case, counted per block entry:
+    # a linear combination of k blocks costs k-1 additions per entry.
+    adds_per_apply = 0
+    for i in range(algorithm.r):
+        adds_per_apply += max(int((algorithm.u[i] != 0).sum()) - 1, 0)
+        adds_per_apply += max(int((algorithm.v[i] != 0).sum()) - 1, 0)
+    for p in range(t):
+        for q in range(t):
+            adds_per_apply += max(int((algorithm.w[p, q, :] != 0).sum()) - 1, 0)
+
+    mults = algorithm.r ** levels
+    additions = 0
+    block_dim = n
+    calls = 1
+    for _ in range(levels):
+        block_dim //= t
+        additions += calls * adds_per_apply * block_dim * block_dim
+        calls *= algorithm.r
+    return OperationCounts(
+        n=n,
+        levels=levels,
+        scalar_multiplications=mults,
+        scalar_additions=additions,
+    )

@@ -1,0 +1,157 @@
+"""Sparsity parameters of a fast matrix multiplication algorithm.
+
+Definition 2.1 of the paper: for each multiplication ``M_i`` let ``a_i``
+(resp. ``b_i``) be the number of distinct blocks of A (resp. B) appearing in
+its left (resp. right) factor, and ``c_i`` the number of output expressions
+``C_j`` in which ``M_i`` appears.  Then
+
+    s_A = sum_i a_i,   s_B = sum_i b_i,   s_C = sum_i c_i,
+    s   = max(s_A, s_B, s_C).
+
+Section 4.3 derives from these the constants that drive the circuit
+constructions (stated there for the A side; the analogous quantities for the
+other sides use s_B and s_C):
+
+    alpha = r / s_A          (0 < alpha <= 1)
+    beta  = s_A / T^2        (beta >= 1)
+    gamma = log_beta(1/alpha)       (0 < gamma < 1 when r > T^2)
+    c     = log_T(alpha * beta) / (1 - gamma)
+
+and the appendix additionally uses ``c'_j``, the number of multiplications
+appearing in the j-th output expression (for Strassen: 4, 2, 2, 4).
+
+For Strassen's algorithm these evaluate to s_A = s_B = s_C = 12,
+alpha = 7/12, beta = 3, gamma ≈ 0.491 and c ≈ 1.585, the values quoted in
+the paper (experiment E3 regenerates this table).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Tuple
+
+from repro.fastmm.bilinear import BilinearAlgorithm
+
+__all__ = ["SideParameters", "SparsityParameters", "side_parameters", "sparsity_parameters"]
+
+
+@dataclass(frozen=True)
+class SideParameters:
+    """The Section 4.3 constants computed for one side (s one of s_A/s_B/s_C)."""
+
+    s: int
+    alpha: Fraction
+    beta: Fraction
+    gamma: float
+    c: float
+
+    @property
+    def alpha_beta(self) -> Fraction:
+        """The product ``alpha * beta = r / T^2`` (independent of the side)."""
+        return self.alpha * self.beta
+
+
+@dataclass(frozen=True)
+class SparsityParameters:
+    """All Definition 2.1 quantities plus the derived per-side constants."""
+
+    algorithm: str
+    t: int
+    r: int
+    omega: float
+    a: Tuple[int, ...]
+    b: Tuple[int, ...]
+    c: Tuple[int, ...]
+    c_prime: Tuple[int, ...]
+    s_A: int
+    s_B: int
+    s_C: int
+    s: int
+    side_A: SideParameters
+    side_B: SideParameters
+    side_C: SideParameters
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary view used by the benchmark reports."""
+        return {
+            "algorithm": self.algorithm,
+            "T": self.t,
+            "r": self.r,
+            "omega": self.omega,
+            "s_A": self.s_A,
+            "s_B": self.s_B,
+            "s_C": self.s_C,
+            "s": self.s,
+            "alpha": float(self.side_A.alpha),
+            "beta": float(self.side_A.beta),
+            "gamma": self.side_A.gamma,
+            "c": self.side_A.c,
+            "gamma_C": self.side_C.gamma,
+            "c_prime": list(self.c_prime),
+        }
+
+
+def side_parameters(t: int, r: int, s: int) -> SideParameters:
+    """Compute alpha, beta, gamma and c from (T, r, s) for one side.
+
+    Degenerate cases are handled explicitly: when ``alpha == 1`` (every
+    multiplication touches exactly one block, as in the naive algorithm)
+    gamma is 0 and the geometric schedule collapses; the constant ``c`` is
+    then reported as ``log_T(alpha*beta)`` (its ``gamma -> 0`` limit).
+    """
+    if s <= 0:
+        raise ValueError(f"sparsity must be positive, got {s}")
+    alpha = Fraction(r, s)
+    beta = Fraction(s, t * t)
+    if alpha > 1:
+        raise ValueError(
+            f"alpha = r/s = {alpha} > 1: every multiplication must use at least one block"
+        )
+    if beta < 1:
+        raise ValueError(f"beta = s/T^2 = {beta} < 1: the algorithm is not total")
+    if alpha == 1 or beta == 1:
+        gamma = 0.0
+    else:
+        gamma = math.log(1.0 / float(alpha)) / math.log(float(beta))
+    alpha_beta = float(alpha * beta)
+    if gamma >= 1.0:
+        raise ValueError(
+            f"gamma = {gamma} >= 1; this requires r <= T^2, which is not a fast algorithm"
+        )
+    denom = 1.0 - gamma
+    c = (math.log(alpha_beta) / math.log(t)) / denom if alpha_beta > 1 else 0.0
+    return SideParameters(s=s, alpha=alpha, beta=beta, gamma=gamma, c=c)
+
+
+def sparsity_parameters(algorithm: BilinearAlgorithm) -> SparsityParameters:
+    """Compute Definition 2.1 and the Section 4.3 constants for an algorithm."""
+    a = tuple(int((algorithm.u[i] != 0).sum()) for i in range(algorithm.r))
+    b = tuple(int((algorithm.v[i] != 0).sum()) for i in range(algorithm.r))
+    c = tuple(int((algorithm.w[:, :, i] != 0).sum()) for i in range(algorithm.r))
+    c_prime = tuple(
+        int((algorithm.w[p, q, :] != 0).sum())
+        for p in range(algorithm.t)
+        for q in range(algorithm.t)
+    )
+    s_a, s_b, s_c = sum(a), sum(b), sum(c)
+    if sum(c_prime) != s_c:
+        raise AssertionError("internal error: sum of c'_j must equal s_C")
+    return SparsityParameters(
+        algorithm=algorithm.name,
+        t=algorithm.t,
+        r=algorithm.r,
+        omega=algorithm.omega,
+        a=a,
+        b=b,
+        c=c,
+        c_prime=c_prime,
+        s_A=s_a,
+        s_B=s_b,
+        s_C=s_c,
+        s=max(s_a, s_b, s_c),
+        side_A=side_parameters(algorithm.t, algorithm.r, s_a),
+        side_B=side_parameters(algorithm.t, algorithm.r, s_b),
+        side_C=side_parameters(algorithm.t, algorithm.r, s_c),
+    )

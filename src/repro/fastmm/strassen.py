@@ -1,0 +1,64 @@
+"""Strassen's algorithm for 2 x 2 block matrices (paper Figure 1).
+
+The seven multiplications and four output expressions are transcribed
+verbatim from Figure 1 of the paper (Strassen 1969):
+
+    M1 = A11 (B12 - B22)          C11 = M3 + M4 - M5 + M7
+    M2 = (A21 + A22) B11          C12 = M1 + M5
+    M3 = (A11 + A22)(B11 + B22)   C21 = M2 + M4
+    M4 = A22 (B21 - B11)          C22 = M1 - M2 + M3 + M6
+    M5 = (A11 + A12) B22
+    M6 = (A21 - A11)(B11 + B12)
+    M7 = (A12 - A22)(B21 + B22)
+
+Block indices are zero-based in code: ``A11 -> (0, 0)``, ``A12 -> (0, 1)``,
+``A21 -> (1, 0)``, ``A22 -> (1, 1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fastmm.bilinear import BilinearAlgorithm
+
+__all__ = ["strassen_2x2"]
+
+
+def strassen_2x2() -> BilinearAlgorithm:
+    """Return Strassen's 7-multiplication algorithm as a bilinear algorithm."""
+    u = np.zeros((7, 2, 2), dtype=np.int64)
+    v = np.zeros((7, 2, 2), dtype=np.int64)
+    w = np.zeros((2, 2, 7), dtype=np.int64)
+
+    # M1 = A11 (B12 - B22)
+    u[0, 0, 0] = 1
+    v[0, 0, 1], v[0, 1, 1] = 1, -1
+    # M2 = (A21 + A22) B11
+    u[1, 1, 0], u[1, 1, 1] = 1, 1
+    v[1, 0, 0] = 1
+    # M3 = (A11 + A22)(B11 + B22)
+    u[2, 0, 0], u[2, 1, 1] = 1, 1
+    v[2, 0, 0], v[2, 1, 1] = 1, 1
+    # M4 = A22 (B21 - B11)
+    u[3, 1, 1] = 1
+    v[3, 1, 0], v[3, 0, 0] = 1, -1
+    # M5 = (A11 + A12) B22
+    u[4, 0, 0], u[4, 0, 1] = 1, 1
+    v[4, 1, 1] = 1
+    # M6 = (A21 - A11)(B11 + B12)
+    u[5, 1, 0], u[5, 0, 0] = 1, -1
+    v[5, 0, 0], v[5, 0, 1] = 1, 1
+    # M7 = (A12 - A22)(B21 + B22)
+    u[6, 0, 1], u[6, 1, 1] = 1, -1
+    v[6, 1, 0], v[6, 1, 1] = 1, 1
+
+    # C11 = M3 + M4 - M5 + M7
+    w[0, 0, 2], w[0, 0, 3], w[0, 0, 4], w[0, 0, 6] = 1, 1, -1, 1
+    # C12 = M1 + M5
+    w[0, 1, 0], w[0, 1, 4] = 1, 1
+    # C21 = M2 + M4
+    w[1, 0, 1], w[1, 0, 3] = 1, 1
+    # C22 = M1 - M2 + M3 + M6
+    w[1, 1, 0], w[1, 1, 1], w[1, 1, 2], w[1, 1, 5] = 1, -1, 1, 1
+
+    return BilinearAlgorithm("strassen", 2, u, v, w)

@@ -1,0 +1,68 @@
+"""Strassen–Winograd variant of the 2 x 2 fast multiplication algorithm.
+
+Winograd's variant also uses 7 multiplications but only 15 additions (versus
+Strassen's 18) when implemented with shared intermediate sums.  In the
+bilinear (flattened) form required by the paper's circuit constructions the
+shared sums are expanded, which *increases* the sparsity parameters of
+Definition 2.1: s_A = s_B = s_C = 14 versus Strassen's 12.  The variant is
+included precisely to demonstrate that the circuit constructions care about
+sparsity rather than addition count — see experiment E3.
+
+Flattened definition (P_i are the multiplications):
+
+    P1 = A11 B11                          C11 = P1 + P2
+    P2 = A12 B21                          C12 = P1 + P3 + P5 + P6
+    P3 = (A11 - A21 - A22 + A12) B22      C21 = P1 - P4 + P6 + P7
+    P4 = A22 (B11 - B12 + B22 - B21)      C22 = P1 + P5 + P6 + P7
+    P5 = (A21 + A22)(B12 - B11)
+    P6 = (A21 + A22 - A11)(B11 - B12 + B22)
+    P7 = (A11 - A21)(B22 - B12)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fastmm.bilinear import BilinearAlgorithm
+
+__all__ = ["winograd_2x2"]
+
+
+def winograd_2x2() -> BilinearAlgorithm:
+    """Return the Strassen–Winograd 7-multiplication algorithm."""
+    u = np.zeros((7, 2, 2), dtype=np.int64)
+    v = np.zeros((7, 2, 2), dtype=np.int64)
+    w = np.zeros((2, 2, 7), dtype=np.int64)
+
+    # P1 = A11 B11
+    u[0, 0, 0] = 1
+    v[0, 0, 0] = 1
+    # P2 = A12 B21
+    u[1, 0, 1] = 1
+    v[1, 1, 0] = 1
+    # P3 = (A11 - A21 - A22 + A12) B22
+    u[2, 0, 0], u[2, 1, 0], u[2, 1, 1], u[2, 0, 1] = 1, -1, -1, 1
+    v[2, 1, 1] = 1
+    # P4 = A22 (B11 - B12 + B22 - B21)
+    u[3, 1, 1] = 1
+    v[3, 0, 0], v[3, 0, 1], v[3, 1, 1], v[3, 1, 0] = 1, -1, 1, -1
+    # P5 = (A21 + A22)(B12 - B11)
+    u[4, 1, 0], u[4, 1, 1] = 1, 1
+    v[4, 0, 1], v[4, 0, 0] = 1, -1
+    # P6 = (A21 + A22 - A11)(B11 - B12 + B22)
+    u[5, 1, 0], u[5, 1, 1], u[5, 0, 0] = 1, 1, -1
+    v[5, 0, 0], v[5, 0, 1], v[5, 1, 1] = 1, -1, 1
+    # P7 = (A11 - A21)(B22 - B12)
+    u[6, 0, 0], u[6, 1, 0] = 1, -1
+    v[6, 1, 1], v[6, 0, 1] = 1, -1
+
+    # C11 = P1 + P2
+    w[0, 0, 0], w[0, 0, 1] = 1, 1
+    # C12 = P1 + P3 + P5 + P6
+    w[0, 1, 0], w[0, 1, 2], w[0, 1, 4], w[0, 1, 5] = 1, 1, 1, 1
+    # C21 = P1 - P4 + P6 + P7
+    w[1, 0, 0], w[1, 0, 3], w[1, 0, 5], w[1, 0, 6] = 1, -1, 1, 1
+    # C22 = P1 + P5 + P6 + P7
+    w[1, 1, 0], w[1, 1, 4], w[1, 1, 5], w[1, 1, 6] = 1, 1, 1, 1
+
+    return BilinearAlgorithm("winograd", 2, u, v, w)

@@ -1,0 +1,48 @@
+"""Triangle counting / social-network analysis application (paper Section 5)."""
+
+from repro.triangles.graphs import (
+    adjacency_matrix,
+    graph_from_adjacency,
+    validate_adjacency,
+    pad_adjacency,
+)
+from repro.triangles.counting import (
+    triangle_count,
+    wedge_count,
+    trace_cubed,
+    triangles_per_vertex,
+)
+from repro.triangles.clustering import (
+    global_clustering_coefficient,
+    transitivity,
+    tau_from_wedges,
+    tau_from_clustering_target,
+)
+from repro.triangles.generators import (
+    erdos_renyi_adjacency,
+    block_two_level_adjacency,
+    preferential_attachment_adjacency,
+    planted_clique_adjacency,
+)
+from repro.triangles.queries import TriangleQuery, build_triangle_query
+
+__all__ = [
+    "adjacency_matrix",
+    "graph_from_adjacency",
+    "validate_adjacency",
+    "pad_adjacency",
+    "triangle_count",
+    "wedge_count",
+    "trace_cubed",
+    "triangles_per_vertex",
+    "global_clustering_coefficient",
+    "transitivity",
+    "tau_from_wedges",
+    "tau_from_clustering_target",
+    "erdos_renyi_adjacency",
+    "block_two_level_adjacency",
+    "preferential_attachment_adjacency",
+    "planted_clique_adjacency",
+    "TriangleQuery",
+    "build_triangle_query",
+]

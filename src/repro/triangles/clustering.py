@@ -1,0 +1,64 @@
+"""Clustering coefficients and threshold (tau) selection.
+
+Section 5 of the paper motivates the trace-threshold question through the
+*global clustering coefficient* (transitivity): the fraction of wedges that
+close into triangles.  Practitioners pick ``tau`` as a function of the wedge
+count D — "usually they compute the total number of wedges D in O(N) time
+and set tau to some function of D (perhaps just scaling by a constant)".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.triangles.counting import triangle_count, wedge_count
+
+__all__ = [
+    "global_clustering_coefficient",
+    "transitivity",
+    "tau_from_wedges",
+    "tau_from_clustering_target",
+]
+
+
+def global_clustering_coefficient(adjacency) -> float:
+    """``3 * triangles / wedges`` (0 when the graph has no wedges)."""
+    wedges = wedge_count(adjacency)
+    if wedges == 0:
+        return 0.0
+    return 3.0 * triangle_count(adjacency) / wedges
+
+
+# The social-network literature uses "transitivity" for the same ratio.
+transitivity = global_clustering_coefficient
+
+
+def tau_from_wedges(adjacency, target_coefficient: float) -> int:
+    """Triangle threshold corresponding to a target clustering coefficient.
+
+    A graph has global clustering coefficient at least ``target_coefficient``
+    exactly when it has at least ``ceil(target * wedges / 3)`` triangles;
+    that integer is the natural ``tau`` for the trace-threshold circuit
+    (``trace(A^3) >= 6 * tau``).
+    """
+    if not (0.0 <= target_coefficient <= 1.0):
+        raise ValueError(
+            f"the clustering coefficient target must be in [0, 1], got {target_coefficient}"
+        )
+    wedges = wedge_count(adjacency)
+    return max(1, math.ceil(target_coefficient * wedges / 3.0))
+
+
+def tau_from_clustering_target(
+    n_wedges: int,
+    target_coefficient: float,
+) -> int:
+    """Same as :func:`tau_from_wedges` but from a precomputed wedge count."""
+    if n_wedges < 0:
+        raise ValueError(f"wedge count must be nonnegative, got {n_wedges}")
+    if not (0.0 <= target_coefficient <= 1.0):
+        raise ValueError(
+            f"the clustering coefficient target must be in [0, 1], got {target_coefficient}"
+        )
+    return max(1, math.ceil(target_coefficient * n_wedges / 3.0))

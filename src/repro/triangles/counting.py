@@ -1,0 +1,45 @@
+"""Exact triangle / wedge counting oracles.
+
+These are the reference quantities the circuit answers are validated
+against: ``triangles(G) = trace(A^3) / 6`` and the wedge (length-2 path)
+count used to pick the threshold ``tau`` in Section 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.triangles.graphs import validate_adjacency
+
+__all__ = ["triangle_count", "wedge_count", "trace_cubed", "triangles_per_vertex"]
+
+
+def trace_cubed(adjacency) -> int:
+    """Exact ``trace(A^3)`` of a 0/1 adjacency matrix (equals 6 * triangles)."""
+    adj = validate_adjacency(adjacency).astype(object)
+    return int(np.trace(adj @ adj @ adj))
+
+
+def triangle_count(adjacency) -> int:
+    """Exact number of triangles in the graph."""
+    trace = trace_cubed(adjacency)
+    if trace % 6 != 0:
+        raise AssertionError("trace(A^3) of a simple graph must be divisible by 6")
+    return trace // 6
+
+
+def wedge_count(adjacency) -> int:
+    """Number of wedges (paths of length 2): ``sum_v C(deg(v), 2)``."""
+    adj = validate_adjacency(adjacency)
+    degrees = adj.sum(axis=1)
+    return int((degrees * (degrees - 1) // 2).sum())
+
+
+def triangles_per_vertex(adjacency) -> np.ndarray:
+    """Number of triangles through each vertex (``diag(A^3) / 2``)."""
+    adj = validate_adjacency(adjacency).astype(object)
+    cube = adj @ adj @ adj
+    diag = np.array([int(cube[i, i]) for i in range(adj.shape[0])], dtype=np.int64)
+    if (diag % 2 != 0).any():
+        raise AssertionError("diag(A^3) of a simple graph must be even")
+    return diag // 2

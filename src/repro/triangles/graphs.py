@@ -1,0 +1,80 @@
+"""Graph <-> adjacency-matrix helpers for the triangle-counting application.
+
+The paper's Section 2.3 / Section 5 application: a graph G on N vertices is
+given by its symmetric 0/1 adjacency matrix A (zero diagonal);
+``trace(A^3) = 6 * (#triangles)``, so the trace-threshold circuit answers
+"does G have at least tau triangles?".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "adjacency_matrix",
+    "graph_from_adjacency",
+    "validate_adjacency",
+    "pad_adjacency",
+]
+
+
+def adjacency_matrix(graph: nx.Graph, n: int = None) -> np.ndarray:
+    """Symmetric 0/1 adjacency matrix of a simple undirected graph.
+
+    Vertices are relabelled to ``0..N-1`` in sorted order; ``n`` may be given
+    to embed the graph into a larger (zero-padded) matrix, e.g. to reach a
+    power of the circuit's base dimension.
+    """
+    nodes = sorted(graph.nodes())
+    size = len(nodes) if n is None else n
+    if size < len(nodes):
+        raise ValueError(f"target size {size} smaller than the graph ({len(nodes)} nodes)")
+    index = {v: i for i, v in enumerate(nodes)}
+    adj = np.zeros((size, size), dtype=np.int64)
+    for u, v in graph.edges():
+        if u == v:
+            continue
+        i, j = index[u], index[v]
+        adj[i, j] = adj[j, i] = 1
+    return adj
+
+
+def graph_from_adjacency(adjacency: np.ndarray) -> nx.Graph:
+    """Build a networkx graph from a symmetric 0/1 adjacency matrix."""
+    adjacency = validate_adjacency(adjacency)
+    graph = nx.Graph()
+    n = adjacency.shape[0]
+    graph.add_nodes_from(range(n))
+    rows, cols = np.nonzero(np.triu(adjacency, k=1))
+    graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    return graph
+
+
+def validate_adjacency(adjacency) -> np.ndarray:
+    """Check symmetry, zero diagonal and 0/1 entries; return as int64 array."""
+    adj = np.asarray(adjacency)
+    if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
+        raise ValueError(f"adjacency matrix must be square, got shape {adj.shape}")
+    if not np.isin(adj, (0, 1)).all():
+        raise ValueError("adjacency matrix entries must be 0/1")
+    if (np.diag(adj) != 0).any():
+        raise ValueError("adjacency matrix must have a zero diagonal (no self-loops)")
+    if (adj != adj.T).any():
+        raise ValueError("adjacency matrix must be symmetric")
+    return adj.astype(np.int64)
+
+
+def pad_adjacency(adjacency: np.ndarray, base: int) -> Tuple[np.ndarray, int]:
+    """Zero-pad an adjacency matrix so its size is a power of ``base``.
+
+    Padding with isolated vertices changes neither the triangle count nor
+    the wedge count, so thresholds computed on the original graph remain
+    valid.  Returns ``(padded, original_n)``.
+    """
+    from repro.util.matrices import pad_to_power
+
+    adj = validate_adjacency(adjacency)
+    return pad_to_power(adj, base)

@@ -1,0 +1,100 @@
+"""Circuit-backed triangle threshold queries.
+
+This is the end-to-end application wrapper of Section 5: given a graph and a
+triangle threshold (or a clustering-coefficient target), build the subcubic
+trace circuit of Theorem 4.5 on the (padded) adjacency matrix and answer the
+query by simulating the circuit.  The naive depth-2 circuit of Section 1 is
+available as the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.naive_circuits import NaiveTriangleCircuit, build_naive_triangle_circuit
+from repro.core.schedule import LevelSchedule
+from repro.core.trace_circuit import TraceCircuit, build_trace_circuit
+from repro.fastmm.bilinear import BilinearAlgorithm
+from repro.fastmm.strassen import strassen_2x2
+from repro.triangles.clustering import tau_from_wedges
+from repro.triangles.counting import triangle_count
+from repro.triangles.graphs import pad_adjacency, validate_adjacency
+
+__all__ = ["TriangleQuery", "build_triangle_query"]
+
+
+@dataclass
+class TriangleQuery:
+    """A reusable circuit answering "does G have at least tau triangles?"."""
+
+    trace_circuit: TraceCircuit
+    tau_triangles: int
+    original_n: int
+
+    def evaluate(self, adjacency) -> bool:
+        """Answer the query for a graph on at most ``trace_circuit.n`` vertices."""
+        adj = validate_adjacency(adjacency)
+        padded, _ = pad_adjacency(adj, self.trace_circuit.algorithm.t)
+        if padded.shape[0] != self.trace_circuit.n:
+            target = self.trace_circuit.n
+            if padded.shape[0] > target:
+                raise ValueError(
+                    f"graph has {padded.shape[0]} (padded) vertices; circuit supports {target}"
+                )
+            grown = np.zeros((target, target), dtype=np.int64)
+            grown[: padded.shape[0], : padded.shape[0]] = padded
+            padded = grown
+        return self.trace_circuit.evaluate(padded)
+
+    def reference(self, adjacency) -> bool:
+        """Exact answer used for validation."""
+        return triangle_count(adjacency) >= self.tau_triangles
+
+
+def build_triangle_query(
+    n: int,
+    tau_triangles: Optional[int] = None,
+    clustering_target: Optional[float] = None,
+    reference_graph=None,
+    algorithm: Optional[BilinearAlgorithm] = None,
+    depth_parameter: int = 2,
+    schedule: Optional[LevelSchedule] = None,
+) -> TriangleQuery:
+    """Build a triangle-threshold query circuit for graphs on ``n`` vertices.
+
+    Exactly one of ``tau_triangles`` or (``clustering_target`` together with
+    ``reference_graph``) must be provided; in the latter case ``tau`` is
+    derived from the wedge count of the reference graph as in Section 5.
+    The circuit decides ``trace(A^3) >= 6 * tau``.
+    """
+    algorithm = algorithm if algorithm is not None else strassen_2x2()
+    if tau_triangles is None:
+        if clustering_target is None or reference_graph is None:
+            raise ValueError(
+                "provide either tau_triangles or (clustering_target, reference_graph)"
+            )
+        tau_triangles = tau_from_wedges(reference_graph, clustering_target)
+    if tau_triangles < 1:
+        raise ValueError(f"the triangle threshold must be at least 1, got {tau_triangles}")
+
+    # Pad the vertex count to a power of the algorithm's base dimension.
+    probe = np.zeros((n, n), dtype=np.int64)
+    padded, _ = pad_adjacency(probe, algorithm.t)
+    padded_n = padded.shape[0]
+
+    trace_circuit = build_trace_circuit(
+        padded_n,
+        6 * tau_triangles,
+        bit_width=1,
+        algorithm=algorithm,
+        schedule=schedule,
+        depth_parameter=depth_parameter,
+    )
+    return TriangleQuery(
+        trace_circuit=trace_circuit,
+        tau_triangles=tau_triangles,
+        original_n=n,
+    )

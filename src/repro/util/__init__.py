@@ -1,0 +1,55 @@
+"""Shared utilities: bit arithmetic, integer math and matrix helpers.
+
+These helpers implement the low-level notation used throughout the paper
+(Parekh et al., SPAA 2018): the ``bits()`` function of Section 2.3, the
+signed split ``x = x+ - x-`` of Section 3, and the exact-integer matrix
+handling the circuit constructions are validated against.
+"""
+
+from repro.util.bits import (
+    bits,
+    signed_split,
+    to_binary,
+    from_binary,
+    max_abs_entry_bits,
+)
+from repro.util.intmath import (
+    ceil_div,
+    ceil_log,
+    ilog,
+    is_power_of,
+    multinomial,
+    prod,
+)
+from repro.util.matrices import (
+    block_view,
+    pad_to_power,
+    random_integer_matrix,
+    random_adjacency_matrix,
+)
+from repro.util.encoding import (
+    MatrixEncoding,
+    encode_integer,
+    decode_integer,
+)
+
+__all__ = [
+    "bits",
+    "signed_split",
+    "to_binary",
+    "from_binary",
+    "max_abs_entry_bits",
+    "ceil_div",
+    "ceil_log",
+    "ilog",
+    "is_power_of",
+    "multinomial",
+    "prod",
+    "block_view",
+    "pad_to_power",
+    "random_integer_matrix",
+    "random_adjacency_matrix",
+    "MatrixEncoding",
+    "encode_integer",
+    "decode_integer",
+]

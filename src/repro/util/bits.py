@@ -1,0 +1,94 @@
+"""Bit-level helpers matching the paper's notation.
+
+The paper (Section 2.3) defines ``bits(m)`` as the minimum number of bits
+required to express the nonnegative integer ``m`` in binary, i.e. the least
+integer ``l`` such that ``m < 2**l``.  Note that under this definition
+``bits(0) == 0`` and ``bits(1) == 1``.
+
+Negative numbers (Section 3, "Negative numbers") are represented throughout
+the circuits as a pair of nonnegative integers ``x = x_plus - x_minus``.
+:func:`signed_split` produces the canonical such split (one of the two parts
+is always zero), which keeps bit-widths minimal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "bits",
+    "signed_split",
+    "to_binary",
+    "from_binary",
+    "max_abs_entry_bits",
+]
+
+
+def bits(m: int) -> int:
+    """Return the least ``l`` such that ``m < 2**l`` (the paper's ``bits(m)``).
+
+    Parameters
+    ----------
+    m:
+        A nonnegative integer.
+
+    Raises
+    ------
+    ValueError
+        If ``m`` is negative.
+    """
+    m = int(m)
+    if m < 0:
+        raise ValueError(f"bits() requires a nonnegative integer, got {m}")
+    return m.bit_length()
+
+
+def signed_split(x: int) -> Tuple[int, int]:
+    """Split an integer into the canonical ``(x_plus, x_minus)`` pair.
+
+    ``x == x_plus - x_minus`` with both parts nonnegative and at most one of
+    them nonzero.  This is the representation of signed quantities used by
+    all circuits in this package (paper Section 3).
+    """
+    x = int(x)
+    if x >= 0:
+        return x, 0
+    return 0, -x
+
+
+def to_binary(m: int, width: int) -> List[int]:
+    """Return the ``width`` least-significant bits of ``m``, LSB first.
+
+    Raises
+    ------
+    ValueError
+        If ``m`` is negative or does not fit in ``width`` bits.
+    """
+    m = int(m)
+    if m < 0:
+        raise ValueError(f"to_binary() requires a nonnegative integer, got {m}")
+    if bits(m) > width:
+        raise ValueError(f"{m} does not fit in {width} bits")
+    return [(m >> i) & 1 for i in range(width)]
+
+
+def from_binary(bit_values: Sequence[int]) -> int:
+    """Inverse of :func:`to_binary`: interpret a LSB-first bit sequence."""
+    value = 0
+    for i, b in enumerate(bit_values):
+        b = int(b)
+        if b not in (0, 1):
+            raise ValueError(f"bit values must be 0/1, got {b} at position {i}")
+        value |= b << i
+    return value
+
+
+def max_abs_entry_bits(matrix) -> int:
+    """Return ``bits(max |entry|)`` for an integer matrix (nested or numpy)."""
+    import numpy as np
+
+    arr = np.asarray(matrix, dtype=object)
+    if arr.size == 0:
+        return 0
+    m = max(abs(int(v)) for v in arr.flat)
+    return bits(m)

@@ -1,0 +1,112 @@
+"""Encoding of integer matrices onto circuit input wires.
+
+Circuit inputs are single bits.  A signed integer entry ``x`` with magnitude
+below ``2**bit_width`` occupies ``2 * bit_width`` input wires: ``bit_width``
+bits for the positive part ``x+`` and ``bit_width`` bits for the negative
+part ``x-`` (paper Section 3, "Negative numbers").  :class:`MatrixEncoding`
+fixes the wire layout for a whole matrix and converts between integer
+matrices and flat 0/1 input vectors understood by the simulator.
+
+The layout is row-major over entries; within an entry the positive bits come
+first (LSB first), then the negative bits (LSB first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.util.bits import bits, signed_split, to_binary
+
+__all__ = ["MatrixEncoding", "encode_integer", "decode_integer"]
+
+
+def encode_integer(x: int, bit_width: int) -> List[int]:
+    """Encode a signed integer as ``2 * bit_width`` bits (pos LSB.., neg LSB..)."""
+    pos, neg = signed_split(int(x))
+    if bits(pos) > bit_width or bits(neg) > bit_width:
+        raise ValueError(f"{x} does not fit in a signed {bit_width}-bit encoding")
+    return to_binary(pos, bit_width) + to_binary(neg, bit_width)
+
+
+def decode_integer(bit_values, bit_width: int) -> int:
+    """Inverse of :func:`encode_integer`."""
+    if len(bit_values) != 2 * bit_width:
+        raise ValueError(
+            f"expected {2 * bit_width} bits, got {len(bit_values)}"
+        )
+    pos = sum(int(b) << i for i, b in enumerate(bit_values[:bit_width]))
+    neg = sum(int(b) << i for i, b in enumerate(bit_values[bit_width:]))
+    return pos - neg
+
+
+@dataclass(frozen=True)
+class MatrixEncoding:
+    """Fixed wire layout for an ``n x n`` signed integer matrix.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension.
+    bit_width:
+        Number of magnitude bits per signed part.  Entries must satisfy
+        ``|entry| < 2**bit_width``.
+    offset:
+        Index of the first wire used by this matrix (several matrices can
+        share one input space, e.g. A and B for the product circuit).
+    """
+
+    n: int
+    bit_width: int
+    offset: int = 0
+
+    @property
+    def wires_per_entry(self) -> int:
+        """Number of input wires per matrix entry (positive + negative bits)."""
+        return 2 * self.bit_width
+
+    @property
+    def total_wires(self) -> int:
+        """Total number of input wires occupied by the matrix."""
+        return self.n * self.n * self.wires_per_entry
+
+    def entry_wires(self, i: int, j: int) -> Tuple[List[int], List[int]]:
+        """Return ``(positive_bit_wires, negative_bit_wires)`` for entry (i, j)."""
+        if not (0 <= i < self.n and 0 <= j < self.n):
+            raise IndexError(f"entry ({i}, {j}) out of range for an {self.n}x{self.n} matrix")
+        base = self.offset + (i * self.n + j) * self.wires_per_entry
+        pos = list(range(base, base + self.bit_width))
+        neg = list(range(base + self.bit_width, base + 2 * self.bit_width))
+        return pos, neg
+
+    def encode(self, matrix) -> np.ndarray:
+        """Encode an integer matrix into a flat 0/1 vector for its wires."""
+        arr = np.asarray(matrix)
+        if arr.shape != (self.n, self.n):
+            raise ValueError(
+                f"expected a {self.n}x{self.n} matrix, got shape {arr.shape}"
+            )
+        out = np.zeros(self.total_wires, dtype=np.int8)
+        for i in range(self.n):
+            for j in range(self.n):
+                entry_bits = encode_integer(int(arr[i, j]), self.bit_width)
+                base = (i * self.n + j) * self.wires_per_entry
+                out[base : base + self.wires_per_entry] = entry_bits
+        return out
+
+    def decode(self, values: np.ndarray) -> np.ndarray:
+        """Decode a flat 0/1 vector (over this matrix's wires) back to integers."""
+        values = np.asarray(values)
+        if values.shape[0] != self.total_wires:
+            raise ValueError(
+                f"expected {self.total_wires} wire values, got {values.shape[0]}"
+            )
+        out = np.empty((self.n, self.n), dtype=object)
+        for i in range(self.n):
+            for j in range(self.n):
+                base = (i * self.n + j) * self.wires_per_entry
+                chunk = values[base : base + self.wires_per_entry]
+                out[i, j] = decode_integer(list(chunk), self.bit_width)
+        return out

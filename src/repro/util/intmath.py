@@ -1,0 +1,84 @@
+"""Exact integer math helpers used by the counting lemmas.
+
+The gate-count analysis (Lemmas 4.2, 4.3, 4.6, 4.7) relies on a handful of
+combinatorial identities — most prominently the multinomial theorem used in
+equations (3) and (5) of the paper.  These helpers keep that arithmetic exact
+(Python integers) so the dry-run gate-count model can be validated
+gate-for-gate against constructed circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "ceil_div",
+    "ceil_log",
+    "ilog",
+    "is_power_of",
+    "multinomial",
+    "prod",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Exact ceiling division for integers (``b`` must be positive)."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires a positive divisor, got {b}")
+    return -((-a) // b)
+
+
+def ilog(n: int, base: int) -> int:
+    """Return ``log_base(n)`` for exact powers, else raise ``ValueError``."""
+    if n <= 0 or base <= 1:
+        raise ValueError(f"ilog requires n >= 1 and base >= 2, got n={n}, base={base}")
+    result = 0
+    value = 1
+    while value < n:
+        value *= base
+        result += 1
+    if value != n:
+        raise ValueError(f"{n} is not a power of {base}")
+    return result
+
+
+def ceil_log(n: int, base: int) -> int:
+    """Return the least integer ``k`` such that ``base**k >= n``."""
+    if n <= 0 or base <= 1:
+        raise ValueError(f"ceil_log requires n >= 1 and base >= 2, got n={n}, base={base}")
+    result = 0
+    value = 1
+    while value < n:
+        value *= base
+        result += 1
+    return result
+
+
+def is_power_of(n: int, base: int) -> bool:
+    """True when ``n`` is an exact nonnegative power of ``base``."""
+    if n <= 0 or base <= 1:
+        return False
+    while n % base == 0:
+        n //= base
+    return n == 1
+
+
+def multinomial(counts: Sequence[int]) -> int:
+    """Exact multinomial coefficient ``(sum counts)! / prod(counts[i]!)``."""
+    total = 0
+    result = 1
+    for c in counts:
+        if c < 0:
+            raise ValueError("multinomial requires nonnegative counts")
+        total += c
+        result *= math.comb(total, c)
+    return result
+
+
+def prod(values: Iterable[int]) -> int:
+    """Exact integer product (empty product is 1)."""
+    result = 1
+    for v in values:
+        result *= int(v)
+    return result

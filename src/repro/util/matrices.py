@@ -1,0 +1,122 @@
+"""Exact-integer matrix helpers.
+
+The paper's circuits operate on N x N integer matrices with O(log N)-bit
+entries, where N is a power of the base dimension T of the fast matrix
+multiplication algorithm in use.  These helpers generate such matrices,
+pad arbitrary matrices up to the next power of T, and expose block views
+used by the recursive fast multiplication substrate.
+
+All helpers keep ``dtype=object`` (arbitrary-precision Python integers) as an
+option so that reference results remain exact even for wide entries; the
+default int64 path is used when it is provably safe.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.util.intmath import ceil_log
+
+__all__ = [
+    "block_view",
+    "pad_to_power",
+    "random_integer_matrix",
+    "random_adjacency_matrix",
+    "as_exact_array",
+]
+
+
+def as_exact_array(matrix) -> np.ndarray:
+    """Return a 2-D ``dtype=object`` array of Python ints (exact arithmetic)."""
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {arr.shape}")
+    out = np.empty(arr.shape, dtype=object)
+    for idx, value in np.ndenumerate(arr):
+        out[idx] = int(value)
+    return out
+
+
+def block_view(matrix: np.ndarray, t: int, p: int, q: int) -> np.ndarray:
+    """Return the ``(p, q)``-th block of a matrix partitioned into a t x t grid.
+
+    The matrix dimension must be divisible by ``t``.  The returned array is a
+    view (no copy), matching the zero-copy idiom recommended for numerical
+    code: downstream code must not mutate it.
+    """
+    n = matrix.shape[0]
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    if n % t != 0:
+        raise ValueError(f"matrix dimension {n} is not divisible by {t}")
+    if not (0 <= p < t and 0 <= q < t):
+        raise ValueError(f"block index ({p}, {q}) out of range for a {t}x{t} grid")
+    k = n // t
+    return matrix[p * k : (p + 1) * k, q * k : (q + 1) * k]
+
+
+def pad_to_power(matrix: np.ndarray, base: int) -> Tuple[np.ndarray, int]:
+    """Zero-pad a square matrix so its dimension is a power of ``base``.
+
+    Returns ``(padded, original_n)``.  Matrices whose dimension is already a
+    power of ``base`` are returned unchanged (same object).
+    """
+    arr = np.asarray(matrix)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {arr.shape}")
+    n = arr.shape[0]
+    if n == 0:
+        raise ValueError("cannot pad an empty matrix")
+    target = base ** ceil_log(n, base) if n > 1 else base
+    if target == n:
+        return arr, n
+    padded = np.zeros((target, target), dtype=arr.dtype)
+    padded[:n, :n] = arr
+    return padded, n
+
+
+def random_integer_matrix(
+    n: int,
+    bit_width: int,
+    rng: Optional[np.random.Generator] = None,
+    signed: bool = True,
+) -> np.ndarray:
+    """Random ``n x n`` integer matrix with entries of at most ``bit_width`` bits.
+
+    With ``signed=True`` entries are drawn uniformly from
+    ``[-(2**bit_width - 1), 2**bit_width - 1]``; otherwise from
+    ``[0, 2**bit_width - 1]``.  This matches the paper's model of O(log N)-bit
+    entries when ``bit_width`` is chosen as ``Theta(log n)``.
+    """
+    if n <= 0:
+        raise ValueError(f"matrix dimension must be positive, got {n}")
+    if bit_width < 0:
+        raise ValueError(f"bit width must be nonnegative, got {bit_width}")
+    rng = np.random.default_rng() if rng is None else rng
+    high = (1 << bit_width) - 1
+    low = -high if signed else 0
+    values = rng.integers(low, high + 1, size=(n, n), dtype=np.int64)
+    return values
+
+
+def random_adjacency_matrix(
+    n: int,
+    edge_probability: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Random symmetric 0/1 adjacency matrix with an empty diagonal.
+
+    This is the binary-matrix case highlighted in the paper's introduction
+    (triangle counting on an Erdős–Rényi graph).
+    """
+    if n <= 0:
+        raise ValueError(f"graph size must be positive, got {n}")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise ValueError(f"edge probability must be in [0, 1], got {edge_probability}")
+    rng = np.random.default_rng() if rng is None else rng
+    upper = rng.random((n, n)) < edge_probability
+    adj = np.triu(upper, k=1)
+    adj = adj | adj.T
+    return adj.astype(np.int64)

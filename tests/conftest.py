@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fastmm import naive_algorithm, strassen_2x2, winograd_2x2
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(20180716)  # SPAA'18 started July 16, 2018
+
+
+@pytest.fixture(params=["strassen", "winograd", "naive-2"])
+def any_algorithm(request):
+    """Parametrized over the three 2x2 base-case algorithms."""
+    factories = {
+        "strassen": strassen_2x2,
+        "winograd": winograd_2x2,
+        "naive-2": lambda: naive_algorithm(2),
+    }
+    return factories[request.param]()
+
+
+@pytest.fixture
+def strassen():
+    """The canonical Strassen algorithm."""
+    return strassen_2x2()
+
+
+def random_signed_matrix(rng, n, bit_width):
+    """Uniform signed integer matrix with entries below 2**bit_width in magnitude."""
+    high = (1 << bit_width) - 1
+    return rng.integers(-high, high + 1, size=(n, n), dtype=np.int64)

@@ -1,0 +1,140 @@
+"""Tests for the analysis package: sweeps, crossover, energy, fan-in, reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analytic_size_sweep,
+    crossover_size,
+    depth_tradeoff_table,
+    exact_size_sweep,
+    exponent_crossover_depth,
+    exponent_summary,
+    fan_in_report,
+    format_table,
+    measure_circuit_energy,
+    split_for_fan_in,
+    split_overhead,
+    subcubic_exponent,
+)
+from repro.core.gate_count_model import naive_triangle_gate_count
+from repro.core.naive_circuits import build_naive_triangle_circuit
+from repro.core.trace_circuit import build_trace_circuit
+from repro.fastmm.strassen import strassen_2x2
+from repro.triangles.generators import erdos_renyi_adjacency
+
+
+class TestSweeps:
+    def test_exact_sweep_rows(self):
+        rows = exact_size_sweep([2, 4], depth_parameter=2, kind="trace")
+        assert [row.n for row in rows] == [2, 4]
+        assert all(row.size > 0 for row in rows)
+        assert rows[1].as_dict()["N"] == 4
+
+    def test_exact_sweep_matmul_baseline_is_cubic(self):
+        rows = exact_size_sweep([4], depth_parameter=2, kind="matmul")
+        assert rows[0].baseline == 64.0
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            exact_size_sweep([2], kind="nope")
+
+    def test_analytic_sweep_monotone_in_n(self):
+        rows = analytic_size_sweep([2 ** 6, 2 ** 8, 2 ** 10], depth_parameter=4, kind="matmul")
+        sizes = [row.size for row in rows]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_exponent_summary_on_analytic_sweep(self):
+        # Over a large-N window the analytic model's fitted exponent should be
+        # close to the predicted omega + c*gamma^d (within the polylog wiggle).
+        rows = analytic_size_sweep([2 ** k for k in range(20, 32, 2)], depth_parameter=4, kind="matmul")
+        summary = exponent_summary(rows)
+        assert summary["predicted_exponent"] < 3.0
+        assert abs(summary["fitted_exponent"] - summary["predicted_exponent"]) < 0.25
+        assert summary["fitted_exponent"] < summary["cubic"]
+
+    def test_depth_tradeoff_table(self):
+        table = depth_tradeoff_table(8, [1, 2, 3], kind="trace", bit_width=1)
+        assert len(table) == 3
+        assert all(row["depth"] <= row["depth_bound"] for row in table)
+        gates = [row["gates"] for row in table]
+        assert all(later <= earlier for earlier, later in zip(gates, gates[1:]))
+        assert gates[2] < gates[0]
+
+
+class TestCrossover:
+    def test_subcubic_exponent_decreases(self):
+        assert subcubic_exponent(depth_parameter=6) < subcubic_exponent(depth_parameter=4) < 3.0
+
+    def test_crossover_depth_for_strassen(self):
+        # The paper states d > 3 gives a subcubic exponent; with the exact
+        # constants d = 3 is already (barely) below 3.
+        assert exponent_crossover_depth() in (3, 4)
+
+    def test_crossover_size_exists_for_d4(self):
+        n = crossover_size(4, kind="trace")
+        assert n is not None
+        # The win is asymptotic: the crossover is astronomically large.
+        assert n > 2 ** 100
+
+    def test_no_crossover_for_d1(self):
+        assert crossover_size(1, kind="trace", max_exponent=40) is None
+
+    def test_cubic_base_algorithm_rejected(self):
+        from repro.fastmm.naive_algorithm import naive_algorithm
+
+        with pytest.raises(ValueError):
+            exponent_crossover_depth(naive_algorithm(2))
+
+
+class TestEnergyAndFanIn:
+    def test_energy_report(self, rng):
+        circuit = build_naive_triangle_circuit(5, 2)
+        inputs = [circuit.encode(erdos_renyi_adjacency(5, 0.5, rng)) for _ in range(4)]
+        report = measure_circuit_energy(circuit.circuit, inputs)
+        assert report.samples == 4
+        assert 0 <= report.min_energy <= report.mean_energy <= report.max_energy <= circuit.circuit.size
+        assert 0.0 <= report.mean_fraction_firing <= 1.0
+        assert report.as_dict()["samples"] == 4
+
+    def test_energy_requires_inputs(self):
+        circuit = build_naive_triangle_circuit(4, 1)
+        with pytest.raises(ValueError):
+            measure_circuit_energy(circuit.circuit, [])
+
+    def test_fan_in_report(self):
+        trace = build_trace_circuit(4, 1, bit_width=1, depth_parameter=2)
+        report = fan_in_report(trace.circuit, budget=8)
+        assert report.max_fan_in == trace.circuit.max_fan_in
+        assert report.gates_over_budget >= 0
+        assert report.as_dict()["budget"] == 8
+
+    def test_split_for_fan_in(self):
+        pieces = split_for_fan_in(1024, fan_in_budget=1024)
+        # 1024^(1/omega) ~ 11.8 rows per piece -> ~87 pieces.
+        assert 50 < pieces < 120
+        with pytest.raises(ValueError):
+            split_for_fan_in(0, 16)
+        with pytest.raises(ValueError):
+            split_for_fan_in(16, 1)
+
+    def test_split_overhead_structure(self):
+        overhead = split_overhead(64, fan_in_budget=4096, depth_parameter=3)
+        assert overhead["pieces"] >= 1
+        assert overhead["overhead_ratio"] > 0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 100, "b": 0.001}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_empty_table(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]

@@ -1,0 +1,104 @@
+"""Tests for the wire-level number representations (Rep, SignedValue, BinaryNumber)."""
+
+import pytest
+
+from repro.arithmetic.signed import BinaryNumber, Rep, SignedBinaryNumber, SignedValue
+
+
+class TestRep:
+    def test_from_terms_merges_and_drops_zero(self):
+        rep = Rep.from_terms([(3, 2), (3, 5), (4, 0)])
+        assert rep.terms == ((3, 7),)
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            Rep(((1, 0),))
+        with pytest.raises(ValueError):
+            Rep(((1, -2),))
+
+    def test_max_value_and_zero(self):
+        assert Rep.zero().is_zero
+        assert Rep.zero().max_value == 0
+        rep = Rep.from_terms([(0, 3), (1, 4)])
+        assert rep.max_value == 7
+        assert not rep.is_zero
+
+    def test_scaled(self):
+        rep = Rep.from_terms([(0, 3)])
+        assert rep.scaled(2).terms == ((0, 6),)
+        with pytest.raises(ValueError):
+            rep.scaled(0)
+
+    def test_value(self):
+        rep = Rep.from_terms([(0, 3), (2, 4)])
+        assert rep.value({0: 1, 2: 0}) == 3
+        assert rep.value({0: 1, 2: 1}) == 7
+
+
+class TestSignedValue:
+    def test_negate_swaps_parts(self):
+        value = SignedValue(Rep.from_terms([(0, 1)]), Rep.from_terms([(1, 2)]))
+        negated = value.negated()
+        assert negated.pos == value.neg and negated.neg == value.pos
+
+    def test_scaled_handles_signs(self):
+        value = SignedValue(Rep.from_terms([(0, 1)]), Rep.from_terms([(1, 2)]))
+        doubled = value.scaled(2)
+        assert doubled.pos.terms == ((0, 2),) and doubled.neg.terms == ((1, 4),)
+        flipped = value.scaled(-1)
+        assert flipped.pos == value.neg and flipped.neg == value.pos
+        assert value.scaled(0).is_zero
+
+    def test_value_and_bounds(self):
+        value = SignedValue(Rep.from_terms([(0, 5)]), Rep.from_terms([(1, 3)]))
+        assert value.value({0: 1, 1: 1}) == 2
+        assert value.max_abs == 5
+        assert SignedValue.zero().is_zero
+
+
+class TestBinaryNumber:
+    def test_from_bits(self):
+        number = BinaryNumber.from_bits([10, 11, 12])
+        assert number.bit_positions == (0, 1, 2)
+        assert number.max_value == 7
+        assert number.width == 3
+
+    def test_value(self):
+        number = BinaryNumber.from_bits([10, 11, 12])
+        assert number.value({10: 1, 11: 0, 12: 1}) == 5
+
+    def test_to_rep_power_of_two_weights(self):
+        number = BinaryNumber((0, 2), (5, 6), 3)
+        assert number.to_rep().terms == ((5, 1), (6, 4))
+
+    def test_misaligned_fields_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryNumber((0, 1), (5,), 2)
+
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryNumber((0, 0), (5, 6), 2)
+
+    def test_zero(self):
+        zero = BinaryNumber.zero()
+        assert zero.n_bits == 0 and zero.max_value == 0
+
+
+class TestSignedBinaryNumber:
+    def test_from_input_bits_and_value(self):
+        number = SignedBinaryNumber.from_input_bits([0, 1], [2, 3])
+        values = {0: 1, 1: 0, 2: 0, 3: 1}
+        assert number.value(values) == 1 - 2
+
+    def test_to_signed_value(self):
+        number = SignedBinaryNumber.from_input_bits([0], [1])
+        signed = number.to_signed_value()
+        assert signed.pos.terms == ((0, 1),) and signed.neg.terms == ((1, 1),)
+
+    def test_negated(self):
+        number = SignedBinaryNumber.from_input_bits([0], [1])
+        assert number.negated().pos == number.neg
+
+    def test_max_abs(self):
+        number = SignedBinaryNumber.from_input_bits([0, 1, 2], [3])
+        assert number.max_abs == 7

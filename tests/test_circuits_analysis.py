@@ -1,0 +1,51 @@
+"""Tests for repro.circuits.analysis."""
+
+import numpy as np
+
+from repro.circuits.analysis import (
+    fan_in_histogram,
+    layer_profile,
+    measure_energy,
+    tag_breakdown,
+    weight_magnitude_histogram,
+)
+from repro.circuits.builder import CircuitBuilder
+
+
+def build_layered_circuit():
+    builder = CircuitBuilder()
+    inputs = builder.allocate_inputs(3)
+    a = builder.add_gate(inputs, [1, 1, 1], 1, tag="first")
+    b = builder.add_gate(inputs, [1, 1, 1], 2, tag="first")
+    c = builder.add_gate([a, b], [1, -2], 0, tag="second")
+    builder.set_outputs([c])
+    return builder.build()
+
+
+class TestProfiles:
+    def test_layer_profile(self):
+        profile = layer_profile(build_layered_circuit())
+        assert profile.layers == {1: 2, 2: 1}
+        assert profile.edges_per_layer == {1: 6, 2: 2}
+        assert profile.depth == 2
+        rows = profile.as_rows()
+        assert rows[0] == {"layer": 1, "gates": 2, "edges": 6}
+
+    def test_fan_in_histogram(self):
+        assert fan_in_histogram(build_layered_circuit()) == {3: 2, 2: 1}
+
+    def test_weight_magnitude_histogram(self):
+        histogram = weight_magnitude_histogram(build_layered_circuit())
+        assert histogram == {1: 2, 2: 1}  # bits(1)=1 twice, bits(2)=2 once
+
+    def test_tag_breakdown(self):
+        assert tag_breakdown(build_layered_circuit()) == {"first": 2, "second": 1}
+
+
+class TestEnergy:
+    def test_energy_per_input(self):
+        circuit = build_layered_circuit()
+        inputs = np.array([[0, 0, 0], [1, 0, 0], [1, 1, 1]]).T
+        energies = measure_energy(circuit, inputs)
+        # all-zero: only c fires (0 >= 0); [1,0,0]: a and c fire; [1,1,1]: a and b fire.
+        assert energies.tolist() == [1, 2, 2]

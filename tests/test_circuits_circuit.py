@@ -1,0 +1,97 @@
+"""Tests for repro.circuits.circuit — the circuit container and its measures."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import ThresholdCircuit
+from repro.circuits.gate import Gate
+
+
+def small_circuit():
+    """x0 AND x1, then OR with x2 (as threshold gates)."""
+    circuit = ThresholdCircuit(3)
+    g_and = circuit.add_threshold_gate([0, 1], [1, 1], 2, tag="and")
+    g_or = circuit.add_threshold_gate([g_and, 2], [1, 1], 1, tag="or")
+    circuit.set_outputs([g_or], ["out"])
+    return circuit, g_and, g_or
+
+
+class TestConstruction:
+    def test_node_ids_follow_inputs(self):
+        circuit, g_and, g_or = small_circuit()
+        assert g_and == 3 and g_or == 4
+        assert circuit.n_nodes == 5
+        assert circuit.size == 2
+
+    def test_forward_references_rejected(self):
+        circuit = ThresholdCircuit(1)
+        with pytest.raises(ValueError):
+            circuit.add_gate(Gate([5], [1], 1))
+
+    def test_depth_tracking(self):
+        circuit, g_and, g_or = small_circuit()
+        assert circuit.node_depth(0) == 0
+        assert circuit.node_depth(g_and) == 1
+        assert circuit.node_depth(g_or) == 2
+        assert circuit.depth == 2
+
+    def test_outputs_must_exist(self):
+        circuit = ThresholdCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.set_outputs([7])
+
+    def test_output_labels_must_align(self):
+        circuit, *_ = small_circuit()
+        with pytest.raises(ValueError):
+            circuit.set_outputs([3], ["a", "b"])
+
+
+class TestMeasures:
+    def test_stats_fields(self):
+        circuit, *_ = small_circuit()
+        stats = circuit.stats()
+        assert stats.size == 2
+        assert stats.depth == 2
+        assert stats.edges == 4
+        assert stats.max_fan_in == 2
+        assert stats.n_outputs == 1
+        assert stats.as_dict()["size"] == 2
+
+    def test_gates_by_depth(self):
+        circuit, g_and, g_or = small_circuit()
+        layers = circuit.gates_by_depth()
+        assert layers == {1: [g_and], 2: [g_or]}
+
+    def test_empty_circuit_measures(self):
+        circuit = ThresholdCircuit(4)
+        assert circuit.depth == 0
+        assert circuit.size == 0
+        assert circuit.edges == 0
+        assert circuit.max_fan_in == 0
+
+
+class TestReferenceEvaluation:
+    def test_truth_table(self):
+        circuit, *_ = small_circuit()
+        # output = (x0 AND x1) OR x2
+        for x0 in (0, 1):
+            for x1 in (0, 1):
+                for x2 in (0, 1):
+                    values = circuit.evaluate_slow([x0, x1, x2])
+                    expected = 1 if (x0 and x1) or x2 else 0
+                    assert circuit.output_values(values)[0] == expected
+
+    def test_rejects_wrong_arity(self):
+        circuit, *_ = small_circuit()
+        with pytest.raises(ValueError):
+            circuit.evaluate_slow([0, 1])
+
+    def test_rejects_non_binary_inputs(self):
+        circuit, *_ = small_circuit()
+        with pytest.raises(ValueError):
+            circuit.evaluate_slow([0, 2, 0])
+
+    def test_output_values_requires_outputs(self):
+        circuit = ThresholdCircuit(1)
+        with pytest.raises(ValueError):
+            circuit.output_values(np.array([1]))

@@ -1,0 +1,53 @@
+"""Tests for repro.circuits.gate."""
+
+import pytest
+
+from repro.circuits.gate import Gate
+
+
+class TestGateBasics:
+    def test_fires_when_threshold_met(self):
+        gate = Gate([0, 1], [1, 1], 2)
+        assert gate.evaluate([1, 1]) == 1
+        assert gate.evaluate([1, 0]) == 0
+
+    def test_negative_weights(self):
+        gate = Gate([0, 1], [1, -1], 1)
+        assert gate.evaluate([1, 0]) == 1
+        assert gate.evaluate([1, 1]) == 0
+        assert gate.evaluate([0, 0]) == 0
+
+    def test_zero_threshold_fires_on_empty_sum(self):
+        gate = Gate([], [], 0)
+        assert gate.evaluate([]) == 1
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Gate([0, 1], [1], 1)
+
+    def test_fan_in_and_weight_stats(self):
+        gate = Gate([3, 5, 9], [2, -7, 1], 4)
+        assert gate.fan_in == 3
+        assert gate.max_abs_weight == 7
+
+    def test_duplicate_sources_are_merged(self):
+        gate = Gate([0, 0, 1], [1, 2, 5], 3)
+        assert gate.fan_in == 2
+        assert dict(zip(gate.sources, gate.weights)) == {0: 3, 1: 5}
+        # Semantics preserved: 3*x0 + 5*x1 >= 3.
+        assert gate.evaluate([1, 0]) == 1
+        assert gate.evaluate([0, 0]) == 0
+
+
+class TestGateEquality:
+    def test_structural_equality_and_hash(self):
+        a = Gate([0, 1], [1, 1], 2, tag="x")
+        b = Gate([0, 1], [1, 1], 2, tag="y")  # tag does not affect identity
+        c = Gate([0, 1], [1, 1], 3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a.structural_key() == b.structural_key()
+
+    def test_repr_contains_threshold(self):
+        assert ">= 2" in repr(Gate([0], [1], 2))

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    stream = io.StringIO()
+    code = main(argv, stream=stream)
+    return code, json.loads(stream.getvalue())
+
+
+class TestBasicCommands:
+    def test_algorithms(self):
+        code, payload = run_cli(["algorithms"])
+        assert code == 0
+        assert "strassen" in payload["algorithms"]
+
+    def test_info(self):
+        code, payload = run_cli(["info", "strassen"])
+        assert code == 0
+        assert payload["sparsity"]["s"] == 12
+        assert any("M1 =" in line for line in payload["description"])
+
+    def test_info_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            run_cli(["info", "unknown"])
+
+    def test_predict(self):
+        code, payload = run_cli(["predict", "--d", "4"])
+        assert code == 0
+        assert payload["exponent"] < 3.0
+        code, payload = run_cli(["predict"])
+        assert payload["exponent"] == pytest.approx(payload["omega"])
+
+    def test_count_trace(self):
+        code, payload = run_cli(["count", "--kind", "trace", "--n", "4", "--d", "2", "--bit-width", "1"])
+        assert code == 0
+        assert payload["size"] > 0
+        assert payload["depth"] <= 2 * 2 + 5
+
+    def test_count_matmul(self):
+        code, payload = run_cli(["count", "--kind", "matmul", "--n", "4", "--d", "2", "--bit-width", "1"])
+        assert code == 0
+        assert payload["depth"] <= 4 * 2 + 1
+
+
+class TestBuildCommands:
+    def test_build_trace_with_export(self, tmp_path):
+        out = str(tmp_path / "trace.json")
+        code, payload = run_cli(
+            ["build-trace", "--n", "2", "--tau", "3", "--d", "1", "--bit-width", "1", "--output", out]
+        )
+        assert code == 0
+        assert payload["written_to"] == out
+        from repro.circuits.serialize import load_circuit
+
+        restored = load_circuit(out)
+        assert restored.size == payload["size"]
+
+    def test_build_matmul(self):
+        code, payload = run_cli(["build-matmul", "--n", "2", "--d", "1", "--bit-width", "1"])
+        assert code == 0
+        assert payload["kind"] == "matmul"
+        assert payload["size"] > 0
+
+
+class TestTrianglesCommand:
+    def make_edge_file(self, tmp_path, edges, extra_lines=()):
+        path = tmp_path / "graph.txt"
+        lines = [f"{u} {v}" for u, v in edges] + list(extra_lines)
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_triangle_query_from_edge_list(self, tmp_path):
+        # A 4-clique on vertices 0-3 has 4 triangles.
+        edges = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        path = self.make_edge_file(tmp_path, edges, extra_lines=["# comment", ""])
+        code, payload = run_cli(["triangles", "--edges", path, "--tau", "4", "--d", "1", "--naive"])
+        assert code == 0
+        assert payload["exact_triangles"] == 4
+        assert payload["circuit_answer"] is True
+        assert payload["naive_answer"] is True
+
+        code, payload = run_cli(["triangles", "--edges", path, "--tau", "5", "--d", "1"])
+        assert payload["circuit_answer"] is False
+
+    def test_malformed_edge_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError):
+            run_cli(["triangles", "--edges", str(path), "--tau", "1"])
+
+    def test_empty_edge_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError):
+            run_cli(["triangles", "--edges", str(path), "--tau", "1"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

@@ -1,0 +1,89 @@
+"""Tests for the convolution-as-GEMM application (experiment E10)."""
+
+import numpy as np
+import pytest
+
+from repro.convolution import (
+    CircuitConvolutionLayer,
+    ConvolutionShape,
+    build_convolution_layer,
+    conv2d_reference,
+    im2col,
+    kernels_to_matrix,
+)
+
+
+class TestShapes:
+    def test_gemm_dimensions_follow_warden(self):
+        shape = ConvolutionShape(image_size=8, channels=3, kernel_size=2, stride=2, n_kernels=5)
+        p, q, k = shape.gemm_shape
+        assert p == 16            # (8/2)^2 patches
+        assert q == 2 * 2 * 3     # q*q*channels
+        assert k == 5
+
+    def test_stride_one(self):
+        shape = ConvolutionShape(image_size=5, channels=1, kernel_size=3, stride=1, n_kernels=1)
+        assert shape.n_patches == 9
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            ConvolutionShape(image_size=2, channels=1, kernel_size=3, stride=1, n_kernels=1)
+        with pytest.raises(ValueError):
+            ConvolutionShape(image_size=4, channels=1, kernel_size=2, stride=0, n_kernels=1)
+        with pytest.raises(ValueError):
+            ConvolutionShape(image_size=4, channels=0, kernel_size=2, stride=1, n_kernels=1)
+
+
+class TestIm2Col:
+    def test_patch_matrix_shape(self, rng):
+        shape = ConvolutionShape(image_size=6, channels=2, kernel_size=2, stride=2, n_kernels=3)
+        image = rng.integers(0, 4, (6, 6, 2))
+        patches = im2col(image, shape)
+        assert patches.shape == (shape.n_patches, shape.patch_length)
+
+    def test_accepts_2d_single_channel_image(self, rng):
+        shape = ConvolutionShape(image_size=4, channels=1, kernel_size=2, stride=2, n_kernels=1)
+        assert im2col(rng.integers(0, 4, (4, 4)), shape).shape == (4, 4)
+
+    def test_wrong_image_shape_rejected(self, rng):
+        shape = ConvolutionShape(image_size=4, channels=1, kernel_size=2, stride=2, n_kernels=1)
+        with pytest.raises(ValueError):
+            im2col(rng.integers(0, 4, (5, 5, 1)), shape)
+
+    def test_kernel_matrix_shape(self, rng):
+        shape = ConvolutionShape(image_size=4, channels=2, kernel_size=2, stride=2, n_kernels=3)
+        kernels = rng.integers(-2, 3, (3, 2, 2, 2))
+        assert kernels_to_matrix(kernels, shape).shape == (shape.patch_length, 3)
+
+    def test_dot_products_match_direct_convolution(self, rng):
+        shape = ConvolutionShape(image_size=4, channels=1, kernel_size=2, stride=2, n_kernels=2)
+        image = rng.integers(0, 4, (4, 4, 1))
+        kernels = rng.integers(-2, 3, (2, 2, 2, 1))
+        scores = conv2d_reference(image, kernels, shape)
+        # Check one patch/kernel score by hand.
+        top_left_patch = image[:2, :2, 0].reshape(-1)
+        assert scores[0, 0] == int(np.dot(top_left_patch, kernels[0, :, :, 0].reshape(-1)))
+
+
+class TestCircuitLayer:
+    def test_circuit_convolution_matches_reference(self, rng):
+        shape = ConvolutionShape(image_size=4, channels=1, kernel_size=2, stride=2, n_kernels=2)
+        layer = build_convolution_layer(shape, bit_width=2, depth_parameter=2)
+        image = rng.integers(0, 4, (4, 4, 1))
+        kernels = rng.integers(-3, 4, (2, 2, 2, 1))
+        assert (layer.apply(image, kernels) == layer.reference(image, kernels)).all()
+
+    def test_gemm_dimension_is_power_of_t(self):
+        shape = ConvolutionShape(image_size=4, channels=1, kernel_size=2, stride=2, n_kernels=5)
+        layer = build_convolution_layer(shape, bit_width=1, depth_parameter=2)
+        # P = 4, Q = 4, K = 5 -> padded to 8 for Strassen (T = 2).
+        assert layer.gemm_dimension == 8
+        assert layer.matmul.n == 8
+
+    def test_entries_exceeding_budget_rejected(self, rng):
+        shape = ConvolutionShape(image_size=4, channels=1, kernel_size=2, stride=2, n_kernels=1)
+        layer = build_convolution_layer(shape, bit_width=2, depth_parameter=1)
+        image = np.full((4, 4, 1), 9)
+        kernels = rng.integers(-1, 2, (1, 2, 2, 1))
+        with pytest.raises(ValueError):
+            layer.apply(image, kernels)

@@ -1,0 +1,86 @@
+"""Tests for the Theorem 4.8 / 4.9 matrix-product circuits (experiment E8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.matmul_circuit import build_matmul_circuit
+from repro.core.schedule import loglog_schedule
+from repro.fastmm.naive_algorithm import naive_algorithm
+from repro.fastmm.winograd import winograd_2x2
+
+
+def exact(a, b):
+    return np.asarray(a).astype(object) @ np.asarray(b).astype(object)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,bit_width", [(2, 1), (2, 3), (4, 1)])
+    def test_product_matches_exact(self, rng, n, bit_width):
+        high = (1 << bit_width) - 1
+        a = rng.integers(-high, high + 1, (n, n))
+        b = rng.integers(-high, high + 1, (n, n))
+        circuit = build_matmul_circuit(n, bit_width=bit_width, depth_parameter=2)
+        assert (circuit.evaluate(a, b) == exact(a, b)).all()
+
+    def test_loglog_schedule(self, rng, strassen):
+        n = 4
+        a = rng.integers(0, 2, (n, n))
+        b = rng.integers(0, 2, (n, n))
+        circuit = build_matmul_circuit(n, bit_width=1, schedule=loglog_schedule(strassen, n))
+        assert (circuit.evaluate(a, b) == exact(a, b)).all()
+
+    @pytest.mark.parametrize("factory", [winograd_2x2, lambda: naive_algorithm(2)])
+    def test_other_algorithms(self, rng, factory):
+        algorithm = factory()
+        n = algorithm.t
+        a = rng.integers(-3, 4, (n, n))
+        b = rng.integers(-3, 4, (n, n))
+        circuit = build_matmul_circuit(n, bit_width=2, algorithm=algorithm, depth_parameter=1)
+        assert (circuit.evaluate(a, b) == exact(a, b)).all()
+
+    def test_identity_and_zero_matrices(self):
+        n = 2
+        circuit = build_matmul_circuit(n, bit_width=2, depth_parameter=1)
+        identity = np.eye(n, dtype=int)
+        zero = np.zeros((n, n), dtype=int)
+        some = np.array([[3, -2], [1, 0]])
+        assert (circuit.evaluate(identity, some) == some.astype(object)).all()
+        assert (circuit.evaluate(zero, some) == 0).all()
+
+    def test_reference_helper(self, rng):
+        a = rng.integers(-2, 3, (2, 2))
+        b = rng.integers(-2, 3, (2, 2))
+        circuit = build_matmul_circuit(2, bit_width=2, depth_parameter=1)
+        assert (circuit.reference(a, b) == exact(a, b)).all()
+
+
+class TestResourceBounds:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_depth_is_4t_plus_1(self, d):
+        circuit = build_matmul_circuit(4, bit_width=1, depth_parameter=d)
+        t = circuit.schedule.t_steps
+        assert t <= d
+        assert circuit.circuit.depth == 4 * t + 1
+        assert circuit.circuit.depth <= 4 * d + 1
+
+    def test_outputs_cover_all_entries(self):
+        circuit = build_matmul_circuit(2, bit_width=1, depth_parameter=1)
+        labels = circuit.circuit.output_labels
+        for i in range(2):
+            for j in range(2):
+                assert any(label.startswith(f"C[{i}][{j}]") for label in labels)
+
+    def test_metadata(self):
+        circuit = build_matmul_circuit(2, bit_width=1, depth_parameter=1)
+        assert circuit.circuit.metadata["kind"] == "matmul"
+        assert circuit.circuit.metadata["schedule"] == list(circuit.schedule.levels)
+
+    def test_wrong_size_inputs_rejected(self):
+        circuit = build_matmul_circuit(2, bit_width=1, depth_parameter=1)
+        with pytest.raises(ValueError):
+            circuit.evaluate(np.zeros((3, 3), dtype=int), np.zeros((3, 3), dtype=int))
+
+    def test_entries_exceeding_bit_width_rejected(self):
+        circuit = build_matmul_circuit(2, bit_width=1, depth_parameter=1)
+        with pytest.raises(ValueError):
+            circuit.evaluate(np.full((2, 2), 5), np.zeros((2, 2), dtype=int))

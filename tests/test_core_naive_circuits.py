@@ -1,0 +1,91 @@
+"""Tests for the Theta(N^3) baselines of Section 1 (experiment E4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.naive_circuits import (
+    build_naive_matmul_circuit,
+    build_naive_trace_circuit,
+    build_naive_triangle_circuit,
+)
+from repro.triangles.counting import triangle_count
+from repro.triangles.generators import erdos_renyi_adjacency
+
+
+class TestNaiveTriangleCircuit:
+    def test_gate_count_is_exactly_choose_3_plus_1(self):
+        for n in (3, 4, 5, 8, 10):
+            circuit = build_naive_triangle_circuit(n, 1)
+            assert circuit.circuit.size == math.comb(n, 3) + 1
+
+    def test_depth_is_two(self):
+        assert build_naive_triangle_circuit(6, 2).circuit.depth == 2
+
+    def test_inputs_are_vertex_pairs(self):
+        circuit = build_naive_triangle_circuit(6, 1)
+        assert circuit.circuit.n_inputs == math.comb(6, 2)
+
+    def test_decision_on_random_graphs(self, rng):
+        for _ in range(5):
+            adjacency = erdos_renyi_adjacency(6, 0.5, rng)
+            triangles = triangle_count(adjacency)
+            for tau in (max(1, triangles - 1), max(1, triangles), triangles + 1):
+                circuit = build_naive_triangle_circuit(6, tau)
+                assert circuit.evaluate(adjacency) == (triangles >= tau)
+
+    def test_complete_graph(self):
+        n = 6
+        adjacency = np.ones((n, n), dtype=int) - np.eye(n, dtype=int)
+        circuit = build_naive_triangle_circuit(n, math.comb(n, 3))
+        assert circuit.evaluate(adjacency) is True
+        circuit = build_naive_triangle_circuit(n, math.comb(n, 3) + 1)
+        assert circuit.evaluate(adjacency) is False
+
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            build_naive_triangle_circuit(2, 1)
+
+    def test_wrong_adjacency_shape_rejected(self):
+        circuit = build_naive_triangle_circuit(4, 1)
+        with pytest.raises(ValueError):
+            circuit.evaluate(np.zeros((5, 5), dtype=int))
+
+
+class TestNaiveMatmulCircuit:
+    def test_matches_exact_product(self, rng):
+        for n in (2, 3):
+            a = rng.integers(-3, 4, (n, n))
+            b = rng.integers(-3, 4, (n, n))
+            circuit = build_naive_matmul_circuit(n, bit_width=2)
+            assert (circuit.evaluate(a, b) == a.astype(object) @ b.astype(object)).all()
+
+    def test_depth_is_three(self):
+        assert build_naive_matmul_circuit(2, 1).circuit.depth == 3
+
+    def test_size_grows_cubically(self):
+        small = build_naive_matmul_circuit(2, 1).circuit.size
+        large = build_naive_matmul_circuit(4, 1).circuit.size
+        # 8x the products; sums grow a bit slower.
+        assert large > 6 * small
+
+
+class TestNaiveTraceCircuit:
+    def test_matches_exact_trace(self, rng):
+        n = 3
+        matrix = rng.integers(-2, 3, (n, n))
+        trace = int(np.trace(matrix.astype(object) @ matrix.astype(object) @ matrix.astype(object)))
+        for tau in (trace - 1, trace, trace + 1):
+            circuit = build_naive_trace_circuit(n, tau, bit_width=2)
+            assert circuit.evaluate(matrix) == (trace >= tau)
+
+    def test_depth_is_two(self):
+        assert build_naive_trace_circuit(2, 1, 1).circuit.depth == 2
+
+    def test_works_on_non_power_of_two_sizes(self, rng):
+        # Unlike the fast construction, the naive circuit has no power-of-T restriction.
+        matrix = rng.integers(0, 2, (3, 3))
+        trace = int(np.trace(matrix.astype(object) @ matrix.astype(object) @ matrix.astype(object)))
+        circuit = build_naive_trace_circuit(3, max(trace, 1), bit_width=1)
+        assert circuit.evaluate(matrix) == (trace >= max(trace, 1))

@@ -1,0 +1,105 @@
+"""Tests for the level-selection schedules of Lemma 4.3 / Theorems 4.4, 4.5."""
+
+import math
+
+import pytest
+
+from repro.core.schedule import (
+    LevelSchedule,
+    constant_depth_schedule,
+    direct_schedule,
+    every_k_schedule,
+    loglog_schedule,
+    schedule_for,
+)
+from repro.fastmm.naive_algorithm import naive_algorithm
+from repro.fastmm.sparsity import sparsity_parameters
+from repro.fastmm.strassen import strassen_2x2
+
+
+class TestLevelSchedule:
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            LevelSchedule((1, 2))
+
+    def test_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            LevelSchedule((0, 2, 2))
+
+    def test_deltas_and_steps(self):
+        schedule = LevelSchedule((0, 2, 3))
+        assert schedule.t_steps == 2
+        assert schedule.leaf_level == 3
+        assert schedule.deltas() == [2, 1]
+        assert "levels" in schedule.describe()
+
+
+class TestLogLogSchedule:
+    @pytest.mark.parametrize("exponent", [1, 2, 3, 4, 6, 8, 10])
+    def test_reaches_leaves(self, strassen, exponent):
+        n = 2 ** exponent
+        schedule = loglog_schedule(strassen, n)
+        assert schedule.levels[0] == 0
+        assert schedule.leaf_level == exponent
+
+    def test_depth_grows_like_log_log(self, strassen):
+        # Theorem 4.4: t = O(log log N); check monotone, slow growth.
+        steps = {e: loglog_schedule(strassen, 2 ** e).t_steps for e in (2, 4, 8, 16, 32, 64)}
+        assert steps[64] <= steps[32] + 2
+        gamma = sparsity_parameters(strassen).side_A.gamma
+        for e, t in steps.items():
+            bound = math.floor(math.log(max(e, 2), 1.0 / gamma)) + 2
+            assert t <= bound
+
+    def test_levels_follow_geometric_formula(self, strassen):
+        gamma = sparsity_parameters(strassen).side_A.gamma
+        schedule = loglog_schedule(strassen, 2 ** 10)
+        for i, level in enumerate(schedule.levels[1:-1], start=1):
+            assert level == min(10, math.ceil((1 - gamma ** i) * 10))
+
+    def test_rejects_non_power_sizes(self, strassen):
+        with pytest.raises(ValueError):
+            loglog_schedule(strassen, 12)
+
+
+class TestConstantDepthSchedule:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 6])
+    @pytest.mark.parametrize("exponent", [1, 3, 6, 10])
+    def test_at_most_d_steps_and_reaches_leaves(self, strassen, d, exponent):
+        schedule = constant_depth_schedule(strassen, 2 ** exponent, d)
+        assert schedule.leaf_level == exponent
+        assert schedule.t_steps <= d
+
+    def test_larger_d_never_uses_fewer_levels_than_one(self, strassen):
+        schedule = constant_depth_schedule(strassen, 2 ** 8, 4)
+        assert schedule.t_steps >= 2  # with d=4 and N=256 several levels are selected
+
+    def test_invalid_d(self, strassen):
+        with pytest.raises(ValueError):
+            constant_depth_schedule(strassen, 8, 0)
+
+    def test_naive_algorithm_degenerates_to_single_jump(self):
+        schedule = constant_depth_schedule(naive_algorithm(2), 16, 3)
+        assert schedule.levels == (0, 4)
+
+    def test_rho_exceeds_loglog_rho(self, strassen):
+        constant = constant_depth_schedule(strassen, 2 ** 8, 3)
+        loglog = loglog_schedule(strassen, 2 ** 8)
+        assert constant.rho >= loglog.rho
+
+
+class TestOtherSchedules:
+    def test_direct_schedule(self, strassen):
+        assert direct_schedule(strassen, 16).levels == (0, 4)
+
+    def test_every_k_schedule(self, strassen):
+        assert every_k_schedule(strassen, 2 ** 7, 2).levels == (0, 2, 4, 6, 7)
+        assert every_k_schedule(strassen, 2 ** 6, 3).levels == (0, 3, 6)
+
+    def test_every_k_invalid(self, strassen):
+        with pytest.raises(ValueError):
+            every_k_schedule(strassen, 8, 0)
+
+    def test_schedule_for_dispatch(self, strassen):
+        assert schedule_for(strassen, 16).kind == "loglog"
+        assert schedule_for(strassen, 16, depth_parameter=2).kind == "constant-depth"

@@ -1,0 +1,121 @@
+"""Tests for the Figure 2 trees and equation (3)/(5) identities (experiment E2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.trees import (
+    edge_matrices,
+    edge_term_counts,
+    functional_weight_sum,
+    iter_paths,
+    leaf_functionals,
+    path_size,
+    relative_functional,
+    subtree_size_sum,
+)
+from repro.fastmm.sparsity import sparsity_parameters
+from repro.fastmm.strassen import strassen_2x2
+from repro.util.bits import bits
+
+
+class TestEdgeMatrices:
+    def test_sides_map_to_tensors(self, strassen):
+        assert (edge_matrices(strassen, "A")[0] == strassen.u[0]).all()
+        assert (edge_matrices(strassen, "B")[3] == strassen.v[3]).all()
+        assert (edge_matrices(strassen, "C")[5] == strassen.w[:, :, 5]).all()
+
+    def test_invalid_side(self, strassen):
+        with pytest.raises(ValueError):
+            edge_matrices(strassen, "X")
+
+    def test_term_counts_match_definition_2_1(self, strassen):
+        params = sparsity_parameters(strassen)
+        assert tuple(edge_term_counts(strassen, "A")) == params.a
+        assert tuple(edge_term_counts(strassen, "B")) == params.b
+        assert tuple(edge_term_counts(strassen, "C")) == params.c
+
+
+class TestPaths:
+    def test_number_of_paths_is_r_to_the_h(self, strassen):
+        assert len(list(iter_paths(strassen.r, 2))) == 49
+        assert len(list(iter_paths(strassen.r, 0))) == 1
+
+    def test_path_size_is_product_of_edge_labels(self, strassen):
+        counts = edge_term_counts(strassen, "A")
+        assert path_size(counts, (0, 1)) == counts[0] * counts[1]
+        assert path_size(counts, ()) == 1
+
+
+class TestRelativeFunctional:
+    def test_empty_path_is_identity(self, strassen):
+        assert relative_functional(edge_matrices(strassen, "A"), ()) == {(0, 0): 1}
+
+    def test_figure_2_example(self, strassen):
+        """The worked example of Figure 2: the node reached via M7 twice in T_A.
+
+        (A12 - A22)12 - (A12 - A22)22 = (A12)12 - (A22)12 - (A12)22 + (A22)22,
+        a weighted sum of 4 N/T^2 x N/T^2 blocks of A.  In 0-based block
+        coordinates of the 4x4 grid:
+        (A12)12 -> (0, 3), (A12)22 -> (1, 3), (A22)12 -> (2, 3), (A22)22 -> (3, 3).
+        """
+        edges = edge_matrices(strassen, "A")
+        functional = relative_functional(edges, (6, 6))  # M7's A-pattern applied twice
+        assert functional == {(0, 3): 1, (2, 3): -1, (1, 3): -1, (3, 3): 1}
+
+    def test_number_of_terms_bounded_by_path_size(self, strassen):
+        counts = edge_term_counts(strassen, "A")
+        edges = edge_matrices(strassen, "A")
+        for path in iter_paths(strassen.r, 2):
+            functional = relative_functional(edges, path)
+            assert len(functional) <= path_size(counts, path)
+
+    def test_functional_evaluates_the_right_linear_combination(self, strassen, rng):
+        """Leaf functionals applied to A must reproduce the recursive algorithm's scalars."""
+        n = 4
+        a = rng.integers(-5, 6, (n, n))
+        edges = edge_matrices(strassen, "A")
+        for path in [(0, 0), (3, 5), (6, 6), (2, 4)]:
+            functional = relative_functional(edges, path)
+            # Direct evaluation via the recursive definition of T_A.
+            matrix = a.astype(object)
+            for index in path:
+                t = strassen.t
+                k = matrix.shape[0] // t
+                acc = np.zeros((k, k), dtype=object)
+                for p in range(t):
+                    for q in range(t):
+                        coefficient = int(strassen.u[index, p, q])
+                        if coefficient:
+                            acc = acc + coefficient * matrix[p * k : (p + 1) * k, q * k : (q + 1) * k]
+                matrix = acc
+            expected = matrix[0, 0]
+            got = sum(coeff * int(a[p, q]) for (p, q), coeff in functional.items())
+            assert got == expected
+
+
+class TestEquationThree:
+    """Equation (3): sum of size(u) over a subtree equals s_A^delta (multinomial theorem)."""
+
+    @pytest.mark.parametrize("side", ["A", "B", "C"])
+    @pytest.mark.parametrize("delta", [1, 2, 3])
+    def test_enumerated_sum_matches_closed_form(self, strassen, side, delta):
+        counts = edge_term_counts(strassen, side)
+        enumerated = sum(path_size(counts, path) for path in iter_paths(strassen.r, delta))
+        assert enumerated == subtree_size_sum(counts, delta)
+
+    def test_strassen_values(self, strassen):
+        counts = edge_term_counts(strassen, "A")
+        assert subtree_size_sum(counts, 1) == 12
+        assert subtree_size_sum(counts, 2) == 144
+
+
+class TestLeafFunctionals:
+    def test_leaf_count_is_n_to_the_omega(self, strassen):
+        leaves = list(leaf_functionals(strassen, "A", 2))
+        assert len(leaves) == strassen.r ** 2
+
+    def test_weight_sums_bound_entry_growth(self, strassen):
+        # Equation (2): entries at level h need at most b + bits(T^{2h}) bits.
+        for _, functional in leaf_functionals(strassen, "A", 2):
+            assert functional_weight_sum(functional) <= strassen.t ** (2 * 2)
+            assert bits(functional_weight_sum(functional)) <= bits(strassen.t ** 4)

@@ -1,0 +1,140 @@
+"""Tests for the shipped algorithms, composition and the catalog (experiment E1)."""
+
+import numpy as np
+import pytest
+
+from repro.fastmm.catalog import available_algorithms, get_algorithm
+from repro.fastmm.compose import compose, self_compose
+from repro.fastmm.naive_algorithm import naive_algorithm
+from repro.fastmm.recursive import fast_matmul, operation_counts
+from repro.fastmm.strassen import strassen_2x2
+from repro.fastmm.winograd import winograd_2x2
+
+
+class TestStrassenFigure1:
+    """Figure 1 of the paper, transcribed and verified (experiment E1)."""
+
+    def test_brent_equations(self):
+        assert strassen_2x2().verify()
+
+    def test_seven_multiplications(self):
+        assert strassen_2x2().r == 7
+
+    def test_exact_2x2_products(self, rng):
+        algorithm = strassen_2x2()
+        for _ in range(25):
+            a = rng.integers(-50, 51, (2, 2))
+            b = rng.integers(-50, 51, (2, 2))
+            assert (algorithm.apply_once(a, b) == a @ b).all()
+
+    def test_scalar_multiplication_count_is_n_log2_7(self):
+        counts = operation_counts(strassen_2x2(), 16)
+        assert counts.scalar_multiplications == 7 ** 4
+        assert counts.levels == 4
+
+    def test_addition_recurrence_matches_paper(self):
+        # T(N) = 7 T(N/2) + 18 (N/2)^2 with T(1) = 0 additions.
+        def recurrence(n):
+            if n == 1:
+                return 0
+            return 7 * recurrence(n // 2) + 18 * (n // 2) ** 2
+
+        for n in (2, 4, 8, 16):
+            assert operation_counts(strassen_2x2(), n).scalar_additions == recurrence(n)
+
+    def test_operation_counts_require_power_of_t(self):
+        with pytest.raises(ValueError):
+            operation_counts(strassen_2x2(), 12)
+
+
+class TestWinograd:
+    def test_brent_equations(self):
+        assert winograd_2x2().verify()
+
+    def test_same_rank_as_strassen(self):
+        assert winograd_2x2().r == 7
+        assert abs(winograd_2x2().omega - strassen_2x2().omega) < 1e-12
+
+
+class TestNaiveAlgorithm:
+    def test_rank_is_t_cubed(self):
+        for t in (1, 2, 3):
+            assert naive_algorithm(t).r == t ** 3
+
+    def test_omega_is_three(self):
+        assert abs(naive_algorithm(3).omega - 3.0) < 1e-12
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            naive_algorithm(0)
+
+
+class TestComposition:
+    def test_composed_dimensions(self):
+        squared = compose(strassen_2x2(), strassen_2x2())
+        assert squared.t == 4 and squared.r == 49
+
+    def test_composed_algorithm_is_correct(self, rng):
+        squared = compose(strassen_2x2(), winograd_2x2())
+        assert squared.verify()
+        a = rng.integers(-5, 6, (4, 4))
+        b = rng.integers(-5, 6, (4, 4))
+        assert (squared.apply_once(a, b) == a @ b).all()
+
+    def test_composition_preserves_omega(self):
+        squared = self_compose(strassen_2x2(), times=1)
+        assert abs(squared.omega - strassen_2x2().omega) < 1e-12
+
+    def test_self_compose_zero_times(self):
+        assert self_compose(strassen_2x2(), times=0).r == 7
+
+    def test_self_compose_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self_compose(strassen_2x2(), times=-1)
+
+    def test_heterogeneous_composition(self, rng):
+        mixed = compose(strassen_2x2(), naive_algorithm(3))
+        assert mixed.t == 6 and mixed.r == 7 * 27
+        assert mixed.verify()
+
+
+class TestCatalog:
+    def test_all_registered_algorithms_verify(self):
+        for name in available_algorithms():
+            assert get_algorithm(name).verify(), name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_algorithm("does-not-exist")
+
+    def test_expected_names_present(self):
+        names = available_algorithms()
+        assert {"strassen", "winograd", "naive-2", "naive-3", "strassen-squared"} <= set(names)
+
+
+class TestRecursiveFastMatmul:
+    def test_matches_numpy_for_all_algorithms(self, any_algorithm, rng):
+        n = any_algorithm.t ** 2
+        a = rng.integers(-9, 10, (n, n))
+        b = rng.integers(-9, 10, (n, n))
+        assert (fast_matmul(a, b, any_algorithm) == a.astype(object) @ b.astype(object)).all()
+
+    def test_pads_non_power_sizes(self, rng):
+        a = rng.integers(-5, 6, (5, 5))
+        b = rng.integers(-5, 6, (5, 5))
+        assert (fast_matmul(a, b) == a.astype(object) @ b.astype(object)).all()
+
+    def test_large_entries_stay_exact(self):
+        a = np.full((4, 4), 10 ** 12, dtype=object)
+        b = np.full((4, 4), 10 ** 12, dtype=object)
+        result = fast_matmul(a, b)
+        assert result[0, 0] == 4 * 10 ** 24
+
+    def test_cutoff_parameter(self, rng):
+        a = rng.integers(-5, 6, (8, 8))
+        b = rng.integers(-5, 6, (8, 8))
+        assert (fast_matmul(a, b, cutoff=4) == a.astype(object) @ b.astype(object)).all()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fast_matmul(np.zeros((2, 2)), np.zeros((4, 4)))

@@ -1,0 +1,74 @@
+"""Tests for the bilinear-algorithm container and the Brent verifier."""
+
+import numpy as np
+import pytest
+
+from repro.fastmm.bilinear import BilinearAlgorithm
+from repro.fastmm.naive_algorithm import naive_algorithm
+from repro.fastmm.strassen import strassen_2x2
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BilinearAlgorithm("bad", 2, np.zeros((7, 3, 3)), np.zeros((7, 2, 2)), np.zeros((2, 2, 7)))
+        with pytest.raises(ValueError):
+            BilinearAlgorithm("bad", 2, np.zeros((7, 2, 2)), np.zeros((6, 2, 2)), np.zeros((2, 2, 7)))
+        with pytest.raises(ValueError):
+            BilinearAlgorithm("bad", 2, np.zeros((7, 2, 2)), np.zeros((7, 2, 2)), np.zeros((2, 2, 6)))
+
+    def test_r_and_omega(self):
+        algorithm = strassen_2x2()
+        assert algorithm.r == 7
+        assert algorithm.t == 2
+        assert abs(algorithm.omega - np.log2(7)) < 1e-12
+
+
+class TestBrentVerification:
+    def test_valid_algorithms_pass(self, any_algorithm):
+        assert any_algorithm.verify()
+        assert not any_algorithm.brent_residual().any()
+
+    def test_corrupted_algorithm_fails(self):
+        algorithm = strassen_2x2()
+        u = algorithm.u.copy()
+        u[0, 0, 0] = 2  # break M1
+        broken = BilinearAlgorithm("broken", 2, u, algorithm.v, algorithm.w)
+        assert not broken.verify()
+
+    def test_naive_any_size(self):
+        for t in (1, 2, 3):
+            assert naive_algorithm(t).verify()
+
+
+class TestApplyOnce:
+    def test_matches_numpy_product(self, any_algorithm, rng):
+        n = any_algorithm.t * 3
+        a = rng.integers(-9, 10, (n, n))
+        b = rng.integers(-9, 10, (n, n))
+        assert (any_algorithm.apply_once(a, b) == a @ b).all()
+
+    def test_requires_divisible_dimension(self, strassen):
+        with pytest.raises(ValueError):
+            strassen.apply_once(np.zeros((3, 3)), np.zeros((3, 3)))
+
+    def test_requires_matching_shapes(self, strassen):
+        with pytest.raises(ValueError):
+            strassen.apply_once(np.zeros((4, 4)), np.zeros((2, 2)))
+
+
+class TestDescriptors:
+    def test_multiplication_terms_of_strassen_m1(self, strassen):
+        left, right = strassen.multiplication_terms(0)
+        assert left == [(0, 0, 1)]                      # A11
+        assert sorted(right) == [(0, 1, 1), (1, 1, -1)]  # B12 - B22
+
+    def test_output_terms_of_strassen_c11(self, strassen):
+        # C11 = M3 + M4 - M5 + M7
+        assert sorted(strassen.output_terms(0, 0)) == [(2, 1), (3, 1), (4, -1), (6, 1)]
+
+    def test_describe_mentions_all_multiplications(self, strassen):
+        text = strassen.describe()
+        for i in range(1, 8):
+            assert f"M{i} =" in text
+        assert "C11" in text and "C22" in text

@@ -1,0 +1,98 @@
+"""Tests for Definition 2.1 and the Section 4.3 constants (experiment E3).
+
+The concrete values quoted in the paper for Strassen's algorithm are the
+ground truth here: s_A = s_B = s_C = 12, alpha = 7/12, beta = 3,
+gamma ~ 0.491, c ~ 1.585, and the appendix's c'_j = (4, 2, 2, 4).
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.fastmm.compose import self_compose
+from repro.fastmm.naive_algorithm import naive_algorithm
+from repro.fastmm.sparsity import side_parameters, sparsity_parameters
+from repro.fastmm.strassen import strassen_2x2
+from repro.fastmm.winograd import winograd_2x2
+
+
+class TestStrassenConstants:
+    def test_per_multiplication_counts(self):
+        params = sparsity_parameters(strassen_2x2())
+        # Figure 1: a_i = #blocks of A in M_i, etc.
+        assert params.a == (1, 2, 2, 1, 2, 2, 2)
+        assert params.b == (2, 1, 2, 2, 1, 2, 2)
+        assert params.c == (2, 2, 2, 2, 2, 1, 1)
+
+    def test_sparsity_sums(self):
+        params = sparsity_parameters(strassen_2x2())
+        assert params.s_A == params.s_B == params.s_C == 12
+        assert params.s == 12
+
+    def test_c_prime_matches_appendix(self):
+        # Appendix: c'_1 = 4, c'_2 = 2, c'_3 = 2, c'_4 = 4.
+        params = sparsity_parameters(strassen_2x2())
+        assert params.c_prime == (4, 2, 2, 4)
+        assert sum(params.c_prime) == params.s_C
+
+    def test_alpha_beta(self):
+        params = sparsity_parameters(strassen_2x2())
+        assert params.side_A.alpha == Fraction(7, 12)
+        assert params.side_A.beta == Fraction(3)
+        assert params.side_A.alpha_beta == Fraction(7, 4)
+
+    def test_gamma_approximately_0_491(self):
+        params = sparsity_parameters(strassen_2x2())
+        assert abs(params.side_A.gamma - 0.491) < 2e-3
+
+    def test_c_approximately_1_585(self):
+        params = sparsity_parameters(strassen_2x2())
+        assert abs(params.side_A.c - 1.585) < 5e-3
+
+    def test_omega_is_log2_7(self):
+        params = sparsity_parameters(strassen_2x2())
+        assert abs(params.omega - math.log2(7)) < 1e-12
+
+    def test_as_dict_contains_headline_values(self):
+        d = sparsity_parameters(strassen_2x2()).as_dict()
+        assert d["s"] == 12 and d["r"] == 7 and d["T"] == 2
+
+
+class TestOtherAlgorithms:
+    def test_winograd_has_higher_sparsity(self):
+        # Fewer additions does not mean smaller sparsity: Winograd's s is 14.
+        strassen = sparsity_parameters(strassen_2x2())
+        winograd = sparsity_parameters(winograd_2x2())
+        assert winograd.s == 14 > strassen.s
+        assert winograd.side_A.gamma > strassen.side_A.gamma
+
+    def test_naive_degenerates_to_gamma_zero(self):
+        params = sparsity_parameters(naive_algorithm(2))
+        assert params.side_A.alpha == 1
+        assert params.side_A.gamma == 0.0
+
+    def test_composed_strassen_keeps_gamma(self):
+        squared = sparsity_parameters(self_compose(strassen_2x2(), 1))
+        base = sparsity_parameters(strassen_2x2())
+        assert squared.s_A == 144  # 12^2
+        assert abs(squared.side_A.gamma - base.side_A.gamma) < 1e-12
+
+    def test_gamma_strictly_below_one_for_fast_algorithms(self, any_algorithm):
+        params = sparsity_parameters(any_algorithm)
+        for side in (params.side_A, params.side_B, params.side_C):
+            assert 0.0 <= side.gamma < 1.0
+
+
+class TestSideParameters:
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError):
+            side_parameters(2, 7, 0)
+
+    def test_alpha_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            side_parameters(2, 7, 6)  # r/s > 1
+
+    def test_beta_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            side_parameters(3, 8, 8)  # s < T^2

@@ -1,0 +1,157 @@
+"""Tests for the triangle-counting / social-network application (experiment E11)."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.triangles import (
+    adjacency_matrix,
+    block_two_level_adjacency,
+    build_triangle_query,
+    erdos_renyi_adjacency,
+    global_clustering_coefficient,
+    graph_from_adjacency,
+    pad_adjacency,
+    planted_clique_adjacency,
+    preferential_attachment_adjacency,
+    tau_from_clustering_target,
+    tau_from_wedges,
+    trace_cubed,
+    triangle_count,
+    triangles_per_vertex,
+    validate_adjacency,
+    wedge_count,
+)
+
+
+class TestGraphHelpers:
+    def test_adjacency_roundtrip(self, rng):
+        adjacency = erdos_renyi_adjacency(8, 0.4, rng)
+        graph = graph_from_adjacency(adjacency)
+        assert (adjacency_matrix(graph, 8) == adjacency).all()
+
+    def test_adjacency_matrix_embedding(self):
+        graph = nx.path_graph(3)
+        adjacency = adjacency_matrix(graph, 5)
+        assert adjacency.shape == (5, 5)
+        assert adjacency.sum() == 4  # two undirected edges
+
+    def test_validate_rejects_bad_matrices(self):
+        with pytest.raises(ValueError):
+            validate_adjacency(np.array([[0, 1], [1, 1]]))  # self loop
+        with pytest.raises(ValueError):
+            validate_adjacency(np.array([[0, 1], [0, 0]]))  # asymmetric
+        with pytest.raises(ValueError):
+            validate_adjacency(np.array([[0, 2], [2, 0]]))  # non-binary
+
+    def test_pad_preserves_counts(self, rng):
+        adjacency = erdos_renyi_adjacency(5, 0.6, rng)
+        padded, original = pad_adjacency(adjacency, 2)
+        assert padded.shape == (8, 8) and original == 5
+        assert triangle_count(padded) == triangle_count(adjacency)
+        assert wedge_count(padded) == wedge_count(adjacency)
+
+
+class TestCounting:
+    def test_triangle_count_matches_networkx(self, rng):
+        adjacency = erdos_renyi_adjacency(10, 0.4, rng)
+        graph = graph_from_adjacency(adjacency)
+        expected = sum(nx.triangles(graph).values()) // 3
+        assert triangle_count(adjacency) == expected
+
+    def test_trace_is_six_times_triangles(self, rng):
+        adjacency = erdos_renyi_adjacency(9, 0.5, rng)
+        assert trace_cubed(adjacency) == 6 * triangle_count(adjacency)
+
+    def test_wedge_count_matches_definition(self):
+        adjacency = adjacency_matrix(nx.star_graph(4), 5)  # hub of degree 4
+        assert wedge_count(adjacency) == math.comb(4, 2)
+
+    def test_triangles_per_vertex(self):
+        adjacency = adjacency_matrix(nx.complete_graph(4), 4)
+        assert triangles_per_vertex(adjacency).tolist() == [3, 3, 3, 3]
+
+    def test_complete_graph_triangle_count(self):
+        adjacency = adjacency_matrix(nx.complete_graph(6), 6)
+        assert triangle_count(adjacency) == math.comb(6, 3)
+
+
+class TestClustering:
+    def test_matches_networkx_transitivity(self, rng):
+        adjacency = erdos_renyi_adjacency(10, 0.5, rng)
+        graph = graph_from_adjacency(adjacency)
+        assert global_clustering_coefficient(adjacency) == pytest.approx(nx.transitivity(graph))
+
+    def test_triangle_free_graph(self):
+        adjacency = adjacency_matrix(nx.cycle_graph(4), 4)
+        assert global_clustering_coefficient(adjacency) == 0.0
+
+    def test_tau_from_wedges(self, rng):
+        adjacency = erdos_renyi_adjacency(10, 0.5, rng)
+        tau = tau_from_wedges(adjacency, 0.3)
+        assert tau >= 1
+        assert tau == tau_from_clustering_target(wedge_count(adjacency), 0.3)
+
+    def test_tau_target_validation(self):
+        with pytest.raises(ValueError):
+            tau_from_clustering_target(10, 1.5)
+        with pytest.raises(ValueError):
+            tau_from_clustering_target(-1, 0.5)
+
+
+class TestGenerators:
+    def test_erdos_renyi_is_valid(self, rng):
+        validate_adjacency(erdos_renyi_adjacency(12, 0.3, rng))
+
+    def test_block_structure_raises_clustering(self, rng):
+        clustered = block_two_level_adjacency(24, 6, p_within=0.9, p_between=0.02, rng=rng)
+        background = erdos_renyi_adjacency(24, float(clustered.sum()) / (24 * 23), rng)
+        assert global_clustering_coefficient(clustered) > global_clustering_coefficient(background)
+
+    def test_preferential_attachment_degrees(self, rng):
+        adjacency = preferential_attachment_adjacency(20, m=2, rng=rng)
+        validate_adjacency(adjacency)
+        assert adjacency.sum(axis=1).max() > 2  # hubs exist
+
+    def test_planted_clique_triangle_lower_bound(self, rng):
+        adjacency = planted_clique_adjacency(16, 6, background_p=0.0, rng=rng)
+        assert triangle_count(adjacency) == math.comb(6, 3)
+
+    def test_generator_argument_validation(self, rng):
+        with pytest.raises(ValueError):
+            erdos_renyi_adjacency(5, 1.2, rng)
+        with pytest.raises(ValueError):
+            block_two_level_adjacency(5, 9, rng=rng)
+        with pytest.raises(ValueError):
+            planted_clique_adjacency(4, 9, rng=rng)
+
+
+class TestTriangleQuery:
+    def test_query_matches_reference_on_generated_graphs(self, rng):
+        adjacency = erdos_renyi_adjacency(6, 0.5, rng)
+        triangles = triangle_count(adjacency)
+        for tau in (max(1, triangles), triangles + 1):
+            query = build_triangle_query(6, tau_triangles=tau, depth_parameter=2)
+            assert query.evaluate(adjacency) == query.reference(adjacency)
+
+    def test_query_pads_vertex_count(self):
+        query = build_triangle_query(6, tau_triangles=1, depth_parameter=1)
+        assert query.trace_circuit.n == 8
+
+    def test_tau_from_clustering_target(self, rng):
+        adjacency = block_two_level_adjacency(8, 4, p_within=1.0, p_between=0.0, rng=rng)
+        query = build_triangle_query(
+            8, clustering_target=0.5, reference_graph=adjacency, depth_parameter=1
+        )
+        assert query.evaluate(adjacency) == query.reference(adjacency)
+
+    def test_missing_tau_specification(self):
+        with pytest.raises(ValueError):
+            build_triangle_query(6)
+
+    def test_graph_too_large_rejected(self, rng):
+        query = build_triangle_query(4, tau_triangles=1, depth_parameter=1)
+        with pytest.raises(ValueError):
+            query.evaluate(erdos_renyi_adjacency(16, 0.5, rng))

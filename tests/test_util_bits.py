@@ -1,0 +1,78 @@
+"""Tests for repro.util.bits — the paper's bits() helper and binary codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bits import bits, from_binary, max_abs_entry_bits, signed_split, to_binary
+
+
+class TestBits:
+    def test_matches_paper_definition_small_values(self):
+        # bits(m) = least l with m < 2**l.
+        assert bits(0) == 0
+        assert bits(1) == 1
+        assert bits(2) == 2
+        assert bits(3) == 2
+        assert bits(4) == 3
+        assert bits(255) == 8
+        assert bits(256) == 9
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits(-1)
+
+    @given(st.integers(min_value=0, max_value=10**30))
+    def test_definition_property(self, m):
+        l = bits(m)
+        assert m < 2 ** l
+        if l > 0:
+            assert m >= 2 ** (l - 1)
+
+
+class TestSignedSplit:
+    def test_positive(self):
+        assert signed_split(7) == (7, 0)
+
+    def test_negative(self):
+        assert signed_split(-7) == (0, 7)
+
+    def test_zero(self):
+        assert signed_split(0) == (0, 0)
+
+    @given(st.integers(min_value=-(10**18), max_value=10**18))
+    def test_roundtrip(self, x):
+        pos, neg = signed_split(x)
+        assert pos >= 0 and neg >= 0
+        assert pos - neg == x
+        assert pos == 0 or neg == 0
+
+
+class TestBinaryCodec:
+    def test_to_binary_lsb_first(self):
+        assert to_binary(6, 4) == [0, 1, 1, 0]
+
+    def test_to_binary_overflow_raises(self):
+        with pytest.raises(ValueError):
+            to_binary(8, 3)
+
+    def test_to_binary_negative_raises(self):
+        with pytest.raises(ValueError):
+            to_binary(-1, 3)
+
+    def test_from_binary_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            from_binary([0, 2, 1])
+
+    @given(st.integers(min_value=0, max_value=2**40 - 1), st.integers(min_value=0, max_value=10))
+    def test_roundtrip(self, value, extra_width):
+        width = bits(value) + extra_width
+        assert from_binary(to_binary(value, width)) == value
+
+
+class TestMaxAbsEntryBits:
+    def test_simple_matrix(self):
+        assert max_abs_entry_bits([[0, 3], [-5, 1]]) == 3
+
+    def test_zero_matrix(self):
+        assert max_abs_entry_bits(np.zeros((2, 2))) == 0

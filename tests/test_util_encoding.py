@@ -1,0 +1,69 @@
+"""Tests for repro.util.encoding — the matrix-to-wire codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.encoding import MatrixEncoding, decode_integer, encode_integer
+
+
+class TestIntegerCodec:
+    def test_positive_value(self):
+        assert encode_integer(5, 3) == [1, 0, 1, 0, 0, 0]
+
+    def test_negative_value(self):
+        assert encode_integer(-5, 3) == [0, 0, 0, 1, 0, 1]
+
+    def test_zero(self):
+        assert encode_integer(0, 2) == [0, 0, 0, 0]
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            encode_integer(8, 3)
+
+    def test_decode_length_check(self):
+        with pytest.raises(ValueError):
+            decode_integer([0, 1], 3)
+
+    @given(st.integers(min_value=-255, max_value=255))
+    def test_roundtrip(self, value):
+        assert decode_integer(encode_integer(value, 8), 8) == value
+
+
+class TestMatrixEncoding:
+    def test_wire_layout_is_disjoint_and_complete(self):
+        enc = MatrixEncoding(n=3, bit_width=2, offset=10)
+        wires = []
+        for i in range(3):
+            for j in range(3):
+                pos, neg = enc.entry_wires(i, j)
+                wires.extend(pos + neg)
+        assert len(wires) == len(set(wires)) == enc.total_wires
+        assert min(wires) == 10
+        assert max(wires) == 10 + enc.total_wires - 1
+
+    def test_out_of_range_entry(self):
+        enc = MatrixEncoding(n=2, bit_width=1)
+        with pytest.raises(IndexError):
+            enc.entry_wires(2, 0)
+
+    def test_encode_decode_roundtrip(self, rng):
+        enc = MatrixEncoding(n=4, bit_width=3)
+        matrix = rng.integers(-7, 8, (4, 4))
+        decoded = enc.decode(enc.encode(matrix))
+        assert (decoded == matrix).all()
+
+    def test_encode_shape_mismatch(self):
+        enc = MatrixEncoding(n=2, bit_width=1)
+        with pytest.raises(ValueError):
+            enc.encode(np.zeros((3, 3)))
+
+    def test_encode_rejects_wide_entries(self):
+        enc = MatrixEncoding(n=2, bit_width=2)
+        with pytest.raises(ValueError):
+            enc.encode(np.full((2, 2), 4))
+
+    def test_total_wires(self):
+        enc = MatrixEncoding(n=5, bit_width=3)
+        assert enc.total_wires == 5 * 5 * 6
+        assert enc.wires_per_entry == 6

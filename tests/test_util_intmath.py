@@ -1,0 +1,83 @@
+"""Tests for repro.util.intmath."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.intmath import ceil_div, ceil_log, ilog, is_power_of, multinomial, prod
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounding_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_negative_numerator(self):
+        assert ceil_div(-13, 4) == -3
+
+    def test_zero_divisor_raises(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+
+class TestLogs:
+    def test_ilog_exact_powers(self):
+        assert ilog(1, 2) == 0
+        assert ilog(8, 2) == 3
+        assert ilog(81, 3) == 4
+
+    def test_ilog_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            ilog(10, 2)
+
+    def test_ceil_log(self):
+        assert ceil_log(1, 2) == 0
+        assert ceil_log(5, 2) == 3
+        assert ceil_log(8, 2) == 3
+        assert ceil_log(9, 2) == 4
+
+    def test_is_power_of(self):
+        assert is_power_of(1, 7)
+        assert is_power_of(49, 7)
+        assert not is_power_of(50, 7)
+        assert not is_power_of(0, 2)
+
+    @given(st.integers(min_value=1, max_value=10**9), st.integers(min_value=2, max_value=10))
+    def test_ceil_log_property(self, n, base):
+        k = ceil_log(n, base)
+        assert base ** k >= n
+        assert k == 0 or base ** (k - 1) < n
+
+
+class TestMultinomial:
+    def test_binomial_case(self):
+        assert multinomial([2, 3]) == math.comb(5, 2)
+
+    def test_trinomial(self):
+        assert multinomial([1, 1, 1]) == 6
+
+    def test_empty(self):
+        assert multinomial([]) == 1
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            multinomial([1, -1])
+
+    @given(st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=4))
+    def test_matches_factorial_formula(self, counts):
+        total = sum(counts)
+        expected = math.factorial(total)
+        for c in counts:
+            expected //= math.factorial(c)
+        assert multinomial(counts) == expected
+
+
+class TestProd:
+    def test_empty_is_one(self):
+        assert prod([]) == 1
+
+    def test_values(self):
+        assert prod([2, 3, 7]) == 42

@@ -1,0 +1,91 @@
+"""Tests for repro.util.matrices."""
+
+import numpy as np
+import pytest
+
+from repro.util.matrices import (
+    as_exact_array,
+    block_view,
+    pad_to_power,
+    random_adjacency_matrix,
+    random_integer_matrix,
+)
+
+
+class TestAsExactArray:
+    def test_converts_to_python_ints(self, rng):
+        arr = as_exact_array(rng.integers(-5, 5, (3, 3)))
+        assert arr.dtype == object
+        assert all(isinstance(v, int) for v in arr.flat)
+
+    def test_rejects_non_square_shapes(self):
+        with pytest.raises(ValueError):
+            as_exact_array(np.zeros(3))
+
+
+class TestBlockView:
+    def test_blocks_tile_the_matrix(self, rng):
+        m = rng.integers(0, 10, (6, 6))
+        reassembled = np.block(
+            [[block_view(m, 3, p, q) for q in range(3)] for p in range(3)]
+        )
+        assert (reassembled == m).all()
+
+    def test_block_is_a_view(self):
+        m = np.zeros((4, 4))
+        view = block_view(m, 2, 1, 1)
+        m[2, 2] = 5
+        assert view[0, 0] == 5
+
+    def test_bad_indices(self):
+        with pytest.raises(ValueError):
+            block_view(np.zeros((4, 4)), 2, 2, 0)
+
+    def test_indivisible_dimension(self):
+        with pytest.raises(ValueError):
+            block_view(np.zeros((5, 5)), 2, 0, 0)
+
+
+class TestPadToPower:
+    def test_already_power(self):
+        m = np.ones((8, 8))
+        padded, n = pad_to_power(m, 2)
+        assert padded is m and n == 8
+
+    def test_pads_with_zeros(self):
+        m = np.ones((5, 5))
+        padded, n = pad_to_power(m, 2)
+        assert padded.shape == (8, 8) and n == 5
+        assert padded[:5, :5].sum() == 25
+        assert padded.sum() == 25
+
+    def test_base_three(self):
+        padded, _ = pad_to_power(np.ones((4, 4)), 3)
+        assert padded.shape == (9, 9)
+
+
+class TestRandomMatrices:
+    def test_integer_matrix_respects_bit_width(self, rng):
+        m = random_integer_matrix(10, 3, rng=rng)
+        assert np.abs(m).max() < 2 ** 3
+
+    def test_unsigned_matrix(self, rng):
+        m = random_integer_matrix(10, 3, rng=rng, signed=False)
+        assert m.min() >= 0
+
+    def test_adjacency_matrix_is_simple_graph(self, rng):
+        adj = random_adjacency_matrix(12, 0.5, rng=rng)
+        assert (adj == adj.T).all()
+        assert (np.diag(adj) == 0).all()
+        assert np.isin(adj, (0, 1)).all()
+
+    def test_adjacency_extreme_probabilities(self, rng):
+        assert random_adjacency_matrix(6, 0.0, rng=rng).sum() == 0
+        full = random_adjacency_matrix(6, 1.0, rng=rng)
+        assert full.sum() == 6 * 5
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            random_integer_matrix(0, 3, rng=rng)
+        with pytest.raises(ValueError):
+            random_adjacency_matrix(4, 1.5, rng=rng)
