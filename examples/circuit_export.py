@@ -17,7 +17,6 @@ import numpy as np
 
 from repro.analysis import format_table
 from repro.circuits import (
-    CompiledCircuit,
     deduplicate_gates,
     dump_circuit,
     eliminate_dead_gates,
@@ -26,6 +25,7 @@ from repro.circuits import (
     validate_circuit,
 )
 from repro.core import build_matmul_circuit
+from repro.engine import default_engine
 
 
 def main() -> None:
@@ -61,11 +61,14 @@ def main() -> None:
     print(f"\nSerialized to {path} ({os.path.getsize(path) / 1024:.1f} KiB) and reloaded:")
     print(f"  gates={restored.size}, depth={restored.depth}, outputs={len(restored.outputs)}")
 
-    # The reloaded, optimized circuit still computes the right product.
+    # The reloaded, optimized circuit still computes the right product.  The
+    # engine picks a backend from the circuit's stats and caches the program.
+    engine = default_engine()
     a = rng.integers(-3, 4, (2, 2))
     b = rng.integers(-3, 4, (2, 2))
     inputs = circuit._encode_inputs(a, b)
-    node_values = CompiledCircuit(restored).evaluate(inputs).node_values
+    node_values = engine.evaluate(restored, inputs).node_values
+    print(f"  engine backend: {engine.compile(restored).backend_name}")
     product = np.empty((2, 2), dtype=object)
     for i in range(2):
         for j in range(2):

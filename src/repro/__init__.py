@@ -30,6 +30,11 @@ _LAZY_EXPORTS: Dict[str, str] = {
     "CircuitBuilder": "repro.circuits",
     "CompiledCircuit": "repro.circuits",
     "simulate": "repro.circuits",
+    # execution engine
+    "Engine": "repro.engine",
+    "EngineConfig": "repro.engine",
+    "default_engine": "repro.engine",
+    "SpikeTrace": "repro.engine",
     # fast matrix multiplication substrate
     "BilinearAlgorithm": "repro.fastmm",
     "strassen_2x2": "repro.fastmm",

@@ -51,13 +51,25 @@ def measure_circuit_energy(
     circuit: ThresholdCircuit,
     input_batches: Sequence[np.ndarray],
     compiled: Optional[CompiledCircuit] = None,
+    engine=None,
 ) -> EnergyReport:
-    """Evaluate the circuit on each input vector and summarize firing energy."""
+    """Evaluate the circuit on each input vector and summarize firing energy.
+
+    Evaluation routes through the execution engine (the process default, or
+    ``engine`` if given), so the compile cache is shared with other callers.
+    Passing an explicit ``compiled`` circuit bypasses the engine entirely —
+    kept for callers that manage their own compilation.
+    """
     if not input_batches:
         raise ValueError("need at least one input assignment to measure energy")
-    compiled = compiled if compiled is not None else CompiledCircuit(circuit)
     batch = np.stack([np.asarray(vec) for vec in input_batches], axis=1)
-    result = compiled.evaluate(batch)
+    if compiled is not None:
+        result = compiled.evaluate(batch)
+    else:
+        from repro.engine import default_engine
+
+        eng = engine if engine is not None else default_engine()
+        result = eng.evaluate(circuit, batch)
     energy = np.atleast_1d(result.energy)
     return EnergyReport(
         circuit_size=circuit.size,

@@ -63,6 +63,7 @@ class ThresholdCircuit:
         self.output_labels: List[str] = []
         self._depths: List[int] = []  # depth per gate, aligned with self.gates
         self.metadata: Dict[str, object] = {}
+        self._structural_hash: Optional[str] = None  # cache, invalidated on mutation
 
     # ------------------------------------------------------------------ nodes
     @property
@@ -110,6 +111,7 @@ class ThresholdCircuit:
                 depth = d
         self.gates.append(gate)
         self._depths.append(depth + 1)
+        self._structural_hash = None
         return node_id
 
     def add_threshold_gate(
@@ -132,6 +134,7 @@ class ThresholdCircuit:
             raise ValueError("labels must match outputs one-to-one")
         self.outputs = nodes
         self.output_labels = list(labels) if labels is not None else [""] * len(nodes)
+        self._structural_hash = None
 
     # ------------------------------------------------------------------ stats
     @property
@@ -160,6 +163,21 @@ class ThresholdCircuit:
             max_abs_weight=max((g.max_abs_weight for g in self.gates), default=0),
             n_outputs=len(self.outputs),
         )
+
+    def structural_hash(self) -> str:
+        """Content hash of the circuit structure (inputs, gates, outputs).
+
+        Used by the execution engine as its compile-cache key: circuits with
+        the same hash compile to the same backend program.  Labels, tags and
+        metadata do not participate.  The hash is cached and invalidated by
+        :meth:`add_gate` / :meth:`set_outputs`; mutating ``gates`` or
+        ``outputs`` directly (unsupported) would leave it stale.
+        """
+        if self._structural_hash is None:
+            from repro.circuits.serialize import structural_digest
+
+            self._structural_hash = structural_digest(self)
+        return self._structural_hash
 
     def gates_by_depth(self) -> Dict[int, List[int]]:
         """Group gate node ids by their depth layer (1-based layers)."""

@@ -20,16 +20,45 @@ results:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Union
 
 from repro.circuits.circuit import ThresholdCircuit
 from repro.circuits.gate import Gate
 
-__all__ = ["circuit_to_dict", "circuit_from_dict", "dump_circuit", "load_circuit"]
+__all__ = [
+    "circuit_to_dict",
+    "circuit_from_dict",
+    "dump_circuit",
+    "load_circuit",
+    "structural_digest",
+]
 
 _FORMAT = "repro-threshold-circuit"
 _VERSION = 1
+
+
+def structural_digest(circuit: ThresholdCircuit) -> str:
+    """Hex digest of the circuit's structure (the execution-engine cache key).
+
+    Two circuits share a digest exactly when they compute the same function
+    the same way: equal input count, gate list (sources, weights, thresholds)
+    and declared outputs.  Presentation-only fields — ``name``, gate tags,
+    output labels, ``metadata`` — are deliberately excluded, so re-building
+    the same construction under a different label still hits the compile
+    cache.
+    """
+    payload = {
+        "format": _FORMAT,
+        "n_inputs": circuit.n_inputs,
+        "gates": [
+            [list(g.sources), list(g.weights), g.threshold] for g in circuit.gates
+        ],
+        "outputs": list(circuit.outputs),
+    }
+    blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def circuit_to_dict(circuit: ThresholdCircuit) -> dict:

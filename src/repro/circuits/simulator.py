@@ -9,6 +9,14 @@ Exactness: weights and partial sums are integers.  The compiler computes, for
 every gate, the worst-case magnitude of its weighted sum; if every gate fits
 comfortably in int64 the fast sparse path is used, otherwise evaluation falls
 back to an arbitrary-precision gate-by-gate path so results are always exact.
+
+The layer extraction and the overflow analysis are shared with the execution
+engine (:mod:`repro.engine`) through :class:`LayerPlan` /
+:func:`build_layer_plan`: the plan holds the exact integer weights of every
+depth layer plus a single safety verdict, and each backend materializes the
+matrices in its own storage format from it.  :func:`simulate` routes through
+the default engine, so one-shot callers get the compile cache and backend
+auto-selection for free.
 """
 
 from __future__ import annotations
@@ -21,9 +29,141 @@ from scipy import sparse
 
 from repro.circuits.circuit import ThresholdCircuit
 
-__all__ = ["CompiledCircuit", "SimulationResult", "simulate"]
+__all__ = [
+    "CompiledCircuit",
+    "LayerPlan",
+    "LayerSpec",
+    "SimulationResult",
+    "build_layer_plan",
+    "simulate",
+]
 
 _INT64_SAFE_LIMIT = 1 << 62
+
+
+@dataclass
+class LayerSpec:
+    """One depth layer of a circuit in COO-like exact-integer form.
+
+    ``rows``/``cols``/``data`` describe the wires of the layer: gate ``rows[i]``
+    (an index within the layer) reads node ``cols[i]`` with weight ``data[i]``.
+    Weights and thresholds are kept as Python ints so the plan is exact even
+    when the circuit overflows int64; ``cols`` is an int64 array because every
+    consumer (matrix builders, the spiking evaluator) indexes with it.
+    """
+
+    depth: int
+    nodes: np.ndarray  # gate node ids of this layer, int64
+    rows: List[int]
+    cols: np.ndarray  # source node id per wire, int64
+    data: List[int]
+    thresholds: List[int]
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.thresholds)
+
+
+def csr_layer_matrix(spec: LayerSpec, n_nodes: int) -> sparse.csr_matrix:
+    """The ``(n_gates, n_nodes)`` CSR weight matrix of one int64-safe layer.
+
+    Shared by :class:`CompiledCircuit` and the engine's sparse backend so the
+    sparse lowering exists exactly once.
+    """
+    return sparse.csr_matrix(
+        (
+            np.asarray(spec.data, dtype=np.int64),
+            (np.asarray(spec.rows, dtype=np.int64), spec.cols),
+        ),
+        shape=(spec.n_gates, n_nodes),
+    )
+
+
+@dataclass
+class LayerPlan:
+    """A circuit lowered to per-layer wire lists plus one overflow verdict.
+
+    ``max_magnitude`` is the exact worst case, over all gates, of the
+    magnitude of the weighted sum plus threshold; backends derive their
+    safety margins from it.  ``int64_safe`` is decided for the *whole*
+    circuit before any backend builds a matrix: either every layer is
+    materialized in a machine dtype, or none is.  (The old compiler flipped
+    the flag mid-compile and left earlier layers holding sparse matrices
+    that were never used.)
+    """
+
+    n_inputs: int
+    n_nodes: int
+    int64_safe: bool
+    max_magnitude: int
+    layers: List[LayerSpec]
+
+    @property
+    def float64_exact(self) -> bool:
+        """True when every weighted sum is exactly representable in float64.
+
+        Lets the dense backend run on BLAS (float matmul) without losing a
+        single bit: all intermediate sums stay below ``2**53``.
+        """
+        return self.max_magnitude < (1 << 53)
+
+
+def build_layer_plan(circuit: ThresholdCircuit) -> LayerPlan:
+    """Lower a circuit into :class:`LayerSpec` rows and decide int64 safety.
+
+    A circuit is int64-safe when, for every gate, the worst-case magnitude of
+    its weighted sum plus its threshold stays comfortably below ``2**63``.
+    The check runs on exact Python ints, so huge weights cannot silently wrap.
+    """
+    layers_by_depth = circuit.gates_by_depth()
+    specs: List[LayerSpec] = []
+    max_magnitude = 0
+    for depth in sorted(layers_by_depth):
+        gate_nodes = layers_by_depth[depth]
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[int] = []
+        thresholds: List[int] = []
+        for row, node in enumerate(gate_nodes):
+            gate = circuit.gate_of(node)
+            rows.extend([row] * gate.fan_in)
+            cols.extend(gate.sources)
+            data.extend(gate.weights)
+            thresholds.append(gate.threshold)
+        magnitudes = [0] * len(gate_nodes)
+        for row, weight in zip(rows, data):
+            magnitudes[row] += abs(weight)
+        for magnitude, threshold in zip(magnitudes, thresholds):
+            total = magnitude + abs(threshold)
+            if total > max_magnitude:
+                max_magnitude = total
+        specs.append(
+            LayerSpec(
+                depth=depth,
+                nodes=np.asarray(gate_nodes, dtype=np.int64),
+                rows=rows,
+                cols=np.asarray(cols, dtype=np.int64),
+                data=data,
+                thresholds=thresholds,
+            )
+        )
+    return LayerPlan(
+        n_inputs=circuit.n_inputs,
+        n_nodes=circuit.n_nodes,
+        int64_safe=max_magnitude < _INT64_SAFE_LIMIT,
+        max_magnitude=max_magnitude,
+        layers=specs,
+    )
+
+
+def check_batch_inputs(circuit: ThresholdCircuit, inputs: np.ndarray) -> None:
+    """Validate a ``(n_inputs, batch)`` array of 0/1 values for a circuit."""
+    if inputs.shape[0] != circuit.n_inputs:
+        raise ValueError(
+            f"expected {circuit.n_inputs} input rows, got {inputs.shape[0]}"
+        )
+    if inputs.size and not np.isin(inputs, (0, 1)).all():
+        raise ValueError("circuit inputs must be 0/1")
 
 
 @dataclass
@@ -58,48 +198,21 @@ class CompiledCircuit:
 
     # ---------------------------------------------------------------- compile
     def _compile(self) -> None:
-        circuit = self.circuit
-        n_nodes = circuit.n_nodes
-        layers = circuit.gates_by_depth()
-        for depth in sorted(layers):
-            gate_nodes = layers[depth]
-            rows: List[int] = []
-            cols: List[int] = []
-            data: List[int] = []
-            thresholds: List[int] = []
-            for row, node in enumerate(gate_nodes):
-                gate = circuit.gate_of(node)
-                rows.extend([row] * gate.fan_in)
-                cols.extend(gate.sources)
-                data.extend(gate.weights)
-                thresholds.append(gate.threshold)
-            # Overflow safety check, vectorized: the worst-case |weighted sum|
-            # plus |threshold| of every gate must fit comfortably in int64.
-            try:
-                data_arr = np.asarray(data, dtype=np.int64)
-                threshold_probe = np.asarray(thresholds, dtype=np.int64)
-            except OverflowError:
-                self._int64_safe = False
-            if self._int64_safe:
-                rows_arr = np.asarray(rows, dtype=np.int64)
-                magnitudes = np.zeros(len(gate_nodes), dtype=np.float64)
-                if data_arr.size:
-                    np.add.at(magnitudes, rows_arr, np.abs(data_arr).astype(np.float64))
-                magnitudes += np.abs(threshold_probe.astype(np.float64))
-                if magnitudes.size and magnitudes.max() >= float(_INT64_SAFE_LIMIT):
-                    self._int64_safe = False
-            if self._int64_safe:
-                matrix = sparse.csr_matrix(
-                    (data_arr, (rows_arr, np.asarray(cols, dtype=np.int64))),
-                    shape=(len(gate_nodes), n_nodes),
-                )
-                threshold_arr = np.asarray(thresholds, dtype=np.int64)
+        plan = build_layer_plan(self.circuit)
+        self._int64_safe = plan.int64_safe
+        for spec in plan.layers:
+            if plan.int64_safe:
+                matrix = csr_layer_matrix(spec, plan.n_nodes)
+                threshold_arr = np.asarray(spec.thresholds, dtype=np.int64)
             else:
+                # The exact gate-by-gate path never reads the matrices, so an
+                # unsafe circuit keeps none of them (satellite fix: previously
+                # layers compiled before the flag flipped held dead matrices).
                 matrix = None
-                threshold_arr = np.zeros(len(gate_nodes), dtype=np.int64)
+                threshold_arr = np.zeros(spec.n_gates, dtype=np.int64)
             self._layers.append(
                 {
-                    "nodes": np.asarray(gate_nodes, dtype=np.int64),
+                    "nodes": spec.nodes,
                     "matrix": matrix,
                     "thresholds": threshold_arr,
                 }
@@ -125,12 +238,7 @@ class CompiledCircuit:
         squeeze = inputs.ndim == 1
         if squeeze:
             inputs = inputs[:, None]
-        if inputs.shape[0] != circuit.n_inputs:
-            raise ValueError(
-                f"expected {circuit.n_inputs} input rows, got {inputs.shape[0]}"
-            )
-        if inputs.size and not np.isin(inputs, (0, 1)).all():
-            raise ValueError("circuit inputs must be 0/1")
+        check_batch_inputs(circuit, inputs)
         batch = inputs.shape[1]
 
         if self._int64_safe:
@@ -169,6 +277,16 @@ class CompiledCircuit:
         return node_values
 
 
-def simulate(circuit: ThresholdCircuit, inputs: np.ndarray) -> SimulationResult:
-    """One-shot convenience wrapper: compile and evaluate."""
-    return CompiledCircuit(circuit).evaluate(inputs)
+def simulate(
+    circuit: ThresholdCircuit, inputs: np.ndarray, engine=None
+) -> SimulationResult:
+    """One-shot convenience wrapper, routed through the execution engine.
+
+    Repeated calls on structurally identical circuits hit the engine's
+    compile cache instead of recompiling; pass ``engine`` to use a private
+    :class:`~repro.engine.Engine` instead of the process-wide default.
+    """
+    from repro.engine import default_engine
+
+    eng = engine if engine is not None else default_engine()
+    return eng.evaluate(circuit, inputs)

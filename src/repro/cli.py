@@ -17,6 +17,8 @@ Examples
     python -m repro.cli build-trace --n 8 --tau 30 --d 3 --output trace8.json
     python -m repro.cli build-matmul --n 4 --bit-width 2 --d 2 --output mm4.json
     python -m repro.cli triangles --edges graph.txt --tau 5
+    python -m repro.cli simulate --circuit trace8.json --inputs rows.txt
+    python -m repro.cli energy-trace --circuit trace8.json --samples 32
 """
 
 from __future__ import annotations
@@ -76,6 +78,27 @@ def build_parser() -> argparse.ArgumentParser:
     triangles.add_argument("--tau", type=int, required=True, help="triangle threshold")
     triangles.add_argument("--d", type=int, default=2)
     triangles.add_argument("--naive", action="store_true", help="also run the naive depth-2 circuit")
+
+    simulate = sub.add_parser(
+        "simulate", help="evaluate a serialized circuit on 0/1 input rows via the engine"
+    )
+    simulate.add_argument("--circuit", required=True, help="circuit JSON (see build-trace/build-matmul)")
+    simulate.add_argument(
+        "--inputs", required=True,
+        help="text file: one assignment per line, 0/1 tokens or a contiguous bitstring",
+    )
+    simulate.add_argument("--backend", choices=["auto", "sparse", "dense", "exact"], default="auto")
+    simulate.add_argument("--chunk-size", type=int, default=None, help="batch column-block width")
+    simulate.add_argument("--workers", type=int, default=None, help="shard chunks over N processes")
+
+    energy_trace = sub.add_parser(
+        "energy-trace", help="spiking-mode per-layer spike counts and energy of a circuit"
+    )
+    energy_trace.add_argument("--circuit", required=True, help="circuit JSON")
+    energy_trace.add_argument("--inputs", default=None, help="input rows file (default: random samples)")
+    energy_trace.add_argument("--samples", type=int, default=16, help="random samples when --inputs is omitted")
+    energy_trace.add_argument("--seed", type=int, default=2018, help="seed for random samples")
+    energy_trace.add_argument("--backend", choices=["auto", "sparse", "dense", "exact"], default="auto")
 
     return parser
 
@@ -242,6 +265,97 @@ def _cmd_triangles(args, stream) -> int:
     return 0
 
 
+def _read_input_rows(path: str, n_inputs: int) -> np.ndarray:
+    """Read 0/1 assignments (one per line) into a ``(n_inputs, batch)`` array.
+
+    Each non-comment line is either whitespace-separated 0/1 tokens or a
+    contiguous bitstring like ``0110``; every line must provide exactly
+    ``n_inputs`` values.
+    """
+    rows = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            tokens = line.split() if " " in line or "\t" in line else list(line)
+            if len(tokens) != n_inputs or any(t not in ("0", "1") for t in tokens):
+                raise ValueError(
+                    f"{path}:{line_number}: expected {n_inputs} 0/1 values, got {line!r}"
+                )
+            rows.append([int(t) for t in tokens])
+    if not rows:
+        raise ValueError(f"{path}: no input rows found")
+    return np.asarray(rows, dtype=np.int64).T
+
+
+def _make_engine(backend: str, chunk_size=None, workers=None):
+    from repro.engine import Engine, EngineConfig, default_engine
+
+    if chunk_size is None and workers is None and backend == "auto":
+        return default_engine()
+    config = EngineConfig(
+        backend=backend,
+        chunk_size=chunk_size if chunk_size is not None else EngineConfig.chunk_size,
+        max_workers=workers if workers is not None else 0,
+        # The user asked for workers: the scheduler shards any batch, however
+        # small, and narrows the chunk width so every worker gets one.
+        parallel_threshold=1,
+    )
+    return Engine(config)
+
+
+def _cmd_simulate(args, stream) -> int:
+    from repro.circuits.serialize import load_circuit
+
+    circuit = load_circuit(args.circuit)
+    batch = _read_input_rows(args.inputs, circuit.n_inputs)
+    engine = _make_engine(args.backend, args.chunk_size, args.workers)
+    program = engine.compile(circuit)
+    result = engine.evaluate(circuit, batch)  # cache hit: no recompile
+    _print(
+        {
+            "circuit": args.circuit,
+            "n_inputs": circuit.n_inputs,
+            "gates": circuit.size,
+            "batch": int(batch.shape[1]),
+            "backend": program.backend_name,
+            "output_labels": circuit.output_labels,
+            "outputs": result.outputs.T.tolist(),
+            "energy": result.energy.tolist(),
+            "cache": engine.cache_info().as_dict(),
+        },
+        stream,
+    )
+    return 0
+
+
+def _cmd_energy_trace(args, stream) -> int:
+    from repro.circuits.serialize import load_circuit
+
+    circuit = load_circuit(args.circuit)
+    if args.inputs is not None:
+        batch = _read_input_rows(args.inputs, circuit.n_inputs)
+    else:
+        if args.samples < 1:
+            raise ValueError(f"--samples must be >= 1, got {args.samples}")
+        rng = np.random.default_rng(args.seed)
+        batch = rng.integers(0, 2, size=(circuit.n_inputs, args.samples))
+    engine = _make_engine(args.backend)
+    trace = engine.spike_trace(circuit, batch)
+    payload = {
+        "circuit": args.circuit,
+        "circuit_size": circuit.size,
+        "backend": engine.compile(circuit).backend_name,
+        **trace.as_dict(),
+    }
+    payload["mean_fraction_firing"] = (
+        payload["mean_energy"] / circuit.size if circuit.size else 0.0
+    )
+    _print(payload, stream)
+    return 0
+
+
 _COMMANDS = {
     "algorithms": _cmd_algorithms,
     "info": _cmd_info,
@@ -250,6 +364,8 @@ _COMMANDS = {
     "build-trace": _cmd_build_trace,
     "build-matmul": _cmd_build_matmul,
     "triangles": _cmd_triangles,
+    "simulate": _cmd_simulate,
+    "energy-trace": _cmd_energy_trace,
 }
 
 

@@ -94,6 +94,7 @@ class MatmulCircuit:
     algorithm: Optional[BilinearAlgorithm]
     schedule: Optional[LevelSchedule]
     stages: int = 1
+    engine: Optional[object] = field(default=None, repr=False)
     _compiled: Optional[CompiledCircuit] = field(default=None, repr=False)
 
     @property
@@ -112,9 +113,17 @@ class MatmulCircuit:
         return vec
 
     def evaluate(self, a, b) -> np.ndarray:
-        """Compute ``A @ B`` with the threshold circuit (exact integers)."""
+        """Compute ``A @ B`` with the threshold circuit (exact integers).
+
+        Evaluation routes through the execution engine (``self.engine``, or
+        the process-wide default), so repeated products on the same
+        construction share one compiled program.
+        """
+        from repro.engine import default_engine
+
+        engine = self.engine if self.engine is not None else default_engine()
         inputs = self._encode_inputs(a, b)
-        result = self.compiled.evaluate(inputs)
+        result = engine.evaluate(self.circuit, inputs)
         node_values = result.node_values
         out = np.empty((self.n, self.n), dtype=object)
         for i in range(self.n):
@@ -136,11 +145,12 @@ def build_matmul_circuit(
     depth_parameter: Optional[int] = None,
     stages: int = 1,
     share_gates: bool = False,
+    engine=None,
 ) -> MatmulCircuit:
     """Build the Theorem 4.8 / 4.9 circuit computing ``C = AB``.
 
     See :func:`repro.core.trace_circuit.build_trace_circuit` for the meaning
-    of the common parameters.
+    of the common parameters (including ``engine``).
     """
     from repro.core.trace_circuit import default_bit_width
 
@@ -176,4 +186,5 @@ def build_matmul_circuit(
         algorithm=algorithm,
         schedule=schedule,
         stages=stages,
+        engine=engine,
     )

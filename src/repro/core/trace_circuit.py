@@ -94,7 +94,13 @@ def assemble_trace_circuit(
 
 @dataclass
 class TraceCircuit:
-    """A constructed trace-threshold circuit plus everything needed to use it."""
+    """A constructed trace-threshold circuit plus everything needed to use it.
+
+    Evaluation routes through the execution engine (:mod:`repro.engine`), so
+    repeated queries against structurally identical circuits share compiled
+    programs via the engine's cache.  Pass ``engine`` to isolate a query
+    from the process-wide default (e.g. to force a backend).
+    """
 
     circuit: ThresholdCircuit
     encoding: MatrixEncoding
@@ -104,25 +110,35 @@ class TraceCircuit:
     algorithm: BilinearAlgorithm
     schedule: LevelSchedule
     stages: int = 1
+    engine: Optional[object] = field(default=None, repr=False)
     _compiled: Optional[CompiledCircuit] = field(default=None, repr=False)
 
     @property
     def compiled(self) -> CompiledCircuit:
-        """The compiled (layered sparse) form, built lazily and cached."""
+        """The compiled (layered sparse) form, built lazily and cached.
+
+        Retained for backward compatibility; new code should evaluate
+        through the engine-backed :meth:`evaluate` / :meth:`evaluate_batch`.
+        """
         if self._compiled is None:
             self._compiled = CompiledCircuit(self.circuit)
         return self._compiled
 
+    def _engine(self):
+        from repro.engine import default_engine
+
+        return self.engine if self.engine is not None else default_engine()
+
     def evaluate(self, matrix) -> bool:
         """Run the circuit on an integer matrix and return its decision."""
         inputs = self.encoding.encode(matrix)
-        result = self.compiled.evaluate(inputs)
+        result = self._engine().evaluate(self.circuit, inputs)
         return bool(np.atleast_1d(result.outputs)[0])
 
     def evaluate_batch(self, matrices) -> np.ndarray:
         """Vectorized evaluation of several matrices at once."""
         batch = np.stack([self.encoding.encode(m) for m in matrices], axis=1)
-        result = self.compiled.evaluate(batch)
+        result = self._engine().evaluate(self.circuit, batch)
         return result.outputs[0].astype(bool)
 
     @staticmethod
@@ -145,6 +161,7 @@ def build_trace_circuit(
     depth_parameter: Optional[int] = None,
     stages: int = 1,
     share_gates: bool = False,
+    engine=None,
 ) -> TraceCircuit:
     """Build the Theorem 4.4 / 4.5 circuit deciding ``trace(A^3) >= tau``.
 
@@ -168,6 +185,9 @@ def build_trace_circuit(
         Number of stages per weighted sum (1 = depth-2 Lemma 3.2 sums).
     share_gates:
         Enable structural gate sharing in the builder (ablation knob).
+    engine:
+        Execution engine used by :meth:`TraceCircuit.evaluate`; defaults to
+        the process-wide :func:`repro.engine.default_engine`.
     """
     algorithm = algorithm if algorithm is not None else strassen_2x2()
     bit_width = bit_width if bit_width is not None else default_bit_width(n)
@@ -201,4 +221,5 @@ def build_trace_circuit(
         algorithm=algorithm,
         schedule=schedule,
         stages=stages,
+        engine=engine,
     )

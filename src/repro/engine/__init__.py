@@ -1,0 +1,62 @@
+"""Execution engine: the compiled-circuit runtime of the reproduction.
+
+This subpackage owns everything between "a ThresholdCircuit exists" and
+"results came back for a batch of inputs":
+
+* :mod:`repro.engine.config` — :class:`EngineConfig`, the runtime knobs;
+* :mod:`repro.engine.cache` — the LRU compile cache keyed by the circuit's
+  structural hash;
+* :mod:`repro.engine.backends` — pluggable sparse / dense / exact backends
+  behind a common protocol, with auto-selection from circuit stats;
+* :mod:`repro.engine.scheduler` — chunked and process-parallel batch
+  evaluation;
+* :mod:`repro.engine.spiking` — the spiking-mode activity/energy evaluator;
+* :mod:`repro.engine.engine` — the :class:`Engine` facade tying it together.
+
+The legacy entry points (``repro.circuits.simulate``, ``TraceCircuit``,
+``TriangleQuery``) route through :func:`default_engine`, so existing code
+transparently gains caching and backend selection.
+"""
+
+from repro.engine.backends import (
+    Backend,
+    BackendError,
+    CompiledProgram,
+    DenseBackend,
+    ExactBackend,
+    SparseBackend,
+    backend_registry,
+    compile_circuit,
+    get_backend,
+    select_backend_name,
+)
+from repro.engine.cache import CacheInfo, CompileCache
+from repro.engine.config import BACKEND_NAMES, EngineConfig
+from repro.engine.engine import Engine, default_engine, set_default_engine
+from repro.engine.scheduler import evaluate_batched, iter_column_chunks
+from repro.engine.spiking import ActivityPlan, SpikeTrace, compute_spike_trace
+
+__all__ = [
+    "ActivityPlan",
+    "BACKEND_NAMES",
+    "Backend",
+    "BackendError",
+    "CacheInfo",
+    "CompileCache",
+    "CompiledProgram",
+    "DenseBackend",
+    "Engine",
+    "EngineConfig",
+    "ExactBackend",
+    "SparseBackend",
+    "SpikeTrace",
+    "backend_registry",
+    "compile_circuit",
+    "compute_spike_trace",
+    "default_engine",
+    "evaluate_batched",
+    "get_backend",
+    "iter_column_chunks",
+    "select_backend_name",
+    "set_default_engine",
+]

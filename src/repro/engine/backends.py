@@ -1,0 +1,312 @@
+"""Pluggable evaluation backends for the execution engine.
+
+Every backend lowers a :class:`~repro.circuits.simulator.LayerPlan` into a
+*compiled program*: a picklable object holding only arrays and ints (so the
+batch scheduler can ship it to worker processes) that maps a 0/1 input block
+to the 0/1 values of every node.  Three backends cover the practical space:
+
+``sparse``
+    One scipy CSR matrix per depth layer.  Wins on large circuits, where the
+    wire structure is genuinely sparse and CSR keeps the arithmetic to the
+    realized wires.
+``dense``
+    One dense numpy matrix per layer — float64 (BLAS GEMM, still bit-exact)
+    while every worst-case sum stays below ``2**53``, int64 otherwise.  For
+    small or shallow circuits the per-call overhead of CSR (index juggling,
+    format dispatch) dominates the flops; a dense GEMM over a few hundred
+    nodes is much faster.
+``exact``
+    Arbitrary-precision object-dtype evaluation, vectorized over the batch
+    but looping over gates.  The only backend that is correct when a gate's
+    worst-case weighted sum overflows int64; always exact, never fast.
+
+Selection is automatic per circuit (:func:`select_backend_name`) driven by
+the circuit's :class:`~repro.circuits.circuit.CircuitStats` and the plan's
+overflow verdict, or forced through the engine config.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.circuits.circuit import CircuitStats, ThresholdCircuit
+from repro.circuits.simulator import LayerPlan, build_layer_plan, csr_layer_matrix
+from repro.engine.config import EngineConfig
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "CompiledProgram",
+    "DenseBackend",
+    "ExactBackend",
+    "SparseBackend",
+    "backend_registry",
+    "compile_circuit",
+    "get_backend",
+    "select_backend_name",
+]
+
+
+class BackendError(ValueError):
+    """Raised when a circuit cannot be compiled for the requested backend."""
+
+
+@runtime_checkable
+class CompiledProgram(Protocol):
+    """A circuit lowered to one backend's storage format.
+
+    Programs are self-contained (no reference back to the circuit object) so
+    they can be pickled into worker processes by the batch scheduler.
+    """
+
+    backend_name: str
+    n_inputs: int
+    n_nodes: int
+    outputs: List[int]
+
+    def run(self, inputs: np.ndarray) -> np.ndarray:
+        """Map a ``(n_inputs, batch)`` 0/1 block to ``(n_nodes, batch)`` int8."""
+        ...
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """A compiler from circuits to :class:`CompiledProgram` objects."""
+
+    name: str
+
+    def compile(
+        self, circuit: ThresholdCircuit, plan: Optional[LayerPlan] = None
+    ) -> CompiledProgram:
+        ...
+
+
+def _require_safe(plan: LayerPlan, backend: str) -> None:
+    if not plan.int64_safe:
+        raise BackendError(
+            f"circuit overflows int64; the {backend!r} backend would be inexact "
+            "(use backend='exact' or 'auto')"
+        )
+
+
+# --------------------------------------------------------------------- sparse
+class _MatrixProgram:
+    """Shared run loop for the sparse and dense backends.
+
+    ``layers`` holds ``(nodes, matrix, thresholds)`` triples; only the matrix
+    storage format differs between the two backends.  ``values_dtype`` is the
+    dtype of the node-value working buffer: int64 for the integer paths,
+    float64 for the BLAS-backed dense path (exact while every weighted sum
+    stays below ``2**53``; values are 0.0/1.0 and sums are integral floats).
+    """
+
+    def __init__(
+        self,
+        backend_name: str,
+        n_inputs: int,
+        n_nodes: int,
+        outputs: List[int],
+        layers: List[Tuple[np.ndarray, object, np.ndarray]],
+        values_dtype=np.int64,
+    ) -> None:
+        self.backend_name = backend_name
+        self.n_inputs = n_inputs
+        self.n_nodes = n_nodes
+        self.outputs = outputs
+        self.layers = layers
+        self.values_dtype = values_dtype
+
+    def run(self, inputs: np.ndarray) -> np.ndarray:
+        node_values = np.zeros(
+            (self.n_nodes, inputs.shape[1]), dtype=self.values_dtype
+        )
+        node_values[: self.n_inputs, :] = inputs
+        for nodes, matrix, thresholds in self.layers:
+            sums = matrix @ node_values
+            node_values[nodes, :] = sums >= thresholds[:, None]
+        return node_values.astype(np.int8)
+
+
+class SparseBackend:
+    """CSR-per-layer compilation (the original simulator fast path)."""
+
+    name = "sparse"
+
+    def compile(
+        self, circuit: ThresholdCircuit, plan: Optional[LayerPlan] = None
+    ) -> _MatrixProgram:
+        plan = plan if plan is not None else build_layer_plan(circuit)
+        _require_safe(plan, self.name)
+        layers = []
+        for spec in plan.layers:
+            layers.append(
+                (
+                    spec.nodes,
+                    csr_layer_matrix(spec, plan.n_nodes),
+                    np.asarray(spec.thresholds, dtype=np.int64),
+                )
+            )
+        return _MatrixProgram(
+            self.name, plan.n_inputs, plan.n_nodes, list(circuit.outputs), layers
+        )
+
+
+# ---------------------------------------------------------------------- dense
+class DenseBackend:
+    """Dense numpy matrices per layer — fastest when circuits are small.
+
+    When every weighted sum fits exactly in float64 (magnitude below
+    ``2**53`` — true for all circuits this repository constructs) the
+    matrices are stored as float64 so the per-layer product runs on BLAS;
+    results are still bit-exact because 0/1 values, integer weights and
+    integral partial sums are all exactly representable.  Larger (but still
+    int64-safe) circuits fall back to integer matrices.
+    """
+
+    name = "dense"
+
+    def compile(
+        self, circuit: ThresholdCircuit, plan: Optional[LayerPlan] = None
+    ) -> _MatrixProgram:
+        plan = plan if plan is not None else build_layer_plan(circuit)
+        _require_safe(plan, self.name)
+        dtype = np.float64 if plan.float64_exact else np.int64
+        layers = []
+        for spec in plan.layers:
+            matrix = np.zeros((spec.n_gates, plan.n_nodes), dtype=dtype)
+            if spec.data:
+                # (row, col) pairs are unique: Gate merges duplicate sources.
+                matrix[spec.rows, spec.cols] = np.asarray(spec.data, dtype=np.int64)
+            layers.append(
+                (
+                    spec.nodes,
+                    matrix,
+                    np.asarray(spec.thresholds, dtype=np.int64).astype(dtype),
+                )
+            )
+        return _MatrixProgram(
+            self.name,
+            plan.n_inputs,
+            plan.n_nodes,
+            list(circuit.outputs),
+            layers,
+            values_dtype=dtype,
+        )
+
+
+# ---------------------------------------------------------------------- exact
+class _ExactProgram:
+    """Arbitrary-precision program: object dtype, vectorized over the batch."""
+
+    backend_name = "exact"
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_nodes: int,
+        outputs: List[int],
+        gates: List[Tuple[int, np.ndarray, np.ndarray, int]],
+    ) -> None:
+        self.backend_name = "exact"
+        self.n_inputs = n_inputs
+        self.n_nodes = n_nodes
+        self.outputs = outputs
+        self.gates = gates  # (node, sources int64, weights object, threshold)
+
+    def run(self, inputs: np.ndarray) -> np.ndarray:
+        batch = inputs.shape[1]
+        values = np.zeros((self.n_nodes, batch), dtype=object)
+        # Coerce through int64 first: validated inputs are 0/1 but may arrive
+        # as floats, and a float leaking into the object products would poison
+        # the arbitrary-precision arithmetic with float64 rounding.
+        values[: self.n_inputs, :] = inputs.astype(np.int64).astype(object)
+        for node, sources, weights, threshold in self.gates:
+            if sources.size:
+                sums = (weights[:, None] * values[sources, :]).sum(axis=0)
+                fired = sums >= threshold
+            else:
+                fired = np.full(batch, 0 >= threshold)
+            # astype(object) boxes Python ints, keeping later products exact.
+            values[node, :] = np.where(fired, 1, 0).astype(object)
+        return values.astype(np.int8)
+
+
+class ExactBackend:
+    """Gate-by-gate arbitrary-precision fallback (always applicable)."""
+
+    name = "exact"
+
+    def compile(
+        self, circuit: ThresholdCircuit, plan: Optional[LayerPlan] = None
+    ) -> _ExactProgram:
+        plan = plan if plan is not None else build_layer_plan(circuit)
+        gates = []
+        for spec in plan.layers:
+            for node in spec.nodes:
+                gate = circuit.gate_of(int(node))
+                weights = np.empty(gate.fan_in, dtype=object)
+                weights[:] = gate.weights
+                gates.append(
+                    (
+                        int(node),
+                        np.asarray(gate.sources, dtype=np.int64),
+                        weights,
+                        gate.threshold,
+                    )
+                )
+        return _ExactProgram(
+            plan.n_inputs, plan.n_nodes, list(circuit.outputs), gates
+        )
+
+
+# ------------------------------------------------------------------ selection
+_BACKENDS: Dict[str, Backend] = {
+    backend.name: backend
+    for backend in (SparseBackend(), DenseBackend(), ExactBackend())
+}
+
+
+def backend_registry() -> Dict[str, Backend]:
+    """The registered concrete backends by name (copy; mutate freely)."""
+    return dict(_BACKENDS)
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a concrete backend (``"auto"`` is resolved by the engine)."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; registered: {sorted(_BACKENDS)}"
+        ) from None
+
+
+def select_backend_name(
+    plan: LayerPlan, stats: CircuitStats, config: EngineConfig
+) -> str:
+    """Pick the concrete backend for one circuit (the ``"auto"`` heuristic).
+
+    Overflowing circuits must go exact.  Otherwise the dense backend wins
+    when the circuit is small enough that dense layer matrices stay cheap, or
+    wire-dense enough that CSR buys nothing; everything else goes sparse.
+    Forcing a specific backend is the engine's job — this function only
+    encodes the heuristic.
+    """
+    if not plan.int64_safe:
+        return "exact"
+    if plan.n_nodes <= config.dense_node_limit:
+        return "dense"
+    if stats.size and stats.edges / (stats.size * plan.n_nodes) >= config.dense_density:
+        return "dense"
+    return "sparse"
+
+
+def compile_circuit(
+    circuit: ThresholdCircuit,
+    name: str,
+    plan: Optional[LayerPlan] = None,
+) -> CompiledProgram:
+    """Compile a circuit for a concrete backend name."""
+    return get_backend(name).compile(circuit, plan=plan)

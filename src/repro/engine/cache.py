@@ -1,0 +1,93 @@
+"""LRU compile cache for the execution engine.
+
+Compiling a circuit costs a Python pass over every wire; evaluating a cached
+program costs one structural hash (O(edges) of hashing, amortised by the
+hash cache on :class:`~repro.circuits.circuit.ThresholdCircuit`).  The cache
+is keyed by ``(structural_hash, backend_name)`` so the same circuit compiled
+for two backends occupies two slots, and re-building an identical circuit
+from scratch — the common pattern in parameter sweeps — still hits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+__all__ = ["CacheInfo", "CompileCache"]
+
+CacheKey = Tuple[str, str]  # (structural hash, backend name)
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Counters describing cache behaviour since construction."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+        }
+
+
+class CompileCache:
+    """A small LRU map from cache keys to compiled backend programs."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """Return the cached program for ``key`` (refreshing recency) or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert a compiled program, evicting the least recently used one."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep accumulating)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def info(self) -> CacheInfo:
+        """Snapshot of the hit/miss/eviction counters."""
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )

@@ -1,0 +1,75 @@
+"""Execution-engine configuration.
+
+An :class:`EngineConfig` bundles every knob of the runtime: which backend to
+compile circuits for, how large the compile cache may grow, how wide the
+column chunks of a batch evaluation are, and when to shard chunks across a
+process pool.  The defaults are tuned for the circuits this repository
+builds (thousands of gates, batches up to a few thousand inputs) and can be
+overridden per :class:`~repro.engine.engine.Engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+__all__ = ["BACKEND_NAMES", "EngineConfig"]
+
+#: The backends the engine can compile for, plus the auto-selection sentinel.
+BACKEND_NAMES: Tuple[str, ...] = ("auto", "sparse", "dense", "exact")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Immutable runtime configuration for an :class:`~repro.engine.Engine`.
+
+    Attributes
+    ----------
+    backend:
+        ``"auto"`` (pick per circuit from its stats), or force ``"sparse"``
+        (scipy CSR), ``"dense"`` (numpy matrices — float64 BLAS while sums
+        stay exactly representable, int64 fallback) or ``"exact"``
+        (arbitrary-precision object dtype).
+    cache_size:
+        Maximum number of compiled circuits kept in the LRU compile cache;
+        0 disables caching.
+    chunk_size:
+        Column-block width of batched evaluation.  Batches wider than this
+        are evaluated in chunks so per-layer intermediates stay cache-sized.
+    max_workers:
+        Shard chunks across a ``multiprocessing`` pool of this many workers.
+        0 or 1 evaluates serially in-process.
+    parallel_threshold:
+        Minimum batch width before the pool is spun up; smaller batches are
+        always evaluated serially (a pool costs more than it saves there).
+    dense_node_limit:
+        Auto-selection: circuits with at most this many nodes use the dense
+        backend, where the CSR overhead dominates the actual arithmetic.
+    dense_density:
+        Auto-selection: circuits whose wire density (edges per gate-node
+        pair) is at least this also go dense, whatever their size.
+    """
+
+    backend: str = "auto"
+    cache_size: int = 32
+    chunk_size: int = 2048
+    max_workers: int = 0
+    parallel_threshold: int = 1024
+    dense_node_limit: int = 512
+    dense_density: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
+            )
+        if self.cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.max_workers < 0:
+            raise ValueError(f"max_workers must be >= 0, got {self.max_workers}")
+
+    def with_overrides(self, **changes) -> "EngineConfig":
+        """Return a copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)

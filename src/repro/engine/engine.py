@@ -1,0 +1,201 @@
+"""The execution engine facade.
+
+An :class:`Engine` owns a compile cache and a configuration and turns
+circuits plus input batches into results:
+
+* :meth:`Engine.compile` — structural-hash cache lookup, backend
+  auto-selection, compilation on miss;
+* :meth:`Engine.evaluate` — batched evaluation through the chunked /
+  process-parallel scheduler, returning the familiar
+  :class:`~repro.circuits.simulator.SimulationResult`;
+* :meth:`Engine.spike_trace` — the spiking-mode activity trace.
+
+A process-wide default engine (:func:`default_engine`) backs the
+compatibility wrappers (``repro.circuits.simulate``, ``TraceCircuit``), so
+callers that never mention the engine still share one compile cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.circuit import ThresholdCircuit
+from repro.circuits.simulator import (
+    SimulationResult,
+    build_layer_plan,
+    check_batch_inputs,
+)
+from repro.engine.backends import (
+    CompiledProgram,
+    get_backend,
+    select_backend_name,
+)
+from repro.engine.cache import CacheInfo, CompileCache
+from repro.engine.config import BACKEND_NAMES, EngineConfig
+from repro.engine.scheduler import evaluate_batched
+from repro.engine.spiking import ActivityPlan, SpikeTrace, compute_spike_trace
+
+__all__ = ["Engine", "default_engine", "set_default_engine"]
+
+
+@dataclass
+class _CacheEntry:
+    """A compiled program plus the slim activity plan spiking mode needs.
+
+    The full :class:`LayerPlan` (per-wire Python-int lists, O(edges) boxed
+    ints) is deliberately *not* retained: it exists only during compilation.
+    """
+
+    program: CompiledProgram
+    activity: ActivityPlan
+
+
+class Engine:
+    """Multi-backend compiled-circuit runtime with an LRU compile cache."""
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self._cache = CompileCache(self.config.cache_size)
+        # Remembered auto-selection verdicts (hash -> concrete backend name),
+        # so an auto lookup costs one cache probe and one LRU slot, not two.
+        self._auto_resolved: dict = {}
+        #: Number of actual backend compilations performed (cache misses that
+        #: reached a backend).  Exposed so tests can assert cache behaviour.
+        self.compile_calls = 0
+
+    # ---------------------------------------------------------------- compile
+    def _entry(
+        self, circuit: ThresholdCircuit, backend: Optional[str] = None
+    ) -> _CacheEntry:
+        requested = backend if backend is not None else self.config.backend
+        if requested not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {requested!r}; expected one of {BACKEND_NAMES}"
+            )
+        key_hash = circuit.structural_hash()
+        # Entries live under the concrete backend name only; "auto" goes
+        # through the remembered verdict so it shares the slot (and the
+        # miss accounting) with forced lookups of the same backend.
+        resolved = (
+            self._auto_resolved.get(key_hash) if requested == "auto" else requested
+        )
+        if resolved is not None:
+            entry = self._cache.get((key_hash, resolved))
+            if entry is not None:
+                return entry
+        plan = build_layer_plan(circuit)
+        if requested == "auto":
+            selected = select_backend_name(plan, circuit.stats(), self.config)
+            # Verdicts are cheap to recompute; keep the map bounded so a
+            # long-lived engine seeing many distinct circuits cannot leak.
+            if len(self._auto_resolved) >= max(64, 4 * self._cache.capacity):
+                self._auto_resolved.clear()
+            self._auto_resolved[key_hash] = selected
+            if selected != resolved:
+                # First time this circuit resolves: it may already be
+                # compiled under the concrete name by a forced call.
+                entry = self._cache.get((key_hash, selected))
+                if entry is not None:
+                    return entry
+            resolved = selected
+        program = get_backend(resolved).compile(circuit, plan=plan)
+        self.compile_calls += 1
+        entry = _CacheEntry(
+            program=program, activity=ActivityPlan.from_layer_plan(plan)
+        )
+        self._cache.put((key_hash, resolved), entry)
+        return entry
+
+    def compile(
+        self, circuit: ThresholdCircuit, backend: Optional[str] = None
+    ) -> CompiledProgram:
+        """Return the compiled program for a circuit, using the cache.
+
+        ``backend`` overrides the engine's configured backend for this call;
+        ``"auto"`` resolves per circuit via the selection heuristic.
+        """
+        return self._entry(circuit, backend).program
+
+    # --------------------------------------------------------------- evaluate
+    def evaluate(
+        self,
+        circuit: ThresholdCircuit,
+        inputs: np.ndarray,
+        backend: Optional[str] = None,
+    ) -> SimulationResult:
+        """Evaluate a circuit on one input vector or a ``(n_inputs, batch)``
+        block, compiling (or fetching from cache) as needed."""
+        inputs = np.asarray(inputs)
+        squeeze = inputs.ndim == 1
+        if squeeze:
+            inputs = inputs[:, None]
+        check_batch_inputs(circuit, inputs)
+        batch = inputs.shape[1]
+        entry = self._entry(circuit, backend)
+        node_values = evaluate_batched(entry.program, inputs, self.config)
+        outputs = (
+            node_values[circuit.outputs, :]
+            if circuit.outputs
+            else np.zeros((0, batch), dtype=np.int8)
+        )
+        energy = node_values[circuit.n_inputs :, :].sum(axis=0).astype(np.int64)
+        if squeeze:
+            return SimulationResult(node_values[:, 0], outputs[:, 0], energy[0])
+        return SimulationResult(node_values, outputs, energy)
+
+    def spike_trace(
+        self,
+        circuit: ThresholdCircuit,
+        inputs: np.ndarray,
+        backend: Optional[str] = None,
+    ) -> SpikeTrace:
+        """Spiking-mode evaluation: per-layer/per-gate spike and event counts."""
+        inputs = np.asarray(inputs)
+        if inputs.ndim == 1:
+            inputs = inputs[:, None]
+        check_batch_inputs(circuit, inputs)
+        entry = self._entry(circuit, backend)
+        node_values = evaluate_batched(entry.program, inputs, self.config)
+        return compute_spike_trace(entry.activity, node_values)
+
+    # ------------------------------------------------------------------ cache
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/eviction counters of the compile cache."""
+        return self._cache.info()
+
+    def clear_cache(self) -> None:
+        """Drop all cached programs and verdicts (counters keep accumulating)."""
+        self._cache.clear()
+        self._auto_resolved.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        info = self._cache.info()
+        return (
+            f"Engine(backend={self.config.backend!r}, cached={info.size}, "
+            f"hits={info.hits}, compiles={self.compile_calls})"
+        )
+
+
+_DEFAULT_ENGINE: Optional[Engine] = None
+
+
+def default_engine() -> Engine:
+    """The process-wide engine used by the compatibility wrappers."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = Engine()
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: Optional[Engine]) -> Optional[Engine]:
+    """Replace the process-wide engine; returns the previous one.
+
+    Pass ``None`` to reset lazily to a fresh default-config engine.
+    """
+    global _DEFAULT_ENGINE
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    return previous

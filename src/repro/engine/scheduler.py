@@ -1,0 +1,91 @@
+"""Batch scheduler: chunked and process-parallel circuit evaluation.
+
+Arbitrarily wide input batches are split into column blocks so every
+per-layer intermediate (``n_nodes x chunk`` int64) stays cache-sized, in the
+spirit of the two-pass sharded evaluation of parallel connected-component
+labeling: each chunk is an independent shard, and the final node-value
+matrix is just the concatenation of the shard results (circuit evaluation
+has no cross-column coupling, so no merge pass is needed).
+
+When a pool is requested the compiled program is shipped to each worker via
+the pool initializer — once per worker per call, not once per chunk — and
+the workers stream chunk results back.  The pool itself is created per
+:func:`evaluate_batched` call (a persistent, reusable pool is future work),
+so sharding only pays off when one batch is wide enough to amortize the
+spawn; the engine gates it behind ``EngineConfig.parallel_threshold``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.backends import CompiledProgram
+from repro.engine.config import EngineConfig
+
+__all__ = ["evaluate_batched", "iter_column_chunks"]
+
+
+def iter_column_chunks(width: int, chunk_size: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, stop)`` column ranges covering ``range(width)``."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    for start in range(0, width, chunk_size):
+        yield start, min(start + chunk_size, width)
+
+
+# Worker-side state: the compiled program is installed once per worker by the
+# pool initializer so chunks only carry input columns across the pipe.
+_WORKER_PROGRAM: Optional[CompiledProgram] = None
+
+
+def _worker_init(program: CompiledProgram) -> None:
+    global _WORKER_PROGRAM
+    _WORKER_PROGRAM = program
+
+
+def _worker_run(chunk: np.ndarray) -> np.ndarray:
+    assert _WORKER_PROGRAM is not None, "worker pool used before initialization"
+    return _WORKER_PROGRAM.run(chunk)
+
+
+def evaluate_batched(
+    program: CompiledProgram,
+    inputs: np.ndarray,
+    config: Optional[EngineConfig] = None,
+) -> np.ndarray:
+    """Run a compiled program over a ``(n_inputs, batch)`` block, chunked.
+
+    Returns the full ``(n_nodes, batch)`` int8 node-value matrix.  Chunking
+    follows ``config.chunk_size``; sharding across a process pool kicks in
+    when ``config.max_workers > 1`` and the batch is at least
+    ``config.parallel_threshold`` wide.  When sharding applies, the chunk
+    width is narrowed (if needed) so every worker gets at least one chunk —
+    callers never have to derive a chunk size from the worker count.
+    """
+    config = config if config is not None else EngineConfig()
+    batch = inputs.shape[1]
+    chunk_size = config.chunk_size
+    parallel_ok = config.max_workers > 1 and batch >= config.parallel_threshold
+    if parallel_ok:
+        chunk_size = min(chunk_size, max(1, -(-batch // config.max_workers)))
+    if batch <= chunk_size:
+        return program.run(inputs)
+
+    ranges = list(iter_column_chunks(batch, chunk_size))
+    use_pool = parallel_ok and len(ranges) > 1
+    if use_pool:
+        chunks = [inputs[:, start:stop] for start, stop in ranges]
+        processes = min(config.max_workers, len(chunks))
+        with multiprocessing.Pool(
+            processes, initializer=_worker_init, initargs=(program,)
+        ) as pool:
+            parts: List[np.ndarray] = pool.map(_worker_run, chunks)
+        return np.concatenate(parts, axis=1)
+
+    node_values = np.empty((program.n_nodes, batch), dtype=np.int8)
+    for start, stop in ranges:
+        node_values[:, start:stop] = program.run(inputs[:, start:stop])
+    return node_values

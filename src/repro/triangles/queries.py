@@ -28,14 +28,19 @@ __all__ = ["TriangleQuery", "build_triangle_query"]
 
 @dataclass
 class TriangleQuery:
-    """A reusable circuit answering "does G have at least tau triangles?"."""
+    """A reusable circuit answering "does G have at least tau triangles?".
+
+    Evaluation rides the execution engine through the underlying
+    :class:`~repro.core.trace_circuit.TraceCircuit`, so answering the same
+    structural query for many graphs compiles the circuit once and streams
+    the graphs through the batch scheduler.
+    """
 
     trace_circuit: TraceCircuit
     tau_triangles: int
     original_n: int
 
-    def evaluate(self, adjacency) -> bool:
-        """Answer the query for a graph on at most ``trace_circuit.n`` vertices."""
+    def _pad_to_circuit(self, adjacency) -> np.ndarray:
         adj = validate_adjacency(adjacency)
         padded, _ = pad_adjacency(adj, self.trace_circuit.algorithm.t)
         if padded.shape[0] != self.trace_circuit.n:
@@ -47,7 +52,16 @@ class TriangleQuery:
             grown = np.zeros((target, target), dtype=np.int64)
             grown[: padded.shape[0], : padded.shape[0]] = padded
             padded = grown
-        return self.trace_circuit.evaluate(padded)
+        return padded
+
+    def evaluate(self, adjacency) -> bool:
+        """Answer the query for a graph on at most ``trace_circuit.n`` vertices."""
+        return self.trace_circuit.evaluate(self._pad_to_circuit(adjacency))
+
+    def evaluate_batch(self, adjacencies) -> np.ndarray:
+        """Answer the query for many graphs with one batched evaluation."""
+        padded = [self._pad_to_circuit(adjacency) for adjacency in adjacencies]
+        return self.trace_circuit.evaluate_batch(padded)
 
     def reference(self, adjacency) -> bool:
         """Exact answer used for validation."""
@@ -62,6 +76,7 @@ def build_triangle_query(
     algorithm: Optional[BilinearAlgorithm] = None,
     depth_parameter: int = 2,
     schedule: Optional[LevelSchedule] = None,
+    engine=None,
 ) -> TriangleQuery:
     """Build a triangle-threshold query circuit for graphs on ``n`` vertices.
 
@@ -92,6 +107,7 @@ def build_triangle_query(
         algorithm=algorithm,
         schedule=schedule,
         depth_parameter=depth_parameter,
+        engine=engine,
     )
     return TriangleQuery(
         trace_circuit=trace_circuit,

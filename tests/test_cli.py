@@ -102,6 +102,97 @@ class TestTrianglesCommand:
             run_cli(["triangles", "--edges", str(path), "--tau", "1"])
 
 
+class TestSimulateCommand:
+    def export_circuit(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        code, payload = run_cli(
+            ["build-trace", "--n", "2", "--tau", "3", "--d", "1", "--bit-width", "1", "--output", path]
+        )
+        assert code == 0
+        return path, payload["n_inputs"]
+
+    def write_rows(self, tmp_path, rows):
+        path = tmp_path / "rows.txt"
+        path.write_text("\n".join(rows) + "\n")
+        return str(path)
+
+    def test_simulate_outputs_and_energy(self, tmp_path):
+        circuit_path, n_inputs = self.export_circuit(tmp_path)
+        rows = self.write_rows(
+            tmp_path, ["# comment", "0" * n_inputs, "1" * n_inputs, " ".join(["1", "0"] * (n_inputs // 2))]
+        )
+        code, payload = run_cli(["simulate", "--circuit", circuit_path, "--inputs", rows])
+        assert code == 0
+        assert payload["batch"] == 3
+        assert len(payload["outputs"]) == 3
+        assert len(payload["energy"]) == 3
+        assert payload["energy"][0] == 0  # all-zero input fires nothing
+        assert payload["backend"] in ("sparse", "dense", "exact")
+        # compile() then evaluate() must share one cached program
+        assert payload["cache"]["hits"] >= 1
+
+    def test_simulate_backends_agree(self, tmp_path):
+        circuit_path, n_inputs = self.export_circuit(tmp_path)
+        rows = self.write_rows(tmp_path, ["01" * (n_inputs // 2), "10" * (n_inputs // 2)])
+        payloads = {}
+        for backend in ("sparse", "dense", "exact"):
+            code, payload = run_cli(
+                ["simulate", "--circuit", circuit_path, "--inputs", rows, "--backend", backend]
+            )
+            assert code == 0
+            assert payload["backend"] == backend
+            payloads[backend] = (payload["outputs"], payload["energy"])
+        assert payloads["sparse"] == payloads["dense"] == payloads["exact"]
+
+    def test_simulate_chunked_workers(self, tmp_path):
+        circuit_path, n_inputs = self.export_circuit(tmp_path)
+        rows = self.write_rows(tmp_path, ["0" * n_inputs, "1" * n_inputs, "01" * (n_inputs // 2), "10" * (n_inputs // 2)])
+        serial_code, serial = run_cli(["simulate", "--circuit", circuit_path, "--inputs", rows])
+        assert serial_code == 0
+        sharded_code, sharded = run_cli(
+            ["simulate", "--circuit", circuit_path, "--inputs", rows, "--chunk-size", "2", "--workers", "2"]
+        )
+        assert sharded_code == 0
+        assert sharded["outputs"] == serial["outputs"]
+        assert sharded["energy"] == serial["energy"]
+
+    def test_simulate_malformed_rows(self, tmp_path):
+        circuit_path, n_inputs = self.export_circuit(tmp_path)
+        rows = self.write_rows(tmp_path, ["01"])
+        with pytest.raises(ValueError):
+            run_cli(["simulate", "--circuit", circuit_path, "--inputs", rows])
+        with pytest.raises(ValueError):
+            run_cli(["simulate", "--circuit", circuit_path, "--inputs", self.write_rows(tmp_path, ["# none"])])
+
+
+class TestEnergyTraceCommand:
+    def test_energy_trace_random_samples(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        run_cli(["build-trace", "--n", "2", "--tau", "3", "--d", "1", "--bit-width", "1", "--output", path])
+        code, payload = run_cli(["energy-trace", "--circuit", path, "--samples", "8", "--seed", "7"])
+        assert code == 0
+        assert payload["samples"] == 8
+        assert payload["circuit_size"] > 0
+        layer_gates = sum(row["gates"] for row in payload["layers"])
+        assert layer_gates == payload["circuit_size"]
+        # total energy is the sum of per-layer spikes
+        mean_from_layers = sum(row["mean_spikes"] for row in payload["layers"])
+        assert mean_from_layers == pytest.approx(payload["mean_energy"])
+        assert 0.0 <= payload["mean_fraction_firing"] <= 1.0
+
+    def test_energy_trace_explicit_inputs(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        code, built = run_cli(
+            ["build-trace", "--n", "2", "--tau", "3", "--d", "1", "--bit-width", "1", "--output", path]
+        )
+        rows = tmp_path / "rows.txt"
+        rows.write_text("0" * built["n_inputs"] + "\n")
+        code, payload = run_cli(["energy-trace", "--circuit", path, "--inputs", str(rows)])
+        assert code == 0
+        assert payload["samples"] == 1
+        assert payload["min_energy"] == 0
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

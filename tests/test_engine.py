@@ -1,0 +1,462 @@
+"""Tests for the execution engine: backends, cache, scheduler, spiking mode.
+
+The central invariant is cross-backend equivalence: every backend must
+produce bit-identical ``node_values`` / ``outputs`` / ``energy`` to the
+gate-by-gate reference ``ThresholdCircuit.evaluate_slow`` on any circuit and
+any batch.  The Hypothesis properties below randomize both.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.energy import measure_circuit_energy
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.simulator import CompiledCircuit, build_layer_plan, simulate
+from repro.engine import (
+    BackendError,
+    Engine,
+    EngineConfig,
+    compute_spike_trace,
+    default_engine,
+    evaluate_batched,
+    iter_column_chunks,
+    select_backend_name,
+    set_default_engine,
+)
+
+BACKENDS = ("sparse", "dense", "exact")
+
+
+def build_random_circuit(data, max_weight=5, with_outputs=True):
+    """Draw a random threshold circuit (same shape as the simulator tests)."""
+    n_inputs = data.draw(st.integers(min_value=1, max_value=5))
+    n_gates = data.draw(st.integers(min_value=1, max_value=12))
+    builder = CircuitBuilder()
+    builder.allocate_inputs(n_inputs)
+    for g in range(n_gates):
+        available = n_inputs + g
+        fan_in = data.draw(st.integers(min_value=0, max_value=min(4, available)))
+        sources = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=available - 1),
+                min_size=fan_in,
+                max_size=fan_in,
+                unique=True,
+            )
+        )
+        weights = data.draw(
+            st.lists(
+                st.integers(min_value=-max_weight, max_value=max_weight),
+                min_size=fan_in,
+                max_size=fan_in,
+            )
+        )
+        threshold = data.draw(st.integers(min_value=-10, max_value=10))
+        builder.add_gate(sources, weights, threshold)
+    circuit = builder.build()
+    if with_outputs and circuit.size:
+        circuit.set_outputs([circuit.n_nodes - 1])
+    return circuit
+
+
+def slow_reference(circuit, batch):
+    """Column-by-column evaluate_slow, stacked to (n_nodes, batch)."""
+    return np.stack(
+        [circuit.evaluate_slow(list(batch[:, j])) for j in range(batch.shape[1])],
+        axis=1,
+    )
+
+
+def parity_circuit(n_bits):
+    builder = CircuitBuilder(name="parity")
+    inputs = builder.allocate_inputs(n_bits)
+    at_least = [builder.add_gate(inputs, [1] * n_bits, k) for k in range(1, n_bits + 1)]
+    weights = [1 if k % 2 == 1 else -1 for k in range(1, n_bits + 1)]
+    out = builder.add_gate(at_least, weights, 1)
+    builder.set_outputs([out], ["parity"])
+    return builder.build()
+
+
+def huge_weight_circuit():
+    builder = CircuitBuilder()
+    inputs = builder.allocate_inputs(2)
+    huge = 1 << 70
+    gate = builder.add_gate(inputs, [huge, -huge], huge)
+    builder.set_outputs([gate])
+    return builder.build()
+
+
+class TestCrossBackendEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_all_backends_match_evaluate_slow(self, data):
+        circuit = build_random_circuit(data)
+        batch_width = data.draw(st.integers(min_value=1, max_value=8))
+        batch = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.integers(0, 1), min_size=batch_width, max_size=batch_width),
+                    min_size=circuit.n_inputs,
+                    max_size=circuit.n_inputs,
+                )
+            )
+        )
+        expected_nodes = slow_reference(circuit, batch)
+        expected_energy = expected_nodes[circuit.n_inputs :, :].sum(axis=0)
+        engine = Engine()
+        for backend in BACKENDS:
+            result = engine.evaluate(circuit, batch, backend=backend)
+            assert (result.node_values == expected_nodes).all(), backend
+            assert (result.energy == expected_energy).all(), backend
+            if circuit.outputs:
+                assert (result.outputs == expected_nodes[circuit.outputs, :]).all(), backend
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.data())
+    def test_exact_backend_with_huge_weights(self, data):
+        # Weights way beyond int64: only the exact backend applies, and it
+        # must still match the arbitrary-precision reference.
+        circuit = build_random_circuit(data, max_weight=1 << 80)
+        batch = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.integers(0, 1), min_size=4, max_size=4),
+                    min_size=circuit.n_inputs,
+                    max_size=circuit.n_inputs,
+                )
+            )
+        )
+        engine = Engine()
+        result = engine.evaluate(circuit, batch, backend="exact")
+        assert (result.node_values == slow_reference(circuit, batch)).all()
+
+    def test_exact_backend_with_float_inputs(self):
+        # check_batch_inputs accepts float 0.0/1.0; the exact backend must
+        # coerce them to ints or w*1.0 rounds in float64 for huge weights.
+        builder = CircuitBuilder()
+        inputs = builder.allocate_inputs(2)
+        w = (1 << 70) + 1
+        gate = builder.add_gate(inputs, [w, 0], w)  # fires iff in0, exactly
+        builder.set_outputs([gate])
+        circuit = builder.build()
+        result = Engine().evaluate(circuit, np.array([[1.0], [1.0]]))
+        assert result.outputs[0, 0] == 1  # float64 rounding would yield 0
+
+    def test_single_vector_squeeze_matches_compiled_circuit(self, rng):
+        circuit = parity_circuit(5)
+        engine = Engine()
+        compiled = CompiledCircuit(circuit)
+        for _ in range(10):
+            bits = rng.integers(0, 2, size=5)
+            mine = engine.evaluate(circuit, bits)
+            theirs = compiled.evaluate(bits)
+            assert mine.node_values.shape == theirs.node_values.shape
+            assert (mine.node_values == theirs.node_values).all()
+            assert mine.energy == theirs.energy
+
+    def test_empty_batch(self):
+        circuit = parity_circuit(3)
+        engine = Engine()
+        result = engine.evaluate(circuit, np.zeros((3, 0), dtype=np.int64))
+        assert result.node_values.shape == (circuit.n_nodes, 0)
+        assert result.energy.shape == (0,)
+
+
+class TestCompileCache:
+    def test_cache_hit_skips_recompilation(self):
+        circuit = parity_circuit(6)
+        engine = Engine()
+        batch = np.zeros((6, 4), dtype=np.int64)
+        engine.evaluate(circuit, batch)
+        assert engine.compile_calls == 1
+        engine.evaluate(circuit, batch)
+        engine.evaluate(circuit, np.ones((6, 2), dtype=np.int64))
+        assert engine.compile_calls == 1  # same structure: compiled once
+        assert engine.cache_info().hits >= 2
+
+    def test_structurally_identical_rebuild_hits(self):
+        engine = Engine()
+        engine.evaluate(parity_circuit(6), np.zeros((6, 1), dtype=np.int64))
+        engine.evaluate(parity_circuit(6), np.zeros((6, 1), dtype=np.int64))
+        assert engine.compile_calls == 1
+
+    def test_different_structure_recompiles(self):
+        engine = Engine()
+        engine.evaluate(parity_circuit(4), np.zeros((4, 1), dtype=np.int64))
+        engine.evaluate(parity_circuit(5), np.zeros((5, 1), dtype=np.int64))
+        assert engine.compile_calls == 2
+
+    def test_forced_backend_uses_separate_slot(self):
+        circuit = parity_circuit(4)
+        engine = Engine()
+        engine.evaluate(circuit, np.zeros((4, 1), dtype=np.int64), backend="sparse")
+        engine.evaluate(circuit, np.zeros((4, 1), dtype=np.int64), backend="dense")
+        assert engine.compile_calls == 2
+        engine.evaluate(circuit, np.zeros((4, 1), dtype=np.int64), backend="sparse")
+        assert engine.compile_calls == 2
+
+    def test_auto_alias_reuses_resolved_program(self):
+        circuit = parity_circuit(4)
+        engine = Engine()  # auto resolves to dense for this tiny circuit
+        engine.evaluate(circuit, np.zeros((4, 1), dtype=np.int64))
+        assert engine.compile_calls == 1
+        engine.evaluate(circuit, np.zeros((4, 1), dtype=np.int64), backend="dense")
+        assert engine.compile_calls == 1  # auto already compiled the dense program
+
+    def test_auto_compile_costs_one_miss_and_one_slot(self):
+        engine = Engine()
+        engine.evaluate(parity_circuit(4), np.zeros((4, 1), dtype=np.int64))
+        info = engine.cache_info()
+        assert info.size == 1
+        assert info.misses == 1
+        assert engine.compile_calls == 1
+        # A second auto evaluation is exactly one counted hit.
+        engine.evaluate(parity_circuit(4), np.zeros((4, 1), dtype=np.int64))
+        assert engine.cache_info().hits == 1
+
+    def test_lru_eviction(self):
+        engine = Engine(EngineConfig(cache_size=2))
+        for bits in (3, 4, 5, 3):
+            engine.evaluate(parity_circuit(bits), np.zeros((bits, 1), dtype=np.int64))
+        # 3 was evicted by 5 (capacity 2), so it compiled twice
+        assert engine.compile_calls == 4
+        assert engine.cache_info().evictions >= 1
+
+    def test_cache_disabled(self):
+        engine = Engine(EngineConfig(cache_size=0))
+        circuit = parity_circuit(4)
+        engine.evaluate(circuit, np.zeros((4, 1), dtype=np.int64))
+        engine.evaluate(circuit, np.zeros((4, 1), dtype=np.int64))
+        assert engine.compile_calls == 2
+
+    def test_clear_cache(self):
+        engine = Engine()
+        circuit = parity_circuit(4)
+        engine.evaluate(circuit, np.zeros((4, 1), dtype=np.int64))
+        engine.clear_cache()
+        engine.evaluate(circuit, np.zeros((4, 1), dtype=np.int64))
+        assert engine.compile_calls == 2
+
+    def test_default_engine_is_shared_and_replaceable(self):
+        previous = set_default_engine(None)
+        try:
+            assert default_engine() is default_engine()
+            mine = Engine()
+            set_default_engine(mine)
+            assert default_engine() is mine
+        finally:
+            set_default_engine(previous)
+
+
+class TestStructuralHash:
+    def test_stable_and_label_insensitive(self):
+        a = parity_circuit(5)
+        b = parity_circuit(5)
+        assert a.structural_hash() == b.structural_hash()
+        b.name = "renamed"
+        b.metadata["note"] = "irrelevant"
+        b.output_labels = ["other"]
+        assert a.structural_hash() == b.structural_hash()
+
+    def test_changes_with_structure(self):
+        a = parity_circuit(5)
+        b = parity_circuit(4)
+        assert a.structural_hash() != b.structural_hash()
+
+    def test_invalidated_by_mutation(self):
+        circuit = parity_circuit(4)
+        before = circuit.structural_hash()
+        circuit.add_threshold_gate([0], [1], 1)
+        assert circuit.structural_hash() != before
+        with_outputs = circuit.structural_hash()
+        circuit.set_outputs([circuit.n_nodes - 1])
+        assert circuit.structural_hash() != with_outputs
+
+
+class TestBackendSelection:
+    def test_small_circuit_goes_dense(self):
+        circuit = parity_circuit(4)
+        engine = Engine()
+        assert engine.compile(circuit).backend_name == "dense"
+
+    def test_large_sparse_circuit_goes_sparse(self):
+        circuit = parity_circuit(8)
+        engine = Engine(EngineConfig(dense_node_limit=4, dense_density=0.99))
+        assert engine.compile(circuit).backend_name == "sparse"
+
+    def test_overflowing_circuit_goes_exact(self):
+        circuit = huge_weight_circuit()
+        engine = Engine()
+        assert engine.compile(circuit).backend_name == "exact"
+        assert engine.evaluate(circuit, np.array([1, 0])).outputs[0] == 1
+        assert engine.evaluate(circuit, np.array([1, 1])).outputs[0] == 0
+
+    def test_forcing_fast_backend_on_overflow_raises(self):
+        circuit = huge_weight_circuit()
+        engine = Engine()
+        with pytest.raises(BackendError):
+            engine.compile(circuit, backend="dense")
+        with pytest.raises(BackendError):
+            engine.compile(circuit, backend="sparse")
+
+    def test_unknown_backend_rejected(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            engine.compile(parity_circuit(3), backend="gpu")
+        with pytest.raises(ValueError):
+            EngineConfig(backend="gpu")
+
+    def test_selector_is_pure_heuristic(self):
+        circuit = parity_circuit(4)
+        plan = build_layer_plan(circuit)
+        stats = circuit.stats()
+        assert select_backend_name(plan, stats, EngineConfig()) == "dense"
+        assert (
+            select_backend_name(plan, stats, EngineConfig(dense_node_limit=1, dense_density=0.99))
+            == "sparse"
+        )
+
+
+class TestScheduler:
+    def test_iter_column_chunks(self):
+        assert list(iter_column_chunks(10, 4)) == [(0, 4), (4, 8), (8, 10)]
+        assert list(iter_column_chunks(4, 4)) == [(0, 4)]
+        assert list(iter_column_chunks(0, 4)) == []
+        with pytest.raises(ValueError):
+            list(iter_column_chunks(10, 0))
+
+    def test_chunked_matches_unchunked(self, rng):
+        circuit = parity_circuit(6)
+        batch = rng.integers(0, 2, size=(6, 37))
+        whole = Engine(EngineConfig(chunk_size=64)).evaluate(circuit, batch)
+        chunked = Engine(EngineConfig(chunk_size=5)).evaluate(circuit, batch)
+        tiny = Engine(EngineConfig(chunk_size=1)).evaluate(circuit, batch)
+        assert (chunked.node_values == whole.node_values).all()
+        assert (tiny.node_values == whole.node_values).all()
+        assert (chunked.energy == whole.energy).all()
+
+    def test_parallel_matches_serial(self, rng):
+        circuit = parity_circuit(6)
+        batch = rng.integers(0, 2, size=(6, 48))
+        serial = Engine().evaluate(circuit, batch)
+        parallel = Engine(
+            EngineConfig(chunk_size=8, max_workers=2, parallel_threshold=16)
+        ).evaluate(circuit, batch)
+        assert (parallel.node_values == serial.node_values).all()
+        assert (parallel.energy == serial.energy).all()
+
+    def test_workers_narrow_chunk_width(self, rng):
+        # With workers requested, the scheduler must shard even when the
+        # batch is smaller than chunk_size — no caller-side chunk math.
+        circuit = parity_circuit(6)
+        batch = rng.integers(0, 2, size=(6, 10))
+        config = EngineConfig(chunk_size=2048, max_workers=2, parallel_threshold=1)
+        sharded = Engine(config).evaluate(circuit, batch)
+        serial = Engine().evaluate(circuit, batch)
+        assert (sharded.node_values == serial.node_values).all()
+        assert (sharded.energy == serial.energy).all()
+
+    def test_pool_gated_behind_threshold(self, rng):
+        # Below parallel_threshold the pool must not be required; results
+        # still agree (we can't observe process count, but the path differs).
+        circuit = parity_circuit(4)
+        batch = rng.integers(0, 2, size=(4, 8))
+        config = EngineConfig(chunk_size=2, max_workers=4, parallel_threshold=1000)
+        result = Engine(config).evaluate(circuit, batch)
+        assert (result.node_values == Engine().evaluate(circuit, batch).node_values).all()
+
+    def test_evaluate_batched_direct(self, rng):
+        circuit = parity_circuit(5)
+        engine = Engine()
+        program = engine.compile(circuit, backend="sparse")
+        batch = rng.integers(0, 2, size=(5, 13))
+        node_values = evaluate_batched(program, batch, EngineConfig(chunk_size=4))
+        assert (node_values == slow_reference(circuit, batch)).all()
+
+
+class TestSpikingMode:
+    def test_trace_consistent_with_energy(self, rng):
+        circuit = parity_circuit(6)
+        batch = rng.integers(0, 2, size=(6, 20))
+        engine = Engine()
+        trace = engine.spike_trace(circuit, batch)
+        result = engine.evaluate(circuit, batch)
+        assert (trace.energy == result.energy).all()
+        assert (trace.spikes_per_layer.sum(axis=0) == result.energy).all()
+        assert trace.batch == 20
+        assert trace.gates_per_layer.sum() == circuit.size
+        assert trace.gate_fire_counts.shape == (circuit.size,)
+        assert (trace.gate_fire_counts == result.node_values[6:, :].sum(axis=1)).all()
+
+    def test_cross_check_against_analysis_energy(self, rng):
+        circuit = parity_circuit(6)
+        vectors = [rng.integers(0, 2, size=6) for _ in range(12)]
+        report = measure_circuit_energy(circuit, vectors)
+        trace = Engine().spike_trace(circuit, np.stack(vectors, axis=1))
+        assert float(trace.energy.mean()) == pytest.approx(report.mean_energy)
+        assert int(trace.energy.max()) == report.max_energy
+        assert int(trace.energy.min()) == report.min_energy
+
+    def test_synaptic_events_counted_per_wire(self):
+        builder = CircuitBuilder()
+        inputs = builder.allocate_inputs(2)
+        g1 = builder.add_gate(inputs, [1, 1], 1)  # OR
+        g2 = builder.add_gate([inputs[0], g1], [1, 1], 2)  # AND(in0, or)
+        builder.set_outputs([g2])
+        circuit = builder.build()
+        trace = Engine().spike_trace(circuit, np.array([[1], [0]]))
+        # layer 1 receives in0=1, in1=0 -> 1 event; layer 2 receives in0=1, g1=1 -> 2
+        assert trace.synaptic_events_per_layer[:, 0].tolist() == [1, 2]
+        assert trace.energy[0] == 2
+
+    def test_as_rows_and_dict(self, rng):
+        circuit = parity_circuit(4)
+        trace = Engine().spike_trace(circuit, rng.integers(0, 2, size=(4, 6)))
+        rows = trace.as_rows()
+        assert [row["layer"] for row in rows] == sorted(row["layer"] for row in rows)
+        summary = trace.as_dict()
+        assert summary["samples"] == 6
+        assert summary["mean_energy"] == pytest.approx(float(trace.energy.mean()))
+
+    def test_trace_pure_function_of_node_values(self, rng):
+        circuit = parity_circuit(5)
+        batch = rng.integers(0, 2, size=(5, 7))
+        plan = build_layer_plan(circuit)
+        node_values = CompiledCircuit(circuit).evaluate(batch).node_values
+        trace = compute_spike_trace(plan, node_values)
+        assert (trace.energy == Engine().evaluate(circuit, batch).energy).all()
+        with pytest.raises(ValueError):
+            compute_spike_trace(plan, node_values[:-1, :])
+
+
+class TestCompiledCircuitFix:
+    def test_unsafe_circuit_keeps_no_layer_matrices(self):
+        # Satellite fix: a huge weight in a *later* layer must not leave
+        # earlier layers holding compiled sparse matrices.
+        builder = CircuitBuilder()
+        inputs = builder.allocate_inputs(2)
+        safe = builder.add_gate(inputs, [1, 1], 1)  # layer 1: safe
+        huge = builder.add_gate([safe], [1 << 70], 1)  # layer 2: overflows
+        builder.set_outputs([huge])
+        circuit = builder.build()
+        compiled = CompiledCircuit(circuit)
+        assert not compiled.uses_fast_path
+        assert all(layer["matrix"] is None for layer in compiled._layers)
+        # ...and evaluation still works through the exact path.
+        assert compiled.evaluate(np.array([1, 0])).outputs[0] == 1
+
+    def test_simulate_wrapper_routes_through_engine(self):
+        previous = set_default_engine(None)
+        try:
+            circuit = parity_circuit(4)
+            bits = np.array([1, 0, 1, 1])
+            result = simulate(circuit, bits)
+            assert result.outputs[0] == 1  # three ones -> odd parity
+            assert default_engine().compile_calls >= 1
+            # a private engine can be injected
+            mine = Engine(EngineConfig(backend="sparse"))
+            simulate(circuit, bits, engine=mine)
+            assert mine.compile_calls == 1
+        finally:
+            set_default_engine(previous)
