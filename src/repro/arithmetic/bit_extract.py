@@ -27,7 +27,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.circuits.builder import CircuitBuilder
+from repro.circuits.gate import canonical_parts
 from repro.util.bits import bits
 
 __all__ = [
@@ -75,12 +78,65 @@ def build_kth_msb(
     sources = [n for n, _ in terms]
     weights = [w for _, w in terms]
     step = 1 << (l - k)
+    m = 1 << k
+    if getattr(builder, "stamper", None) is not None and l < 62:
+        # Bulk emission: the whole interval bank shares one source/weight row
+        # (canonicalized once, exactly like the per-gate Gate constructor),
+        # so the m interval gates plus the select gate land in a single
+        # add_gates call with the select gate referencing its bank in-batch.
+        # Thresholds up to 2**l must fit int64, hence the l < 62 guard; a
+        # row whose individual weights leave int64 falls through to the
+        # per-gate path below (exact Python-int storage).
+        row_sources, row_weights = canonical_parts(sources, weights)
+        try:
+            weights_row = np.asarray(row_weights, dtype=np.int64)
+        except OverflowError:
+            weights_row = None
+    else:
+        weights_row = None
+    if weights_row is not None:
+        fan = len(row_sources)
+        base = builder.n_nodes
+        all_sources = np.empty(m * fan + m, dtype=np.int64)
+        all_weights = np.empty(m * fan + m, dtype=np.int64)
+        if fan:
+            all_sources[: m * fan] = np.tile(
+                np.asarray(row_sources, dtype=np.int64), m
+            )
+            all_weights[: m * fan] = np.tile(weights_row, m)
+        all_sources[m * fan :] = np.arange(base, base + m, dtype=np.int64)
+        select_weights = np.ones(m, dtype=np.int64)
+        select_weights[1::2] = -1
+        all_weights[m * fan :] = select_weights
+        offsets = np.empty(m + 2, dtype=np.int64)
+        offsets[: m + 1] = np.arange(m + 1, dtype=np.int64) * fan
+        offsets[m + 1] = m * fan + m
+        thresholds = np.empty(m + 1, dtype=np.int64)
+        thresholds[:m] = np.arange(1, m + 1, dtype=np.int64) * step
+        thresholds[m] = 1
+        interval_tag = f"{tag}/interval"
+        select_tag = f"{tag}/select"
+        # Pre-interned int32 codes: one dict lookup per *tag*, not per gate
+        # (the interval banks dominate the constructed circuits' gate count).
+        intern = builder.circuit.store.intern_tag
+        tag_codes = np.full(m + 1, intern(interval_tag), dtype=np.int32)
+        tag_codes[m] = intern(select_tag)
+        node_ids = builder.add_gates(
+            all_sources,
+            offsets,
+            all_weights,
+            thresholds,
+            tag=tag_codes,
+            canonicalize=False,
+            tag_counts={interval_tag: m, select_tag: 1},
+        )
+        return int(node_ids[-1])
     interval_gates: List[int] = []
-    for i in range(1, (1 << k) + 1):
+    for i in range(1, m + 1):
         interval_gates.append(
             builder.add_gate(sources, weights, i * step, tag=f"{tag}/interval")
         )
-    out_weights = [1 if i % 2 == 1 else -1 for i in range(1, (1 << k) + 1)]
+    out_weights = [1 if i % 2 == 1 else -1 for i in range(1, m + 1)]
     return builder.add_gate(interval_gates, out_weights, 1, tag=f"{tag}/select")
 
 

@@ -5,9 +5,18 @@ threshold gate over the terms of a signed representation decides
 ``value >= tau``.  Because representations are weighted sums of gate
 outputs, the comparison needs exactly one gate and one extra layer — no bits
 of the value need to be materialized first.
+
+The output gate of a constructed trace circuit reads *every* leaf-product
+term, so its fan-in is of the order of the whole circuit; the comparison is
+therefore emitted through the bulk array path when the builder supports it,
+avoiding a million-element Python tuple canonicalization pass.
 """
 
 from __future__ import annotations
+
+import itertools
+
+import numpy as np
 
 from repro.arithmetic.signed import SignedValue
 from repro.circuits.builder import CircuitBuilder
@@ -22,9 +31,40 @@ def build_ge_comparison(
     tag: str = "compare",
 ) -> int:
     """Single gate deciding whether a signed representation is ``>= threshold``."""
-    sources = [n for n, _ in value.pos.terms] + [n for n, _ in value.neg.terms]
-    weights = [w for _, w in value.pos.terms] + [-w for _, w in value.neg.terms]
-    return builder.add_gate(sources, weights, int(threshold), tag=tag)
+    pos = value.pos.terms
+    neg = value.neg.terms
+    if getattr(builder, "stamper", None) is not None and (pos or neg):
+        fan = len(pos) + len(neg)
+        try:
+            sources = np.fromiter(
+                itertools.chain(
+                    (n for n, _ in pos), (n for n, _ in neg)
+                ),
+                dtype=np.int64,
+                count=fan,
+            )
+            weights = np.fromiter(
+                itertools.chain(
+                    (w for _, w in pos), (-w for _, w in neg)
+                ),
+                dtype=np.int64,
+                count=fan,
+            )
+            thresholds = np.asarray([int(threshold)], dtype=np.int64)
+        except OverflowError:
+            sources = None  # weights/threshold beyond int64: exact path below
+        if sources is not None:
+            node_ids = builder.add_gates(
+                sources,
+                np.asarray([0, fan], dtype=np.int64),
+                weights,
+                thresholds,
+                tag=tag,
+            )
+            return int(node_ids[0])
+    gate_sources = [n for n, _ in pos] + [n for n, _ in neg]
+    gate_weights = [w for _, w in pos] + [-w for _, w in neg]
+    return builder.add_gate(gate_sources, gate_weights, int(threshold), tag=tag)
 
 
 def build_range_membership(

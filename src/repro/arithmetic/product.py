@@ -32,6 +32,7 @@ from repro.circuits.builder import CircuitBuilder
 __all__ = [
     "build_unsigned_product_rep",
     "build_signed_product",
+    "build_signed_products",
     "count_unsigned_product_rep",
     "count_signed_product",
 ]
@@ -90,9 +91,100 @@ def build_signed_product(
     Expands ``prod_i (x_i^+ - x_i^-)`` over all sign combinations; each
     combination is an unsigned product contributing to the positive or
     negative part of the result according to the parity of minus signs.
+
+    On a vectorizing builder the gadget is emitted via template stamping
+    (:func:`build_signed_products` with a single instance); otherwise the
+    classic per-gate path runs.
     """
-    if not factors:
-        raise ValueError("a product needs at least one factor")
+    return build_signed_products(builder, [factors], tag=tag)[0]
+
+
+def build_signed_products(
+    builder: CircuitBuilder,
+    factors_list: Sequence[Sequence[SignedBinaryNumber]],
+    tag: str = "lemma3.3",
+) -> List[SignedValue]:
+    """Emit many signed products, template-stamping identical bit layouts.
+
+    A product's gate stream depends only on the *bit positions* present in
+    each factor's two parts; the bit nodes enter positionally.  Consecutive
+    instances sharing that layout are stamped from one recorded template.
+    Instances are emitted in list order, so the circuit is wire-for-wire
+    identical to calling :func:`build_signed_product` in a loop.
+    """
+    for factors in factors_list:
+        if not factors:
+            raise ValueError("a product needs at least one factor")
+    stamper = getattr(builder, "stamper", None)
+    if stamper is None:
+        return [
+            _build_signed_product_direct(builder, factors, tag)
+            for factors in factors_list
+        ]
+    layouts = [
+        tuple((f.pos.bit_positions, f.neg.bit_positions) for f in factors)
+        for factors in factors_list
+    ]
+    results: List[SignedValue] = []
+    start = 0
+    while start < len(factors_list):
+        layout = layouts[start]
+        end = start + 1
+        while end < len(factors_list) and layouts[end] == layout:
+            end += 1
+        group = factors_list[start:end]
+        key = ("signed_product", layout, tag)
+        n_params = sum(len(p) + len(q) for p, q in layout)
+        params_list = [
+            [
+                node
+                for factor in factors
+                for part in (factor.pos, factor.neg)
+                for node in part.bit_nodes
+            ]
+            for factors in group
+        ]
+
+        def emit_template(recorder, layout=layout):
+            local = 0
+            local_factors = []
+            for pos_positions, neg_positions in layout:
+                pos_nodes = tuple(range(local, local + len(pos_positions)))
+                local += len(pos_positions)
+                neg_nodes = tuple(range(local, local + len(neg_positions)))
+                local += len(neg_positions)
+                local_factors.append(
+                    SignedBinaryNumber(
+                        BinaryNumber(
+                            pos_positions,
+                            pos_nodes,
+                            max(pos_positions) + 1 if pos_positions else 0,
+                        ),
+                        BinaryNumber(
+                            neg_positions,
+                            neg_nodes,
+                            max(neg_positions) + 1 if neg_positions else 0,
+                        ),
+                    )
+                )
+            return _build_signed_product_direct(recorder, local_factors, tag)
+
+        def emit_legacy(i, group=group):
+            return _build_signed_product_direct(builder, group[i], tag)
+
+        results.extend(
+            stamper.stamp_all(key, n_params, params_list, emit_template, emit_legacy)
+        )
+        start = end
+    return results
+
+
+def _build_signed_product_direct(
+    builder,
+    factors: Sequence[SignedBinaryNumber],
+    tag: str,
+) -> SignedValue:
+    """The classic emission of one signed product."""
     pos_terms: List[Tuple[int, int]] = []
     neg_terms: List[Tuple[int, int]] = []
     choices = [((f.pos, +1), (f.neg, -1)) for f in factors]

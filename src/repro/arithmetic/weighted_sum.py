@@ -37,6 +37,7 @@ __all__ = [
     "split_signed_terms",
     "build_unsigned_sum",
     "build_signed_sum",
+    "build_signed_sums",
     "count_unsigned_sum",
     "count_signed_sum",
 ]
@@ -138,8 +139,86 @@ def build_signed_sum(
     The two halves are independent and therefore sit in the same two (or
     ``2 * stages``) layers of the circuit; the construction adds no depth for
     sign handling, exactly as argued in Section 3.
+
+    On a vectorizing builder the gadget is emitted via template stamping
+    (:func:`build_signed_sums` with a single instance); otherwise the classic
+    per-gate path runs.
     """
-    pos_terms, neg_terms = split_signed_terms(items)
+    return build_signed_sums(builder, [items], n_bits=n_bits, stages=stages, tag=tag)[0]
+
+
+def build_signed_sums(
+    builder: CircuitBuilder,
+    items_list: Sequence[Sequence[Tuple[SignedValue, int]]],
+    n_bits: Optional[int] = None,
+    stages: int = 1,
+    tag: str = "sum",
+) -> List[SignedBinaryNumber]:
+    """Emit many signed weighted sums, template-stamping identical shapes.
+
+    The gate stream of one sum depends only on the *weights* of its
+    flattened halves (the extraction plans are pure functions of them), not
+    on which nodes carry the bits — so consecutive instances with identical
+    weight signatures are stamped from one recorded template in a single
+    bulk emission.  Instances are emitted strictly in list order, so the
+    resulting circuit is wire-for-wire identical to calling
+    :func:`build_signed_sum` in a loop.
+    """
+    split = [split_signed_terms(items) for items in items_list]
+    stamper = getattr(builder, "stamper", None)
+    if stamper is None:
+        return [
+            _build_signed_sum_direct(builder, pos, neg, n_bits, stages, tag)
+            for pos, neg in split
+        ]
+    results: List[SignedBinaryNumber] = []
+    start = 0
+    while start < len(split):
+        pos_w = tuple(w for _, w in split[start][0])
+        neg_w = tuple(w for _, w in split[start][1])
+        end = start + 1
+        while (
+            end < len(split)
+            and tuple(w for _, w in split[end][0]) == pos_w
+            and tuple(w for _, w in split[end][1]) == neg_w
+        ):
+            end += 1
+        group = split[start:end]
+        key = ("signed_sum", pos_w, neg_w, n_bits, stages, tag)
+        n_params = len(pos_w) + len(neg_w)
+        params_list = [
+            [n for n, _ in pos] + [n for n, _ in neg] for pos, neg in group
+        ]
+
+        def emit_template(recorder, pos_w=pos_w, neg_w=neg_w):
+            pos_terms = list(zip(range(len(pos_w)), pos_w))
+            neg_terms = list(
+                zip(range(len(pos_w), len(pos_w) + len(neg_w)), neg_w)
+            )
+            return _build_signed_sum_direct(
+                recorder, pos_terms, neg_terms, n_bits, stages, tag
+            )
+
+        def emit_legacy(i, group=group):
+            pos, neg = group[i]
+            return _build_signed_sum_direct(builder, pos, neg, n_bits, stages, tag)
+
+        results.extend(
+            stamper.stamp_all(key, n_params, params_list, emit_template, emit_legacy)
+        )
+        start = end
+    return results
+
+
+def _build_signed_sum_direct(
+    builder,
+    pos_terms: Sequence[Tuple[int, int]],
+    neg_terms: Sequence[Tuple[int, int]],
+    n_bits: Optional[int],
+    stages: int,
+    tag: str,
+) -> SignedBinaryNumber:
+    """The classic emission of one signed sum from its split halves."""
     pos = build_unsigned_sum(builder, pos_terms, n_bits=n_bits, stages=stages, tag=f"{tag}/pos")
     neg = build_unsigned_sum(builder, neg_terms, n_bits=n_bits, stages=stages, tag=f"{tag}/neg")
     return SignedBinaryNumber(pos, neg)

@@ -7,10 +7,12 @@ structural validation, complexity analysis, optimization passes and JSON
 serialization.
 """
 
-from repro.circuits.gate import Gate
-from repro.circuits.circuit import ThresholdCircuit, CircuitStats
+from repro.circuits.gate import Gate, canonical_parts
+from repro.circuits.circuit import ThresholdCircuit, CircuitStats, GateView
+from repro.circuits.store import Columns, GateStore
 from repro.circuits.builder import CircuitBuilder
 from repro.circuits.counting import CountingBuilder
+from repro.circuits.template import GadgetStamper, GadgetTemplate, TemplateBuilder
 from repro.circuits.simulator import CompiledCircuit, SimulationResult, simulate
 from repro.circuits.validate import ValidationReport, validate_circuit
 from repro.circuits.analysis import (
@@ -31,10 +33,17 @@ from repro.circuits.serialize import (
 
 __all__ = [
     "Gate",
+    "canonical_parts",
     "ThresholdCircuit",
     "CircuitStats",
+    "GateView",
+    "Columns",
+    "GateStore",
     "CircuitBuilder",
     "CountingBuilder",
+    "GadgetStamper",
+    "GadgetTemplate",
+    "TemplateBuilder",
     "CompiledCircuit",
     "SimulationResult",
     "simulate",

@@ -18,7 +18,34 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence, Tuple
 
-__all__ = ["Gate"]
+__all__ = ["Gate", "canonical_parts"]
+
+
+def canonical_parts(
+    sources: Sequence[int], weights: Sequence[int]
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Canonical (sources, weights) of a gate, shared by every emission path.
+
+    Duplicate sources are merged (weights summed) and the merged list is
+    sorted by node id; a duplicate-free list keeps its original order.  The
+    per-gate and bulk construction paths both route through this helper, so
+    circuits built either way are wire-for-wire identical.
+    """
+    sources = tuple(int(s) for s in sources)
+    weights = tuple(int(w) for w in weights)
+    if len(sources) != len(weights):
+        raise ValueError(
+            f"gate has {len(sources)} sources but {len(weights)} weights"
+        )
+    if len(set(sources)) != len(sources):
+        # Duplicate sources are merged so fan-in statistics are honest.
+        merged = {}
+        for s, w in zip(sources, weights):
+            merged[s] = merged.get(s, 0) + w
+        items = sorted(merged.items())
+        sources = tuple(s for s, _ in items)
+        weights = tuple(w for _, w in items)
+    return sources, weights
 
 
 class Gate:
@@ -48,24 +75,30 @@ class Gate:
         threshold: int,
         tag: str = "",
     ) -> None:
-        sources = tuple(int(s) for s in sources)
-        weights = tuple(int(w) for w in weights)
-        if len(sources) != len(weights):
-            raise ValueError(
-                f"gate has {len(sources)} sources but {len(weights)} weights"
-            )
-        if len(set(sources)) != len(sources):
-            # Duplicate sources are merged so fan-in statistics are honest.
-            merged = {}
-            for s, w in zip(sources, weights):
-                merged[s] = merged.get(s, 0) + w
-            items = sorted(merged.items())
-            sources = tuple(s for s, _ in items)
-            weights = tuple(w for _, w in items)
-        self.sources = sources
-        self.weights = weights
+        self.sources, self.weights = canonical_parts(sources, weights)
         self.threshold = int(threshold)
         self.tag = tag
+
+    @classmethod
+    def _from_canonical(
+        cls,
+        sources: Tuple[int, ...],
+        weights: Tuple[int, ...],
+        threshold: int,
+        tag: str = "",
+    ) -> "Gate":
+        """Wrap already-canonical parts without re-running the merge pass.
+
+        Used by the columnar gate view, whose stored rows are canonical by
+        construction — re-validating them on every access would turn a lazy
+        view into a per-gate scan.
+        """
+        gate = cls.__new__(cls)
+        gate.sources = sources
+        gate.weights = weights
+        gate.threshold = threshold
+        gate.tag = tag
+        return gate
 
     @property
     def fan_in(self) -> int:

@@ -16,16 +16,23 @@ results:
       "output_labels": ["C[0][0]+bit0", "..."],
       "metadata": {...}
     }
+
+Both directions work on the circuit's columnar arrays: export slices plain
+Python lists out of one consolidated snapshot (no ``Gate`` objects are
+materialized), and import rebuilds the arrays and lands them with a single
+bulk ``add_gates`` call.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from typing import Union
+import struct
+from typing import List, Union
+
+import numpy as np
 
 from repro.circuits.circuit import ThresholdCircuit
-from repro.circuits.gate import Gate
 
 __all__ = [
     "circuit_to_dict",
@@ -48,29 +55,59 @@ def structural_digest(circuit: ThresholdCircuit) -> str:
     output labels, ``metadata`` — are deliberately excluded, so re-building
     the same construction under a different label still hits the compile
     cache.
+
+    The digest is computed straight over the columnar arrays (one hash
+    update per column, no per-gate loop); circuits holding weights beyond
+    int64 fall back to an exact JSON rendering of the same fields.
     """
-    payload = {
-        "format": _FORMAT,
-        "n_inputs": circuit.n_inputs,
-        "gates": [
-            [list(g.sources), list(g.weights), g.threshold] for g in circuit.gates
-        ],
-        "outputs": list(circuit.outputs),
-    }
-    blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    cols = circuit.columnar()
+    if not cols.int64_ok:
+        payload = {
+            "format": _FORMAT,
+            "n_inputs": circuit.n_inputs,
+            "gates": [
+                [list(g.sources), list(g.weights), g.threshold]
+                for g in circuit.gates
+            ],
+            "outputs": list(circuit.outputs),
+        }
+        blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    digest = hashlib.sha256()
+    digest.update(_FORMAT.encode("utf-8"))
+    digest.update(
+        struct.pack("<qqq", circuit.n_inputs, cols.n_gates, cols.n_edges)
+    )
+    digest.update(np.ascontiguousarray(cols.offsets).tobytes())
+    digest.update(np.ascontiguousarray(cols.sources).tobytes())
+    digest.update(np.ascontiguousarray(cols.weights).tobytes())
+    digest.update(np.ascontiguousarray(cols.thresholds).tobytes())
+    digest.update(np.asarray(circuit.outputs, dtype=np.int64).tobytes())
+    return digest.hexdigest()
 
 
 def circuit_to_dict(circuit: ThresholdCircuit) -> dict:
-    """Convert a circuit to a JSON-compatible dictionary."""
+    """Convert a circuit to a JSON-compatible dictionary.
+
+    Reads the columnar store directly: the gate rows are sliced out of the
+    flat ``sources``/``weights`` lists, so no per-gate objects are built.
+    """
+    cols = circuit.columnar()
+    sources = cols.sources.tolist()
+    weights = cols.weights.tolist()
+    offsets = cols.offsets.tolist()
+    thresholds = cols.thresholds.tolist()
+    tags = circuit.store.tags()
+    gates = [
+        [sources[lo:hi], weights[lo:hi], threshold, tag]
+        for lo, hi, threshold, tag in zip(offsets, offsets[1:], thresholds, tags)
+    ]
     return {
         "format": _FORMAT,
         "version": _VERSION,
         "name": circuit.name,
         "n_inputs": circuit.n_inputs,
-        "gates": [
-            [list(g.sources), list(g.weights), g.threshold, g.tag] for g in circuit.gates
-        ],
+        "gates": gates,
         "outputs": list(circuit.outputs),
         "output_labels": list(circuit.output_labels),
         "metadata": dict(circuit.metadata),
@@ -78,14 +115,38 @@ def circuit_to_dict(circuit: ThresholdCircuit) -> dict:
 
 
 def circuit_from_dict(payload: dict) -> ThresholdCircuit:
-    """Reconstruct a circuit from :func:`circuit_to_dict` output."""
+    """Reconstruct a circuit from :func:`circuit_to_dict` output.
+
+    The gate list is flattened into CSR arrays and appended with one bulk
+    :meth:`~repro.circuits.circuit.ThresholdCircuit.add_gates` call
+    (canonicalization enabled, so hand-written payloads with duplicate
+    sources load the same way they would through ``add_gate``).
+    """
     if payload.get("format") != _FORMAT:
         raise ValueError(f"not a {_FORMAT} payload")
     if payload.get("version") != _VERSION:
         raise ValueError(f"unsupported version {payload.get('version')!r}")
     circuit = ThresholdCircuit(int(payload["n_inputs"]), name=payload.get("name", ""))
-    for sources, weights, threshold, tag in payload["gates"]:
-        circuit.add_gate(Gate(sources, weights, int(threshold), tag))
+    gates = payload["gates"]
+    if gates:
+        sources: List[int] = []
+        weights: List[int] = []
+        offsets: List[int] = [0]
+        thresholds: List[int] = []
+        tags: List[str] = []
+        for gate_sources, gate_weights, threshold, tag in gates:
+            sources.extend(gate_sources)
+            weights.extend(gate_weights)
+            offsets.append(len(sources))
+            thresholds.append(int(threshold))
+            tags.append(tag)
+        circuit.add_gates(
+            np.asarray(sources, dtype=np.int64),
+            np.asarray(offsets, dtype=np.int64),
+            weights,
+            thresholds,
+            tags=tags,
+        )
     if payload.get("outputs"):
         circuit.set_outputs(payload["outputs"], payload.get("output_labels") or None)
     circuit.metadata = dict(payload.get("metadata", {}))

@@ -22,12 +22,13 @@ auto-selection for free.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 from scipy import sparse
 
 from repro.circuits.circuit import ThresholdCircuit
+from repro.circuits.store import gather_ranges, group_by_depth, segment_sum
 
 __all__ = [
     "CompiledCircuit",
@@ -47,17 +48,19 @@ class LayerSpec:
 
     ``rows``/``cols``/``data`` describe the wires of the layer: gate ``rows[i]``
     (an index within the layer) reads node ``cols[i]`` with weight ``data[i]``.
-    Weights and thresholds are kept as Python ints so the plan is exact even
-    when the circuit overflows int64; ``cols`` is an int64 array because every
+    On the fast path all fields are int64 arrays, sliced straight out of the
+    circuit's columnar store; when the circuit's weights overflow int64 the
+    exact fallback keeps ``rows``/``data``/``thresholds`` as Python-int lists
+    so the plan stays exact.  ``cols`` is always an int64 array because every
     consumer (matrix builders, the spiking evaluator) indexes with it.
     """
 
     depth: int
     nodes: np.ndarray  # gate node ids of this layer, int64
-    rows: List[int]
+    rows: Sequence[int]  # int64 array on the fast path
     cols: np.ndarray  # source node id per wire, int64
-    data: List[int]
-    thresholds: List[int]
+    data: Sequence[int]  # int64 array on the fast path, Python ints otherwise
+    thresholds: Sequence[int]  # likewise
 
     @property
     def n_gates(self) -> int:
@@ -113,8 +116,83 @@ def build_layer_plan(circuit: ThresholdCircuit) -> LayerPlan:
 
     A circuit is int64-safe when, for every gate, the worst-case magnitude of
     its weighted sum plus its threshold stays comfortably below ``2**63``.
-    The check runs on exact Python ints, so huge weights cannot silently wrap.
+    The fast path slices each depth layer out of the circuit's columnar
+    arrays with pure numpy gathers; the safety verdict is first bounded in
+    float64, and any circuit whose magnitudes approach the overflow boundary
+    (or whose weights already left int64) is re-planned on exact Python ints,
+    so huge weights can never silently wrap.
     """
+    cols_store = circuit.columnar()
+    if not cols_store.int64_ok:
+        return _build_layer_plan_gatewise(circuit)
+
+    sources = cols_store.sources
+    weights = cols_store.weights
+    offsets = cols_store.offsets
+    thresholds = cols_store.thresholds
+    n_gates = cols_store.n_gates
+
+    if n_gates == 0:
+        return LayerPlan(
+            n_inputs=circuit.n_inputs,
+            n_nodes=circuit.n_nodes,
+            int64_safe=True,
+            max_magnitude=0,
+            layers=[],
+        )
+
+    # Overflow analysis.  A float64 bound decides whether the exact int64
+    # magnitudes can themselves overflow while being computed: per-wire
+    # |weight| <= 2**63 and the float sum's relative error is ~n*2**-52, so
+    # staying clearly below 2**61 certifies the int64 arithmetic, with a wide
+    # margin to the 2**62 safety limit.  np.abs wraps on INT64_MIN itself
+    # (abs(-2**63) is not representable), so that lone value goes gatewise.
+    int64_min = np.iinfo(np.int64).min
+    if (
+        (weights.size and int(weights.min()) == int64_min)
+        or (thresholds.size and int(thresholds.min()) == int64_min)
+    ):
+        return _build_layer_plan_gatewise(circuit)
+    abs_weights = np.abs(weights)
+    float_mag = segment_sum(abs_weights.astype(np.float64), offsets)
+    float_total = float_mag + np.abs(thresholds).astype(np.float64)
+    if float(float_total.max()) >= float(1 << 61):
+        return _build_layer_plan_gatewise(circuit)
+    magnitudes = segment_sum(abs_weights, offsets) + np.abs(thresholds)
+    max_magnitude = int(magnitudes.max())
+
+    order, sorted_depths, starts, ends = group_by_depth(circuit.gate_depths())
+
+    fan_ins = np.diff(offsets)
+    specs: List[LayerSpec] = []
+    for start, end in zip(starts, ends):
+        gate_idx = order[start:end]  # ascending node order within the layer
+        layer_fan = fan_ins[gate_idx]
+        rows = np.repeat(np.arange(len(gate_idx), dtype=np.int64), layer_fan)
+        # Gather the wire slices of the layer's gates: for each gate, the
+        # range offsets[g] .. offsets[g+1] — materialized as one index array.
+        wire_idx = gather_ranges(offsets[gate_idx], layer_fan)
+        specs.append(
+            LayerSpec(
+                depth=int(sorted_depths[start]),
+                nodes=gate_idx + circuit.n_inputs,
+                rows=rows,
+                cols=sources[wire_idx],
+                data=weights[wire_idx],
+                thresholds=thresholds[gate_idx],
+            )
+        )
+    return LayerPlan(
+        n_inputs=circuit.n_inputs,
+        n_nodes=circuit.n_nodes,
+        int64_safe=max_magnitude < _INT64_SAFE_LIMIT,
+        max_magnitude=max_magnitude,
+        layers=specs,
+    )
+
+
+def _build_layer_plan_gatewise(circuit: ThresholdCircuit) -> LayerPlan:
+    """Exact per-gate planning for circuits beyond the int64 fast path."""
     layers_by_depth = circuit.gates_by_depth()
     specs: List[LayerSpec] = []
     max_magnitude = 0

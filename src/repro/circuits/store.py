@@ -1,0 +1,408 @@
+"""Columnar (structure-of-arrays) storage for threshold-circuit gates.
+
+A circuit with millions of gates cannot afford one Python object per gate:
+construction time and memory are then dominated by allocator traffic instead
+of the actual wiring work.  :class:`GateStore` keeps the whole gate list in
+CSR-style flat arrays —
+
+* ``sources``/``weights``: the concatenated incoming wires of every gate,
+* ``offsets``: ``offsets[i]:offsets[i+1]`` slices gate ``i``'s wires,
+* ``thresholds``, ``depths``, ``tag_codes``: one entry per gate
+
+— while still supporting cheap incremental appends.  Appends land in small
+staging buffers (Python lists for single-gate appends, numpy chunks for bulk
+appends) and are consolidated into one contiguous :class:`Columns` snapshot
+lazily, the first time array access is requested after a mutation.
+
+Weights and thresholds are stored as int64 whenever every value fits; a
+circuit containing a weight outside the int64 range transparently degrades
+the whole store to object dtype (exact Python integers), and the vectorized
+consumers (stats, structural hashing, layer-plan lowering) fall back to their
+per-gate exact paths.  Sources, offsets and depths are always int64 — node
+ids and depths cannot overflow it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Columns",
+    "GateStore",
+    "IntVector",
+    "gather_ranges",
+    "group_by_depth",
+    "int_column",
+    "segment_max",
+    "segment_sum",
+]
+
+
+class IntVector:
+    """A growable int64 array with amortized O(1) append/extend.
+
+    Used for per-gate depths, which need random access *during* construction
+    (each new gate reads the depths of its sources) — a plain Python list
+    would force an O(n) ``np.asarray`` per bulk append.
+    """
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, capacity: int = 64) -> None:
+        self._data = np.empty(max(int(capacity), 1), dtype=np.int64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _grow_to(self, needed: int) -> None:
+        capacity = len(self._data)
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        data = np.empty(capacity, dtype=np.int64)
+        data[: self._size] = self._data[: self._size]
+        self._data = data
+
+    def append(self, value: int) -> None:
+        self._grow_to(self._size + 1)
+        self._data[self._size] = value
+        self._size += 1
+
+    def extend(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        self._grow_to(self._size + values.size)
+        self._data[self._size : self._size + values.size] = values
+        self._size += values.size
+
+    def __getitem__(self, index: int) -> int:
+        if not (0 <= index < self._size):
+            raise IndexError(index)
+        return int(self._data[index])
+
+    def view(self) -> np.ndarray:
+        """Read-only window over the live entries (valid until next append)."""
+        window = self._data[: self._size]
+        window.flags.writeable = False
+        return window
+
+    def max(self, default: int = 0) -> int:
+        if self._size == 0:
+            return default
+        return int(self._data[: self._size].max())
+
+
+def segment_max(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment maximum under CSR offsets; empty segments yield 0."""
+    n = len(offsets) - 1
+    out = np.zeros(n, dtype=values.dtype)
+    nonempty = offsets[:-1] < offsets[1:]
+    if values.size and nonempty.any():
+        # reduceat over the nonempty starts only: an empty segment has zero
+        # width, so skipping its start leaves every remaining segment intact.
+        out[nonempty] = np.maximum.reduceat(values, offsets[:-1][nonempty])
+    return out
+
+
+def segment_sum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment sum under CSR offsets; empty segments yield 0."""
+    n = len(offsets) - 1
+    out = np.zeros(n, dtype=values.dtype)
+    nonempty = offsets[:-1] < offsets[1:]
+    if values.size and nonempty.any():
+        out[nonempty] = np.add.reduceat(values, offsets[:-1][nonempty])
+    return out
+
+
+def gather_ranges(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Index array concatenating ``starts[i] .. starts[i]+lens[i]`` in order.
+
+    The standard CSR range-gather (one ``repeat`` plus one ``arange``, no
+    Python loop); callers pass ``starts = offsets[selected_rows]`` with the
+    selected rows' lengths.
+    """
+    total = int(lens.sum())
+    if not total:
+        return np.empty(0, dtype=np.int64)
+    return np.repeat(
+        starts - np.concatenate(([0], np.cumsum(lens[:-1]))), lens
+    ) + np.arange(total, dtype=np.int64)
+
+
+def group_by_depth(depths: np.ndarray):
+    """Group gate indices by depth: ``(order, sorted_depths, starts, ends)``.
+
+    ``order[starts[i]:ends[i]]`` are the gate indices of the i-th layer (in
+    insertion order — the sort is stable) and ``sorted_depths[starts[i]]`` is
+    that layer's depth.  Shared by ``ThresholdCircuit.gates_by_depth`` and
+    the simulator's layer-plan lowering.
+    """
+    order = np.argsort(depths, kind="stable")
+    sorted_depths = depths[order]
+    boundaries = np.nonzero(np.diff(sorted_depths))[0] + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(order)]))
+    return order, sorted_depths, starts, ends
+
+
+def int_column(values) -> Tuple[np.ndarray, bool]:
+    """Materialize ints as int64 when possible, exact object dtype otherwise.
+
+    Accepts sequences of Python ints or numpy arrays; the single coercion
+    rule shared by the store's tail flush and the circuit's bulk appends.
+    """
+    if isinstance(values, np.ndarray) and values.dtype == np.int64:
+        return np.ascontiguousarray(values), True
+    try:
+        return np.ascontiguousarray(np.asarray(values, dtype=np.int64)), True
+    except OverflowError:
+        seq = [
+            int(v)
+            for v in (values.tolist() if isinstance(values, np.ndarray) else values)
+        ]
+        column = np.empty(len(seq), dtype=object)
+        column[:] = seq
+        return column, False
+
+
+@dataclass(frozen=True)
+class Columns:
+    """One consolidated, immutable snapshot of a store's gate arrays."""
+
+    sources: np.ndarray  # int64[n_edges]
+    weights: np.ndarray  # int64[n_edges] (object dtype iff not int64_ok)
+    offsets: np.ndarray  # int64[n_gates + 1]
+    thresholds: np.ndarray  # int64[n_gates] (object dtype iff not int64_ok)
+    tag_codes: np.ndarray  # int32[n_gates], indices into the store's tag table
+    int64_ok: bool
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.sources)
+
+    def fan_ins(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+
+@dataclass
+class _Chunk:
+    """One already-columnar run of gates (a bulk append or a flushed tail)."""
+
+    sources: np.ndarray
+    weights: np.ndarray
+    fan_ins: np.ndarray
+    thresholds: np.ndarray
+    tag_codes: np.ndarray
+    int64_ok: bool
+
+
+class GateStore:
+    """Append-only columnar gate storage with lazy consolidation."""
+
+    def __init__(self) -> None:
+        self._chunks: List[_Chunk] = []
+        # Staging buffers for single-gate appends.
+        self._tail_sources: List[int] = []
+        self._tail_weights: List[int] = []
+        self._tail_fan_ins: List[int] = []
+        self._tail_thresholds: List[int] = []
+        self._tail_tag_codes: List[int] = []
+        # Depths are kept materialized: add_gate/add_gates read them randomly.
+        self.depths = IntVector()
+        # Tag interning: one short string per construction site, shared.
+        self._tag_table: List[str] = []
+        self._tag_index: Dict[str, int] = {}
+        # Incrementally tracked totals (no consolidation needed for stats).
+        self._n_gates = 0
+        self._n_edges = 0
+        self._max_fan_in = 0
+        self._max_depth = 0
+        self._columns: Optional[Columns] = None
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def n_gates(self) -> int:
+        return self._n_gates
+
+    @property
+    def n_edges(self) -> int:
+        return self._n_edges
+
+    @property
+    def max_fan_in(self) -> int:
+        return self._max_fan_in
+
+    @property
+    def max_depth(self) -> int:
+        return self._max_depth
+
+    # ------------------------------------------------------------------- tags
+    def intern_tag(self, tag: str) -> int:
+        code = self._tag_index.get(tag)
+        if code is None:
+            code = len(self._tag_table)
+            self._tag_index[tag] = code
+            self._tag_table.append(tag)
+        return code
+
+    def tag_of_code(self, code: int) -> str:
+        return self._tag_table[code]
+
+    # ---------------------------------------------------------------- appends
+    def append(
+        self,
+        sources: Sequence[int],
+        weights: Sequence[int],
+        threshold: int,
+        tag: str,
+        depth: int,
+    ) -> None:
+        """Append one canonical gate (caller validated sources and depth)."""
+        self._tail_sources.extend(sources)
+        self._tail_weights.extend(weights)
+        self._tail_fan_ins.append(len(sources))
+        self._tail_thresholds.append(threshold)
+        self._tail_tag_codes.append(self.intern_tag(tag))
+        self.depths.append(depth)
+        self._n_gates += 1
+        self._n_edges += len(sources)
+        if len(sources) > self._max_fan_in:
+            self._max_fan_in = len(sources)
+        if depth > self._max_depth:
+            self._max_depth = depth
+        self._columns = None
+
+    def extend(
+        self,
+        sources: np.ndarray,
+        weights: np.ndarray,
+        fan_ins: np.ndarray,
+        thresholds: np.ndarray,
+        tag_codes: np.ndarray,
+        depths: np.ndarray,
+        int64_ok: bool = True,
+    ) -> None:
+        """Append a bulk chunk of gates (arrays validated by the circuit)."""
+        self._flush_tail()
+        self._chunks.append(
+            _Chunk(
+                sources=sources,
+                weights=weights,
+                fan_ins=fan_ins,
+                thresholds=thresholds,
+                tag_codes=tag_codes,
+                int64_ok=int64_ok,
+            )
+        )
+        self.depths.extend(depths)
+        self._n_gates += len(fan_ins)
+        self._n_edges += len(sources)
+        if fan_ins.size:
+            self._max_fan_in = max(self._max_fan_in, int(fan_ins.max()))
+        if depths.size:
+            self._max_depth = max(self._max_depth, int(depths.max()))
+        self._columns = None
+
+    def _flush_tail(self) -> None:
+        if not self._tail_fan_ins:
+            return
+        sources = np.asarray(self._tail_sources, dtype=np.int64)
+        weights, weights_ok = int_column(self._tail_weights)
+        thresholds, thresholds_ok = int_column(self._tail_thresholds)
+        self._chunks.append(
+            _Chunk(
+                sources=sources,
+                weights=weights,
+                fan_ins=np.asarray(self._tail_fan_ins, dtype=np.int64),
+                thresholds=thresholds,
+                tag_codes=np.asarray(self._tail_tag_codes, dtype=np.int32),
+                int64_ok=weights_ok and thresholds_ok,
+            )
+        )
+        self._tail_sources = []
+        self._tail_weights = []
+        self._tail_fan_ins = []
+        self._tail_thresholds = []
+        self._tail_tag_codes = []
+
+    # ------------------------------------------------------------ consolidate
+    def columns(self) -> Columns:
+        """The consolidated snapshot, rebuilt only after mutations.
+
+        Consolidation merges all chunks into one, so repeated reads between
+        mutations are free.  A read after a mutation re-concatenates the
+        merged chunk with the new data — O(total) per such read — so strict
+        one-append-one-read interleaving is quadratic; construction code
+        appends in batches and reads once at the end, where this is linear.
+        """
+        if self._columns is not None:
+            return self._columns
+        self._flush_tail()
+        chunks = self._chunks
+        int64_ok = all(c.int64_ok for c in chunks)
+
+        def _concat(arrays: List[np.ndarray], dtype) -> np.ndarray:
+            if not arrays:
+                return np.empty(0, dtype=dtype)
+            if len(arrays) == 1:
+                return arrays[0] if arrays[0].dtype == dtype else arrays[0].astype(dtype)
+            return np.concatenate([a.astype(dtype) if a.dtype != dtype else a for a in arrays])
+
+        value_dtype = np.int64 if int64_ok else object
+        sources = _concat([c.sources for c in chunks], np.int64)
+        weights = _concat([c.weights for c in chunks], value_dtype)
+        thresholds = _concat([c.thresholds for c in chunks], value_dtype)
+        fan_ins = _concat([c.fan_ins for c in chunks], np.int64)
+        tag_codes = _concat([c.tag_codes for c in chunks], np.int32)
+        offsets = np.zeros(len(fan_ins) + 1, dtype=np.int64)
+        np.cumsum(fan_ins, out=offsets[1:])
+        self._columns = Columns(
+            sources=sources,
+            weights=weights,
+            offsets=offsets,
+            thresholds=thresholds,
+            tag_codes=tag_codes,
+            int64_ok=int64_ok,
+        )
+        # The merged snapshot becomes the single chunk, so the next
+        # consolidation after further appends concatenates O(new) data.
+        self._chunks = [
+            _Chunk(
+                sources=sources,
+                weights=weights,
+                fan_ins=np.asarray(fan_ins, dtype=np.int64),
+                thresholds=thresholds,
+                tag_codes=tag_codes,
+                int64_ok=int64_ok,
+            )
+        ]
+        return self._columns
+
+    # ----------------------------------------------------------------- access
+    def gate_parts(self, index: int) -> Tuple[Tuple[int, ...], Tuple[int, ...], int, str]:
+        """(sources, weights, threshold, tag) of one gate, as Python values."""
+        cols = self.columns()
+        lo = int(cols.offsets[index])
+        hi = int(cols.offsets[index + 1])
+        sources = tuple(int(s) for s in cols.sources[lo:hi])
+        weights = tuple(int(w) for w in cols.weights[lo:hi])
+        return (
+            sources,
+            weights,
+            int(cols.thresholds[index]),
+            self._tag_table[int(cols.tag_codes[index])],
+        )
+
+    def tags(self) -> List[str]:
+        """Per-gate tag strings (one list comprehension over interned codes)."""
+        cols = self.columns()
+        table = self._tag_table
+        return [table[c] for c in cols.tag_codes.tolist()]

@@ -1,0 +1,461 @@
+"""Gadget templates: record a lemma gadget once, stamp many translated copies.
+
+The paper's constructions are exactly "the same gadget at many positions":
+every cell of a tree level gets the same Lemma 3.2 weighted-sum circuit,
+every leaf the same Lemma 3.3 product, with only the *wiring* (which earlier
+nodes feed the gadget) changing from copy to copy.  The legacy path re-runs
+the gadget constructor per copy, paying the full per-gate Python cost each
+time.  Here the constructor runs once against a :class:`TemplateBuilder`
+whose "nodes" are local ids — parameter slots ``0 .. n_params-1`` for the
+gadget's external inputs, ``n_params ..`` for its internal gates — and the
+recorded arrays are *relocatable*: stamping ``k`` copies is one
+``add_gates`` call over tiled arrays with instance offsets added, plus a
+cheap per-copy remap of the recorded return value.
+
+Fidelity guarantees (the stamped circuit is wire-for-wire identical to the
+legacy one):
+
+* the template is recorded through the same ``Gate`` canonicalization the
+  per-gate path uses;
+* a copy whose external parameters are not pairwise distinct falls back to
+  the legacy constructor (duplicate sources merge in an id-dependent order a
+  template cannot reproduce);
+* a gadget whose *return value* contains a representation
+  (:class:`~repro.arithmetic.signed.Rep`) over parameter nodes is rejected at
+  record time (``Rep`` terms are sorted by node id, and parameter ids do not
+  map monotonically), and every copy uses the legacy constructor;
+* likewise, a gadget whose recording merged duplicate sources in a row with
+  several parameter slots is rejected at record time — the merge sorts by
+  local slot id, which need not match the per-copy node order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.gate import Gate
+
+__all__ = ["GadgetStamper", "GadgetTemplate", "TemplateBuilder"]
+
+
+class TemplateBuilder:
+    """Records a gadget built against local parameter slots.
+
+    Implements the subset of the :class:`~repro.circuits.builder.CircuitBuilder`
+    interface the gadget constructors use (``add_gate``).  Node ids handed to
+    the gadget code are local: ``0 .. n_params-1`` are parameter slots,
+    ``n_params + j`` is the j-th recorded gate.
+    """
+
+    def __init__(self, n_params: int) -> None:
+        self.n_params = int(n_params)
+        self.sources: List[int] = []
+        self.weights: List[int] = []
+        self.fan_ins: List[int] = []
+        self.thresholds: List[int] = []
+        self.tags: List[str] = []
+        # Depth of each recorded gate relative to the parameters (params sit
+        # at relative depth 0).  When every actual parameter of a copy has
+        # one common depth D, the copy's gate depths are exactly D + these.
+        self.rel_depths: List[int] = []
+        self.has_fan0 = False  # a fan-in-0 gate pins its depth to 1, not D+1
+        # Canonicalization sorts merged rows by *local* id.  Parameter slots
+        # map to arbitrary node ids, so a merge that touched a row with two
+        # or more parameter sources may sort differently per copy — such a
+        # template cannot claim wire-for-wire fidelity and is rejected.
+        self.has_param_merge = False
+
+    def add_gate(
+        self,
+        sources: Sequence[int],
+        weights: Sequence[int],
+        threshold: int,
+        tag: str = "",
+    ) -> int:
+        # Route through Gate so the recorded row is canonicalized exactly
+        # like the per-gate path would canonicalize it.
+        raw = [int(s) for s in sources]
+        if len(set(raw)) != len(raw) and sum(1 for s in set(raw) if s < self.n_params) >= 2:
+            self.has_param_merge = True
+        gate = Gate(sources, weights, threshold, tag)
+        node = self.n_params + len(self.thresholds)
+        rel_depth = 1
+        for s in gate.sources:
+            if not (0 <= s < node):
+                raise ValueError(
+                    f"template gate references local node {s} before it exists"
+                )
+            if s >= self.n_params:
+                d = self.rel_depths[s - self.n_params] + 1
+                if d > rel_depth:
+                    rel_depth = d
+        if not gate.sources:
+            self.has_fan0 = True
+        self.sources.extend(gate.sources)
+        self.weights.extend(gate.weights)
+        self.fan_ins.append(gate.fan_in)
+        self.thresholds.append(gate.threshold)
+        self.tags.append(gate.tag)
+        self.rel_depths.append(rel_depth)
+        return node
+
+
+class GadgetTemplate:
+    """A recorded, relocatable gadget plus its return-value descriptor."""
+
+    __slots__ = (
+        "n_params",
+        "n_gates",
+        "sources",
+        "offsets",
+        "fan_ins",
+        "weights",
+        "thresholds",
+        "tags",
+        "tag_counts",
+        "result",
+        "rel_depths",
+        "uniform_depth_ok",
+        "_tag_codes",
+        "_result_locals",
+        "_result_rebuild",
+        "_is_param",
+        "_param_slots",
+        "_tiled",
+    )
+
+    def __init__(self, recorder: TemplateBuilder, result: Any) -> None:
+        self.n_params = recorder.n_params
+        self.n_gates = len(recorder.thresholds)
+        self.sources = np.asarray(recorder.sources, dtype=np.int64)
+        self.fan_ins = np.asarray(recorder.fan_ins, dtype=np.int64)
+        self.offsets = np.zeros(self.n_gates + 1, dtype=np.int64)
+        np.cumsum(self.fan_ins, out=self.offsets[1:])
+        try:
+            self.weights = np.asarray(recorder.weights, dtype=np.int64)
+        except OverflowError:
+            self.weights = np.empty(len(recorder.weights), dtype=object)
+            self.weights[:] = recorder.weights
+        try:
+            self.thresholds = np.asarray(recorder.thresholds, dtype=np.int64)
+        except OverflowError:
+            self.thresholds = np.empty(len(recorder.thresholds), dtype=object)
+            self.thresholds[:] = recorder.thresholds
+        self.tags = list(recorder.tags)
+        self.tag_counts: Dict[str, int] = {}
+        for tag in self.tags:
+            if tag:
+                self.tag_counts[tag] = self.tag_counts.get(tag, 0) + 1
+        self.result = result
+        self.rel_depths = np.asarray(recorder.rel_depths, dtype=np.int64)
+        self.uniform_depth_ok = not recorder.has_fan0 and recorder.n_params > 0
+        self._tag_codes: Optional[np.ndarray] = None
+        self._result_locals, self._result_rebuild = _compile_result(result)
+        self._is_param = self.sources < self.n_params
+        self._param_slots = np.where(self._is_param, self.sources, 0)
+        # Single-slot cache (keyed by the copy count k) of the
+        # parameter-independent tiled columns (weights, thresholds, tag
+        # codes, offsets): hot constructions stamp the same k over and over,
+        # and the store never mutates appended chunks, so the cached arrays
+        # can be handed out again and again.  One slot bounds the memory of
+        # constructions whose run lengths vary (duplicate-parameter splits).
+        self._tiled = None
+
+    def stamp(self, builder, params: np.ndarray) -> List[Any]:
+        """Emit ``k`` translated copies; returns the remapped result per copy.
+
+        ``params`` has shape ``(k, n_params)``: row ``i`` holds the actual
+        node ids feeding copy ``i``'s parameter slots.
+        """
+        k = params.shape[0]
+        base = builder.n_nodes
+        n_params = self.n_params
+        n_gates = self.n_gates
+        if n_gates:
+            instance_shift = np.arange(k, dtype=np.int64)[:, None] * n_gates
+            # Broadcast the instance translation instead of tiling+repeating:
+            # row i of the (k, E) matrix holds copy i's absolute sources.
+            internal = (base - n_params) + self.sources[None, :] + instance_shift
+            if n_params:
+                abs_sources = np.where(
+                    self._is_param[None, :], params[:, self._param_slots], internal
+                )
+            else:
+                abs_sources = internal
+            tiled = None
+            if self._tiled is not None and self._tiled[0] == k:
+                tiled = self._tiled[1]
+            if tiled is None:
+                if self._tag_codes is None:
+                    # A template lives inside one builder's stamper, so
+                    # interning its tags against that builder's store once
+                    # is safe.
+                    intern = builder.circuit.store.intern_tag
+                    self._tag_codes = np.asarray(
+                        [intern(t) for t in self.tags], dtype=np.int32
+                    )
+                n_edges = len(self.sources)
+                offsets = np.empty(k * n_gates + 1, dtype=np.int64)
+                offsets[0] = 0
+                offsets[1:] = (
+                    self.offsets[1:][None, :]
+                    + np.arange(k, dtype=np.int64)[:, None] * n_edges
+                ).reshape(-1)
+                tiled = (
+                    offsets,
+                    np.tile(self.weights, k),
+                    np.tile(self.thresholds, k),
+                    np.tile(self._tag_codes, k),
+                    {t: c * k for t, c in self.tag_counts.items()},
+                )
+                self._tiled = (k, tiled)
+            offsets, weights_k, thresholds_k, tag_codes_k, tag_counts_k = tiled
+            depths = None
+            if self.uniform_depth_ok:
+                # When every parameter of a copy sits at one depth D, the
+                # copy's gate depths are exactly D + rel_depths — one gather
+                # plus a broadcast instead of the generic layering passes.
+                param_depths = builder.circuit.node_depths_of(params)
+                low = param_depths.min(axis=1)
+                if int((param_depths.max(axis=1) == low).all()):
+                    depths = (low[:, None] + self.rel_depths[None, :]).reshape(-1)
+            builder.add_gates(
+                abs_sources.reshape(-1),
+                offsets,
+                weights_k,
+                thresholds_k,
+                tag=tag_codes_k,
+                canonicalize=False,
+                validate=False,
+                depths=depths,
+                tag_counts=tag_counts_k,
+            )
+        # Rebuild the recorded result per copy from one vectorized id remap:
+        # row i of `mapped` holds the actual node ids of the result's local
+        # ids under copy i's translation.
+        locals_arr = self._result_locals
+        if locals_arr.size:
+            is_param = locals_arr < n_params
+            internal_ids = locals_arr - n_params + base + (
+                np.arange(k, dtype=np.int64)[:, None] * n_gates
+            )
+            if n_params:
+                param_ids = params[:, np.where(is_param, locals_arr, 0)]
+                mapped = np.where(is_param[None, :], param_ids, internal_ids)
+            else:
+                mapped = internal_ids
+            rebuild = self._result_rebuild
+            return [rebuild(row) for row in mapped.tolist()]
+        rebuild = self._result_rebuild
+        empty: List[int] = []
+        return [rebuild(empty) for _ in range(k)]
+
+
+def _compile_result(result: Any):
+    """Compile a recorded result into (local id array, rebuild function).
+
+    The rebuild function takes the list of *mapped* node ids (same order as
+    the id array) and produces the result object for one stamped copy.  It
+    constructs the frozen value dataclasses through ``object.__new__``,
+    skipping their validating ``__post_init__`` — the template was validated
+    once at record time and every copy is an id translation of it.
+    """
+    from repro.arithmetic.signed import (
+        BinaryNumber,
+        Rep,
+        SignedBinaryNumber,
+        SignedValue,
+    )
+
+    ids: List[int] = []
+
+    def _new_rep(terms) -> Rep:
+        rep = object.__new__(Rep)
+        object.__setattr__(rep, "terms", terms)
+        return rep
+
+    def _new_binary(positions, nodes, width) -> BinaryNumber:
+        number = object.__new__(BinaryNumber)
+        object.__setattr__(number, "bit_positions", positions)
+        object.__setattr__(number, "bit_nodes", nodes)
+        object.__setattr__(number, "width", width)
+        return number
+
+    def walk(obj):
+        if obj is None:
+            return lambda vals: None
+        if isinstance(obj, (int, np.integer)):
+            index = len(ids)
+            ids.append(int(obj))
+            return lambda vals, index=index: vals[index]
+        if isinstance(obj, Rep):
+            start = len(ids)
+            ids.extend(node for node, _ in obj.terms)
+            weights = tuple(weight for _, weight in obj.terms)
+            end = start + len(weights)
+            if not weights:
+                return lambda vals: _new_rep(())
+            if len(weights) == 1:
+                weight = weights[0]
+
+                def make_rep_1(vals, start=start, weight=weight):
+                    return _new_rep(((vals[start], weight),))
+
+                return make_rep_1
+
+            def make_rep(vals, start=start, end=end, weights=weights):
+                return _new_rep(tuple(zip(vals[start:end], weights)))
+
+            return make_rep
+        if isinstance(obj, SignedValue):
+            make_pos = walk(obj.pos)
+            make_neg = walk(obj.neg)
+
+            def make_signed(vals, make_pos=make_pos, make_neg=make_neg):
+                value = object.__new__(SignedValue)
+                object.__setattr__(value, "pos", make_pos(vals))
+                object.__setattr__(value, "neg", make_neg(vals))
+                return value
+
+            return make_signed
+        if isinstance(obj, BinaryNumber):
+            start = len(ids)
+            ids.extend(obj.bit_nodes)
+            end = start + len(obj.bit_nodes)
+            positions = obj.bit_positions
+            width = obj.width
+
+            def make_binary(
+                vals, start=start, end=end, positions=positions, width=width
+            ):
+                return _new_binary(positions, tuple(vals[start:end]), width)
+
+            return make_binary
+        if isinstance(obj, SignedBinaryNumber):
+            make_pos = walk(obj.pos)
+            make_neg = walk(obj.neg)
+
+            def make_signed_binary(vals, make_pos=make_pos, make_neg=make_neg):
+                number = object.__new__(SignedBinaryNumber)
+                object.__setattr__(number, "pos", make_pos(vals))
+                object.__setattr__(number, "neg", make_neg(vals))
+                return number
+
+            return make_signed_binary
+        if isinstance(obj, list):
+            makers = [walk(item) for item in obj]
+            return lambda vals, makers=makers: [make(vals) for make in makers]
+        if isinstance(obj, tuple):
+            makers = [walk(item) for item in obj]
+            return lambda vals, makers=makers: tuple(make(vals) for make in makers)
+        raise TypeError(f"cannot compile template result of type {type(obj)!r}")
+
+    rebuild = walk(result)
+    return np.asarray(ids, dtype=np.int64), rebuild
+
+
+def _result_is_relocatable(result: Any, n_params: int) -> bool:
+    """True when the recorded result remaps faithfully under stamping.
+
+    ``Rep`` terms are sorted by node id; a parameter node inside a ``Rep``
+    would need re-sorting per copy (parameter ids are arbitrary), so such
+    gadgets are not templated.
+    """
+    from repro.arithmetic.signed import (
+        BinaryNumber,
+        Rep,
+        SignedBinaryNumber,
+        SignedValue,
+    )
+
+    if result is None or isinstance(result, (int, np.integer)):
+        return True
+    if isinstance(result, Rep):
+        return all(node >= n_params for node, _ in result.terms)
+    if isinstance(result, SignedValue):
+        return _result_is_relocatable(result.pos, n_params) and _result_is_relocatable(
+            result.neg, n_params
+        )
+    if isinstance(result, BinaryNumber):
+        return True
+    if isinstance(result, SignedBinaryNumber):
+        return True
+    if isinstance(result, (list, tuple)):
+        return all(_result_is_relocatable(item, n_params) for item in result)
+    return False
+
+
+class GadgetStamper:
+    """Per-builder template cache + batched stamping driver.
+
+    Gadget constructors call :meth:`stamp_all` with a structural signature
+    (everything the gadget's gate stream depends on *except* the actual node
+    ids), the per-copy parameter rows, and two emitters: one that builds the
+    gadget on a :class:`TemplateBuilder` (local ids) and one that builds a
+    single copy the legacy way (used for non-templatable gadgets and for
+    copies with duplicated parameters).
+    """
+
+    def __init__(self, builder) -> None:
+        self._builder = builder
+        self._templates: Dict[Any, Optional[GadgetTemplate]] = {}
+
+    def template_for(
+        self,
+        key: Any,
+        n_params: int,
+        emit_template: Callable[[TemplateBuilder], Any],
+    ) -> Optional[GadgetTemplate]:
+        """The cached template for ``key`` (None = gadget not templatable)."""
+        if key in self._templates:
+            return self._templates[key]
+        recorder = TemplateBuilder(n_params)
+        result = emit_template(recorder)
+        template: Optional[GadgetTemplate] = None
+        if not recorder.has_param_merge and _result_is_relocatable(result, n_params):
+            template = GadgetTemplate(recorder, result)
+        self._templates[key] = template
+        return template
+
+    def stamp_all(
+        self,
+        key: Any,
+        n_params: int,
+        params_list: Sequence[Sequence[int]],
+        emit_template: Callable[[TemplateBuilder], Any],
+        emit_legacy: Callable[[int], Any],
+    ) -> List[Any]:
+        """Emit every copy, stamping consecutive clean runs in one call.
+
+        Copies whose parameters repeat a node id are emitted via
+        ``emit_legacy`` in place, so the overall gate stream keeps the exact
+        legacy order.
+        """
+        template = self.template_for(key, n_params, emit_template)
+        if template is None:
+            return [emit_legacy(i) for i in range(len(params_list))]
+        k = len(params_list)
+        params = np.asarray(params_list, dtype=np.int64).reshape(k, n_params)
+        if n_params >= 2:
+            row_sorted = np.sort(params, axis=1)
+            has_dup = (row_sorted[:, 1:] == row_sorted[:, :-1]).any(axis=1)
+        else:
+            has_dup = np.zeros(k, dtype=bool)
+        if not has_dup.any():
+            return template.stamp(self._builder, params)
+        results: List[Any] = [None] * k
+        dup_indices = np.nonzero(has_dup)[0].tolist()
+        start = 0
+        for stop in dup_indices + [k]:
+            if stop > start:
+                for i, mapped in zip(
+                    range(start, stop),
+                    template.stamp(self._builder, params[start:stop]),
+                ):
+                    results[i] = mapped
+            if stop < k:
+                results[stop] = emit_legacy(stop)
+            start = stop + 1
+        return results

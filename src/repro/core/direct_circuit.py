@@ -30,6 +30,7 @@ def build_direct_matmul_circuit(
     bit_width: Optional[int] = None,
     algorithm: Optional[BilinearAlgorithm] = None,
     stages: int = 1,
+    vectorize: bool = True,
 ) -> MatmulCircuit:
     """Theorem 4.1 matrix-product circuit (single-jump schedule, staged sums)."""
     algorithm = algorithm if algorithm is not None else strassen_2x2()
@@ -39,6 +40,7 @@ def build_direct_matmul_circuit(
         algorithm=algorithm,
         schedule=direct_schedule(algorithm, n),
         stages=stages,
+        vectorize=vectorize,
     )
 
 
@@ -48,6 +50,7 @@ def build_direct_trace_circuit(
     bit_width: Optional[int] = None,
     algorithm: Optional[BilinearAlgorithm] = None,
     stages: int = 1,
+    vectorize: bool = True,
 ) -> TraceCircuit:
     """Theorem 4.1-style trace circuit (single-jump schedule, staged sums)."""
     algorithm = algorithm if algorithm is not None else strassen_2x2()
@@ -58,4 +61,5 @@ def build_direct_trace_circuit(
         algorithm=algorithm,
         schedule=direct_schedule(algorithm, n),
         stages=stages,
+        vectorize=vectorize,
     )

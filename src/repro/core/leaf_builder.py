@@ -15,7 +15,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.arithmetic.signed import SignedBinaryNumber, SignedValue
-from repro.arithmetic.weighted_sum import build_signed_sum
+from repro.arithmetic.weighted_sum import build_signed_sums
 from repro.core.schedule import LevelSchedule
 from repro.core.trees import Side, edge_matrices, iter_paths, relative_functional
 from repro.fastmm.bilinear import BilinearAlgorithm
@@ -105,16 +105,26 @@ def build_tree_levels(
         new: Dict[Path, np.ndarray] = {}
         for ancestor_path, ancestor in current.items():
             for sigma, functional in functionals.items():
+                # All k_h^2 cells of this (ancestor, sigma) transition share
+                # one functional, hence one weight signature: batching them
+                # into a single build_signed_sums call lets the vectorizing
+                # builder stamp the whole block from one recorded template.
+                # The (x, y) iteration order matches the per-cell loop, so
+                # the emitted circuit is unchanged.
+                items_list = [
+                    [
+                        (_as_signed_value(ancestor[p * k_h + x, q * k_h + y]), coeff)
+                        for (p, q), coeff in functional.items()
+                    ]
+                    for x in range(k_h)
+                    for y in range(k_h)
+                ]
+                cells = build_signed_sums(
+                    builder, items_list, stages=stages, tag=level_tag
+                )
                 child = np.empty((k_h, k_h), dtype=object)
-                for x in range(k_h):
-                    for y in range(k_h):
-                        items = [
-                            (_as_signed_value(ancestor[p * k_h + x, q * k_h + y]), coeff)
-                            for (p, q), coeff in functional.items()
-                        ]
-                        child[x, y] = build_signed_sum(
-                            builder, items, stages=stages, tag=level_tag
-                        )
+                for index, cell in enumerate(cells):
+                    child[index // k_h, index % k_h] = cell
                 new[ancestor_path + sigma] = child
         current = new
 

@@ -146,11 +146,12 @@ def build_matmul_circuit(
     stages: int = 1,
     share_gates: bool = False,
     engine=None,
+    vectorize: bool = True,
 ) -> MatmulCircuit:
     """Build the Theorem 4.8 / 4.9 circuit computing ``C = AB``.
 
     See :func:`repro.core.trace_circuit.build_trace_circuit` for the meaning
-    of the common parameters (including ``engine``).
+    of the common parameters (including ``engine`` and ``vectorize``).
     """
     from repro.core.trace_circuit import default_bit_width
 
@@ -161,7 +162,11 @@ def build_matmul_circuit(
         if schedule is not None
         else schedule_for(algorithm, n, depth_parameter=depth_parameter)
     )
-    builder = CircuitBuilder(name=f"matmul-{algorithm.name}-n{n}", share_gates=share_gates)
+    builder = CircuitBuilder(
+        name=f"matmul-{algorithm.name}-n{n}",
+        share_gates=share_gates,
+        vectorize=vectorize,
+    )
     encoding_a, encoding_b, entries = assemble_matmul_circuit(
         builder, n, bit_width, algorithm, schedule, stages=stages
     )

@@ -25,7 +25,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.arithmetic.comparator import build_ge_comparison
-from repro.arithmetic.product import build_signed_product
+from repro.arithmetic.product import build_signed_products
 from repro.arithmetic.signed import Rep, SignedValue
 from repro.arithmetic.weighted_sum import build_signed_sum
 from repro.circuits.builder import CircuitBuilder
@@ -77,34 +77,83 @@ class NaiveTriangleCircuit:
         return bool(np.atleast_1d(result.outputs)[0])
 
 
-def build_naive_triangle_circuit(n: int, tau: int) -> NaiveTriangleCircuit:
-    """Build the Section 1 depth-2 circuit with exactly ``C(n,3) + 1`` gates."""
+def build_naive_triangle_circuit(
+    n: int, tau: int, vectorize: bool = True
+) -> NaiveTriangleCircuit:
+    """Build the Section 1 depth-2 circuit with exactly ``C(n,3) + 1`` gates.
+
+    With ``vectorize=True`` (default) the ``C(n,3)`` triangle gates and the
+    output gate are emitted as two bulk array appends; ``vectorize=False``
+    keeps the per-gate loop (the two paths build identical circuits).
+    """
     if n < 3:
         raise ValueError(f"triangle counting needs at least 3 vertices, got {n}")
-    builder = CircuitBuilder(name=f"naive-triangles-n{n}")
+    builder = CircuitBuilder(name=f"naive-triangles-n{n}", vectorize=vectorize)
     pairs = list(combinations(range(n), 2))
     wires = builder.allocate_inputs(len(pairs), "edges")
     edge_index = {pair: wire for pair, wire in zip(pairs, wires)}
 
-    triangle_gates: List[int] = []
-    for i, j, k in combinations(range(n), 3):
-        sources = [edge_index[(i, j)], edge_index[(i, k)], edge_index[(j, k)]]
-        triangle_gates.append(
-            builder.add_gate(sources, [1, 1, 1], 3, tag="naive/triangle")
+    if builder.stamper is not None:
+        # Triangle gate (i, j, k) reads edges (i,j), (i,k), (j,k); the wire
+        # triples are assembled as one flat array in combinations order.
+        triples = np.fromiter(
+            (
+                edge_index[pair]
+                for i, j, k in combinations(range(n), 3)
+                for pair in ((i, j), (i, k), (j, k))
+            ),
+            dtype=np.int64,
         )
-    output = builder.add_gate(
-        triangle_gates, [1] * len(triangle_gates), tau, tag="naive/output"
-    )
+        n_triangles = len(triples) // 3
+        offsets = np.arange(n_triangles + 1, dtype=np.int64) * 3
+        triangle_ids = builder.add_gates(
+            triples,
+            offsets,
+            np.ones(len(triples), dtype=np.int64),
+            np.full(n_triangles, 3, dtype=np.int64),
+            tag="naive/triangle",
+            canonicalize=False,
+        )
+        output_ids = builder.add_gates(
+            triangle_ids,
+            np.asarray([0, n_triangles], dtype=np.int64),
+            np.ones(n_triangles, dtype=np.int64),
+            np.asarray([tau], dtype=np.int64),
+            tag="naive/output",
+            canonicalize=False,
+        )
+        output = int(output_ids[0])
+    else:
+        triangle_gates: List[int] = []
+        for i, j, k in combinations(range(n), 3):
+            sources = [edge_index[(i, j)], edge_index[(i, k)], edge_index[(j, k)]]
+            triangle_gates.append(
+                builder.add_gate(sources, [1, 1, 1], 3, tag="naive/triangle")
+            )
+        output = builder.add_gate(
+            triangle_gates, [1] * len(triangle_gates), tau, tag="naive/output"
+        )
     builder.set_outputs([output], [f"triangles >= {tau}"])
     circuit = builder.build()
     circuit.metadata.update({"kind": "naive-triangles", "n": n, "tau": tau})
     return NaiveTriangleCircuit(circuit=circuit, n=n, tau=tau, edge_index=edge_index)
 
 
-def build_naive_matmul_circuit(n: int, bit_width: Optional[int] = None) -> MatmulCircuit:
-    """Definition-based product circuit: ``C_ij = sum_k A_ik B_kj`` (depth 3)."""
+def build_naive_matmul_circuit(
+    n: int,
+    bit_width: Optional[int] = None,
+    stages: int = 1,
+    vectorize: bool = True,
+) -> MatmulCircuit:
+    """Definition-based product circuit: ``C_ij = sum_k A_ik B_kj`` (depth 3).
+
+    ``stages`` selects the Theorem 4.1 staged addition circuits for the
+    output sums (``stages=1`` is the paper's depth-2 Lemma 3.2 path);
+    ``vectorize=False`` forces the legacy per-gate construction (both paths
+    build bit-identical circuits).
+    """
     bit_width = bit_width if bit_width is not None else default_bit_width(n)
-    builder = CircuitBuilder(name=f"naive-matmul-n{n}")
+    builder = CircuitBuilder(name=f"naive-matmul-n{n}", vectorize=vectorize)
     a_wires = builder.allocate_inputs(n * n * 2 * bit_width, "A")
     b_wires = builder.allocate_inputs(n * n * 2 * bit_width, "B")
     encoding_a = MatrixEncoding(n, bit_width, offset=a_wires[0])
@@ -115,13 +164,18 @@ def build_naive_matmul_circuit(n: int, bit_width: Optional[int] = None) -> Matmu
     entries = np.empty((n, n), dtype=object)
     for i in range(n):
         for j in range(n):
-            items = []
-            for k in range(n):
-                product = build_signed_product(
-                    builder, [root_a[i, k], root_b[k, j]], tag="naive/product"
-                )
-                items.append((product, 1))
-            entries[i, j] = build_signed_sum(builder, items, tag="naive/sum")
+            # One batched product call per output entry: the n inner products
+            # share a bit layout, so the vectorizing builder stamps them as
+            # one block before the entry's sum is emitted (legacy order).
+            products = build_signed_products(
+                builder,
+                [[root_a[i, k], root_b[k, j]] for k in range(n)],
+                tag="naive/product",
+            )
+            items = [(product, 1) for product in products]
+            entries[i, j] = build_signed_sum(
+                builder, items, stages=stages, tag="naive/sum"
+            )
 
     output_nodes: List[int] = []
     output_labels: List[str] = []
@@ -134,7 +188,9 @@ def build_naive_matmul_circuit(n: int, bit_width: Optional[int] = None) -> Matmu
                     output_labels.append(f"C[{i}][{j}]{sign}bit{position}")
     builder.set_outputs(output_nodes, output_labels)
     circuit = builder.build()
-    circuit.metadata.update({"kind": "naive-matmul", "n": n, "bit_width": bit_width})
+    circuit.metadata.update(
+        {"kind": "naive-matmul", "n": n, "bit_width": bit_width, "stages": stages}
+    )
     return MatmulCircuit(
         circuit=circuit,
         encoding_a=encoding_a,
@@ -151,10 +207,11 @@ def build_naive_trace_circuit(
     n: int,
     tau: int,
     bit_width: Optional[int] = None,
+    vectorize: bool = True,
 ) -> TraceCircuit:
     """Definition-based ``trace(A^3) >= tau`` circuit (depth 2, Theta(N^3) gates)."""
     bit_width = bit_width if bit_width is not None else default_bit_width(n)
-    builder = CircuitBuilder(name=f"naive-trace-n{n}")
+    builder = CircuitBuilder(name=f"naive-trace-n{n}", vectorize=vectorize)
     wires = builder.allocate_inputs(n * n * 2 * bit_width, "A")
     encoding = MatrixEncoding(n, bit_width, offset=wires[0])
     root = matrix_of_inputs(encoding)
@@ -163,10 +220,15 @@ def build_naive_trace_circuit(
     neg_terms: List[Tuple[int, int]] = []
     for i in range(n):
         for j in range(n):
-            for k in range(n):
-                product = build_signed_product(
-                    builder, [root[i, j], root[j, k], root[k, i]], tag="naive/product"
-                )
+            # Batch the n triples of one (i, j) row; degenerate diagonal
+            # triples (repeated entries) transparently take the per-gate
+            # fallback inside the stamping driver.
+            products = build_signed_products(
+                builder,
+                [[root[i, j], root[j, k], root[k, i]] for k in range(n)],
+                tag="naive/product",
+            )
+            for product in products:
                 pos_terms.extend(product.pos.terms)
                 neg_terms.extend(product.neg.terms)
     total = SignedValue(Rep.from_terms(pos_terms), Rep.from_terms(neg_terms))

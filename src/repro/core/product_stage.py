@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence, Tuple
 
-from repro.arithmetic.product import build_signed_product
+from repro.arithmetic.product import build_signed_products
 from repro.arithmetic.signed import SignedBinaryNumber, SignedValue
 
 __all__ = ["build_leaf_products"]
@@ -49,8 +49,12 @@ def build_leaf_products(
         if set(other) != paths:
             raise ValueError("leaf trees disagree on the set of leaf paths")
 
-    products: Dict[Path, SignedValue] = {}
-    for path in sorted(paths):
-        factors = [leaves[path] for leaves in leaf_sets]
-        products[path] = build_signed_product(builder, factors, tag=tag)
-    return products
+    # One batched call over all leaves: consecutive leaves with identical
+    # factor bit layouts are template-stamped together by the vectorizing
+    # builder, in the same sorted-path order the per-leaf loop used.
+    ordered_paths = sorted(paths)
+    factors_list = [
+        [leaves[path] for leaves in leaf_sets] for path in ordered_paths
+    ]
+    values = build_signed_products(builder, factors_list, tag=tag)
+    return dict(zip(ordered_paths, values))

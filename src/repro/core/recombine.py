@@ -22,7 +22,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.arithmetic.signed import SignedBinaryNumber, SignedValue
-from repro.arithmetic.weighted_sum import build_signed_sum
+from repro.arithmetic.weighted_sum import build_signed_sums
 from repro.core.schedule import LevelSchedule
 from repro.core.trees import edge_matrices, iter_paths, relative_functional
 from repro.fastmm.bilinear import BilinearAlgorithm
@@ -93,20 +93,28 @@ def build_product_tree(
             for p in range(grid):
                 for q in range(grid):
                     terms = block_terms.get((p, q), [])
-                    for x in range(k_h):
-                        for y in range(k_h):
-                            items = [
-                                (
-                                    _as_signed_value(
-                                        current[parent_path + sigma][x, y]
-                                    ),
-                                    coeff,
-                                )
-                                for sigma, coeff in terms
-                            ]
-                            parent[p * k_h + x, q * k_h + y] = build_signed_sum(
-                                builder, items, stages=stages, tag=level_tag
+                    # The k_h^2 cells of one (p, q) block share the same
+                    # (sigma, coeff) term list, i.e. one weight signature —
+                    # batch them so the vectorizing builder stamps the block
+                    # from a single template, in the legacy (x, y) order.
+                    items_list = [
+                        [
+                            (
+                                _as_signed_value(
+                                    current[parent_path + sigma][x, y]
+                                ),
+                                coeff,
                             )
+                            for sigma, coeff in terms
+                        ]
+                        for x in range(k_h)
+                        for y in range(k_h)
+                    ]
+                    cells = build_signed_sums(
+                        builder, items_list, stages=stages, tag=level_tag
+                    )
+                    for index, cell in enumerate(cells):
+                        parent[p * k_h + index // k_h, q * k_h + index % k_h] = cell
             new[parent_path] = parent
         current = new
 

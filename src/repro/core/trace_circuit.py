@@ -162,6 +162,7 @@ def build_trace_circuit(
     stages: int = 1,
     share_gates: bool = False,
     engine=None,
+    vectorize: bool = True,
 ) -> TraceCircuit:
     """Build the Theorem 4.4 / 4.5 circuit deciding ``trace(A^3) >= tau``.
 
@@ -188,6 +189,10 @@ def build_trace_circuit(
     engine:
         Execution engine used by :meth:`TraceCircuit.evaluate`; defaults to
         the process-wide :func:`repro.engine.default_engine`.
+    vectorize:
+        True (default) emits gadgets through the columnar bulk/stamping
+        path; False forces the legacy per-gate path.  Both construct
+        bit-identical circuits (equal ``structural_hash``).
     """
     algorithm = algorithm if algorithm is not None else strassen_2x2()
     bit_width = bit_width if bit_width is not None else default_bit_width(n)
@@ -196,7 +201,11 @@ def build_trace_circuit(
         if schedule is not None
         else schedule_for(algorithm, n, depth_parameter=depth_parameter)
     )
-    builder = CircuitBuilder(name=f"trace-{algorithm.name}-n{n}", share_gates=share_gates)
+    builder = CircuitBuilder(
+        name=f"trace-{algorithm.name}-n{n}",
+        share_gates=share_gates,
+        vectorize=vectorize,
+    )
     encoding = assemble_trace_circuit(
         builder, n, tau, bit_width, algorithm, schedule, stages=stages
     )

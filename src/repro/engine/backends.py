@@ -176,8 +176,9 @@ class DenseBackend:
         layers = []
         for spec in plan.layers:
             matrix = np.zeros((spec.n_gates, plan.n_nodes), dtype=dtype)
-            if spec.data:
-                # (row, col) pairs are unique: Gate merges duplicate sources.
+            if len(spec.data):
+                # (row, col) pairs are unique: every emission path merges
+                # duplicate sources during canonicalization.
                 matrix[spec.rows, spec.cols] = np.asarray(spec.data, dtype=np.int64)
             layers.append(
                 (
@@ -242,18 +243,29 @@ class ExactBackend:
         self, circuit: ThresholdCircuit, plan: Optional[LayerPlan] = None
     ) -> _ExactProgram:
         plan = plan if plan is not None else build_layer_plan(circuit)
+        # Read straight from the columnar store: slicing the flat arrays per
+        # gate avoids materializing Gate objects for what is inherently a
+        # gate-by-gate program.  Weights are boxed to Python ints (object
+        # dtype) so the evaluation arithmetic is arbitrary-precision.
+        cols = circuit.columnar()
+        src_list = cols.sources.tolist()
+        wts_list = cols.weights.tolist()
+        off_list = cols.offsets.tolist()
+        thr_list = cols.thresholds.tolist()
+        n_inputs = circuit.n_inputs
         gates = []
         for spec in plan.layers:
-            for node in spec.nodes:
-                gate = circuit.gate_of(int(node))
-                weights = np.empty(gate.fan_in, dtype=object)
-                weights[:] = gate.weights
+            for node in spec.nodes.tolist():
+                index = node - n_inputs
+                lo, hi = off_list[index], off_list[index + 1]
+                weights = np.empty(hi - lo, dtype=object)
+                weights[:] = wts_list[lo:hi]
                 gates.append(
                     (
-                        int(node),
-                        np.asarray(gate.sources, dtype=np.int64),
+                        node,
+                        np.asarray(src_list[lo:hi], dtype=np.int64),
                         weights,
-                        gate.threshold,
+                        thr_list[index],
                     )
                 )
         return _ExactProgram(

@@ -1,0 +1,196 @@
+"""Equivalence of the bulk/stamped construction path and the per-gate path.
+
+The vectorized construction pipeline (columnar store + bulk ``add_gates`` +
+gadget template stamping) must be a pure performance change: for every
+construction, ``vectorize=True`` and ``vectorize=False`` have to produce
+circuits with bit-identical structure (equal ``structural_hash``, which
+covers input count, every gate's sources/weights/threshold in order, and the
+declared outputs).  These tests check that on randomized gadget soups and on
+the full matmul/trace constructions.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arithmetic.comparator import build_ge_comparison
+from repro.arithmetic.product import build_signed_products
+from repro.arithmetic.signed import SignedBinaryNumber
+from repro.arithmetic.weighted_sum import build_signed_sums
+from repro.circuits.builder import CircuitBuilder
+from repro.core.matmul_circuit import build_matmul_circuit
+from repro.core.naive_circuits import (
+    build_naive_matmul_circuit,
+    build_naive_trace_circuit,
+    build_naive_triangle_circuit,
+)
+from repro.core.trace_circuit import build_trace_circuit
+from repro.engine import Engine
+
+
+# --------------------------------------------------------------------------- #
+# Randomized gadget programs, replayed on both builder modes.
+# --------------------------------------------------------------------------- #
+
+
+def _draw_signed_number(data, n_inputs, label):
+    """A SignedBinaryNumber over random (possibly overlapping) input wires."""
+    n_bits = data.draw(st.integers(min_value=0, max_value=3), label=f"{label}/bits")
+    wires = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_inputs - 1),
+            min_size=2 * n_bits,
+            max_size=2 * n_bits,
+        ),
+        label=f"{label}/wires",
+    )
+    return SignedBinaryNumber.from_input_bits(wires[:n_bits], wires[n_bits:])
+
+
+def _draw_program(data):
+    """A random sequence of gadget invocations (shared by both replays)."""
+    n_inputs = data.draw(st.integers(min_value=2, max_value=6), label="n_inputs")
+    numbers = [
+        _draw_signed_number(data, n_inputs, f"value{i}")
+        for i in range(data.draw(st.integers(min_value=2, max_value=4), label="n_values"))
+    ]
+    ops = []
+    for i in range(data.draw(st.integers(min_value=1, max_value=4), label="n_ops")):
+        kind = data.draw(st.sampled_from(["sum", "product"]), label=f"op{i}")
+        if kind == "sum":
+            # Several instances per call to exercise grouping + stamping.
+            count = data.draw(st.integers(min_value=1, max_value=3), label=f"op{i}/count")
+            picks = [
+                [
+                    (
+                        data.draw(
+                            st.integers(min_value=0, max_value=len(numbers) - 1),
+                            label=f"op{i}/{j}/value",
+                        ),
+                        data.draw(
+                            st.integers(min_value=-3, max_value=3).filter(bool),
+                            label=f"op{i}/{j}/weight",
+                        ),
+                    )
+                    for j in range(
+                        data.draw(
+                            st.integers(min_value=1, max_value=3),
+                            label=f"op{i}/terms",
+                        )
+                    )
+                ]
+                for _ in range(count)
+            ]
+            stages = data.draw(st.integers(min_value=1, max_value=2), label=f"op{i}/stages")
+            ops.append(("sum", picks, stages))
+        else:
+            count = data.draw(st.integers(min_value=1, max_value=3), label=f"op{i}/count")
+            picks = [
+                [
+                    data.draw(
+                        st.integers(min_value=0, max_value=len(numbers) - 1),
+                        label=f"op{i}/{j}/factor",
+                    )
+                    # Repeated factor indices are allowed on purpose: they
+                    # trigger the duplicate-parameter legacy fallback.
+                    for j in range(
+                        data.draw(
+                            st.integers(min_value=1, max_value=3),
+                            label=f"op{i}/factors",
+                        )
+                    )
+                ]
+                for _ in range(count)
+            ]
+            ops.append(("product", picks, None))
+    tau = data.draw(st.integers(min_value=-4, max_value=4), label="tau")
+    return n_inputs, numbers, ops, tau
+
+
+def _replay(n_inputs, numbers, ops, tau, vectorize):
+    builder = CircuitBuilder(name="gadget-soup", vectorize=vectorize)
+    builder.allocate_inputs(n_inputs)
+    pool = list(numbers)
+    last_signed_value = None
+    for kind, picks, stages in ops:
+        if kind == "sum":
+            items_list = [
+                [(pool[index].to_signed_value(), weight) for index, weight in instance]
+                for instance in picks
+            ]
+            pool.extend(
+                build_signed_sums(builder, items_list, stages=stages, tag="soup/sum")
+            )
+        else:
+            factors_list = [[pool[index] for index in instance] for instance in picks]
+            values = build_signed_products(builder, factors_list, tag="soup/prod")
+            last_signed_value = values[-1]
+    if last_signed_value is not None:
+        output = build_ge_comparison(builder, last_signed_value, tau, tag="soup/out")
+        builder.set_outputs([output])
+    return builder.build(), builder.tag_counts()
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_random_gadgets_bit_identical(data):
+    n_inputs, numbers, ops, tau = _draw_program(data)
+    fast, fast_tags = _replay(n_inputs, numbers, ops, tau, vectorize=True)
+    legacy, legacy_tags = _replay(n_inputs, numbers, ops, tau, vectorize=False)
+    assert fast.size == legacy.size
+    assert fast.structural_hash() == legacy.structural_hash()
+    assert fast.stats() == legacy.stats()
+    assert fast_tags == legacy_tags
+    # Depth bookkeeping must agree gate by gate, not just in the maximum.
+    assert fast.gates_by_depth() == legacy.gates_by_depth()
+
+
+@given(
+    n=st.sampled_from([2, 4]),
+    stages=st.integers(min_value=1, max_value=2),
+    bit_width=st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=6, deadline=None)
+def test_matmul_construction_bit_identical(n, stages, bit_width):
+    fast = build_matmul_circuit(
+        n, bit_width=bit_width, depth_parameter=1, stages=stages, vectorize=True
+    )
+    legacy = build_matmul_circuit(
+        n, bit_width=bit_width, depth_parameter=1, stages=stages, vectorize=False
+    )
+    assert fast.circuit.structural_hash() == legacy.circuit.structural_hash()
+    assert fast.circuit.stats() == legacy.circuit.stats()
+
+
+def test_trace_and_naive_constructions_bit_identical(rng):
+    pairs = [
+        (
+            build_trace_circuit(4, 10, depth_parameter=2, vectorize=True).circuit,
+            build_trace_circuit(4, 10, depth_parameter=2, vectorize=False).circuit,
+        ),
+        (
+            build_naive_matmul_circuit(4, stages=2, vectorize=True).circuit,
+            build_naive_matmul_circuit(4, stages=2, vectorize=False).circuit,
+        ),
+        (
+            build_naive_trace_circuit(3, 5, vectorize=True).circuit,
+            build_naive_trace_circuit(3, 5, vectorize=False).circuit,
+        ),
+        (
+            build_naive_triangle_circuit(6, 2, vectorize=True).circuit,
+            build_naive_triangle_circuit(6, 2, vectorize=False).circuit,
+        ),
+    ]
+    engine = Engine()
+    for fast, legacy in pairs:
+        assert fast.structural_hash() == legacy.structural_hash()
+        batch = rng.integers(0, 2, size=(fast.n_inputs, 16))
+        fast_result = engine.evaluate(fast, batch)
+        legacy_result = engine.evaluate(legacy, batch)
+        assert (fast_result.outputs == legacy_result.outputs).all()
+        assert (fast_result.node_values == legacy_result.node_values).all()
+
+
+def test_trace_circuit_evaluates_correctly_when_vectorized(rng):
+    trace = build_trace_circuit(4, 10, depth_parameter=2, vectorize=True)
+    for _ in range(5):
+        matrix = rng.integers(-2, 3, size=(4, 4))
+        assert trace.evaluate(matrix) == trace.reference(matrix)
