@@ -1,0 +1,157 @@
+"""E16 — Value banks: array-native stage interfaces + bulk-aware counting.
+
+PR 2 made gate *emission* array-native; this experiment measures what the
+value banks (``RepBank``/``SignedValueBank`` flowing between construction
+stages) and the bulk-aware ``CountingBuilder`` buy on top of it.
+
+Two comparisons are reported:
+
+* **Construction** — the same circuit built with ``banked=True`` (the
+  default pipeline) and ``banked=False`` (the PR-2 stamped-but-scalar stage
+  interface).  Both must be bit-identical (equal ``structural_hash``); the
+  banked path must be at least 2x faster at the headline size (n = 64).
+* **Counting** — ``count_matmul_circuit`` through the bulk/template-reusing
+  counting builder versus the per-gate legacy dry run
+  (``vectorize=False``).  Both must report identical costs; the fast path
+  must be at least 10x faster at the headline size (n = 32).
+
+Rows follow the bench_e* convention and are additionally written to
+``BENCH_e16.json`` at the repository root (the CI smoke step uploads it
+alongside ``BENCH_e15.json``).  Set ``E16_QUICK=1`` for the CI-sized quick
+mode.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import report
+from repro.core.gate_count_model import count_matmul_circuit
+from repro.core.matmul_circuit import build_matmul_circuit
+from repro.core.naive_circuits import build_naive_matmul_circuit
+
+QUICK = os.environ.get("E16_QUICK") == "1"
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_e16.json"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _construction_case(name, build, rounds=3):
+    """Banked vs stamped builds of one circuit, hashes compared.
+
+    Best-of-``rounds`` on both sides shields the reported ratio from noisy
+    samples (allocator warm-up on the first multi-million-gate build).
+    """
+    banked_s = stamped_s = float("inf")
+    banked = stamped = None
+    for _ in range(rounds):
+        banked, dt = _timed(lambda: build(banked=True))
+        banked_s = min(banked_s, dt)
+        stamped, dt = _timed(lambda: build(banked=False))
+        stamped_s = min(stamped_s, dt)
+    row = {
+        "case": name,
+        "kind": "construction",
+        "gates": banked.circuit.size,
+        "edges": banked.circuit.edges,
+        "banked_s": round(banked_s, 3),
+        "stamped_s": round(stamped_s, 3),
+        "speedup": round(stamped_s / banked_s, 2) if banked_s else float("inf"),
+        "hash_equal": banked.circuit.structural_hash()
+        == stamped.circuit.structural_hash(),
+    }
+    return row
+
+
+def _counting_case(name, count):
+    """Template-reusing vs per-gate counting of one construction."""
+    fast, fast_s = _timed(lambda: count(vectorize=True))
+    slow, slow_s = _timed(lambda: count(vectorize=False))
+    return {
+        "case": name,
+        "kind": "counting",
+        "size": fast.size,
+        "fast_s": round(fast_s, 3),
+        "legacy_s": round(slow_s, 3),
+        "speedup": round(slow_s / fast_s, 2) if fast_s else float("inf"),
+        "counts_equal": fast == slow,
+    }
+
+
+def test_e16_value_banks(benchmark):
+    if QUICK:
+        cases = [
+            (
+                "construction",
+                "naive-matmul n=16 b=1 stages=2",
+                lambda: _construction_case(
+                    "naive-matmul n=16 b=1 stages=2",
+                    lambda banked: build_naive_matmul_circuit(
+                        16, bit_width=1, stages=2, banked=banked
+                    ),
+                ),
+                1.15,  # small circuits amortize less; CI-noise safe
+            ),
+            (
+                "counting",
+                "count-matmul n=8 loglog",
+                lambda: _counting_case(
+                    "count-matmul n=8 loglog",
+                    lambda vectorize: count_matmul_circuit(8, vectorize=vectorize),
+                ),
+                2.0,
+            ),
+        ]
+    else:
+        cases = [
+            (
+                "construction",
+                "naive-matmul n=64 b=1 stages=2",
+                lambda: _construction_case(
+                    "naive-matmul n=64 b=1 stages=2",
+                    lambda banked: build_naive_matmul_circuit(
+                        64, bit_width=1, stages=2, banked=banked
+                    ),
+                ),
+                2.0,
+            ),
+            (
+                "construction",
+                "matmul-strassen n=8 b=1 loglog",
+                lambda: _construction_case(
+                    "matmul-strassen n=8 b=1 loglog",
+                    lambda banked: build_matmul_circuit(8, bit_width=1, banked=banked),
+                ),
+                1.0,  # subcubic levels already batch well; parity is the point
+            ),
+            (
+                "counting",
+                "count-matmul n=32 loglog",
+                lambda: _counting_case(
+                    "count-matmul n=32 loglog",
+                    lambda vectorize: count_matmul_circuit(32, vectorize=vectorize),
+                ),
+                10.0,
+            ),
+        ]
+
+    def compute_rows():
+        return [(case() | {"required": required}) for _, _, case, required in cases]
+
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    report("E16: value banks (construction) + bulk-aware counting", rows)
+    BENCH_JSON.write_text(
+        json.dumps({"experiment": "E16", "quick": QUICK, "rows": rows}, indent=2)
+    )
+
+    for row in rows:
+        if row["kind"] == "construction":
+            assert row["hash_equal"], row
+        else:
+            assert row["counts_equal"], row
+        assert row["speedup"] >= row["required"], row

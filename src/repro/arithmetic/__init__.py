@@ -16,6 +16,8 @@ from repro.arithmetic.signed import (
     SignedValue,
     BinaryNumber,
     SignedBinaryNumber,
+    RepBank,
+    SignedValueBank,
 )
 from repro.arithmetic.bit_extract import (
     build_kth_msb,
@@ -30,6 +32,8 @@ from repro.arithmetic.weighted_sum import (
     split_signed_terms,
     build_unsigned_sum,
     build_signed_sum,
+    build_signed_sum_banks,
+    build_signed_sums_cellwise,
     count_unsigned_sum,
     count_signed_sum,
 )
@@ -41,16 +45,23 @@ from repro.arithmetic.staged_sum import (
 from repro.arithmetic.product import (
     build_unsigned_product_rep,
     build_signed_product,
+    build_signed_product_banks,
     count_unsigned_product_rep,
     count_signed_product,
 )
-from repro.arithmetic.comparator import build_ge_comparison, build_range_membership
+from repro.arithmetic.comparator import (
+    build_ge_comparison,
+    build_ge_comparison_banks,
+    build_range_membership,
+)
 
 __all__ = [
     "Rep",
     "SignedValue",
     "BinaryNumber",
     "SignedBinaryNumber",
+    "RepBank",
+    "SignedValueBank",
     "build_kth_msb",
     "BitPlan",
     "ExtractionPlan",
@@ -61,6 +72,8 @@ __all__ = [
     "split_signed_terms",
     "build_unsigned_sum",
     "build_signed_sum",
+    "build_signed_sum_banks",
+    "build_signed_sums_cellwise",
     "count_unsigned_sum",
     "count_signed_sum",
     "staged_chunk_sizes",
@@ -68,8 +81,10 @@ __all__ = [
     "count_staged_extraction",
     "build_unsigned_product_rep",
     "build_signed_product",
+    "build_signed_product_banks",
     "count_unsigned_product_rep",
     "count_signed_product",
     "build_ge_comparison",
+    "build_ge_comparison_banks",
     "build_range_membership",
 ]

@@ -25,6 +25,7 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -75,18 +76,51 @@ def build_kth_msb(
         raise ValueError(f"l must be positive, got {l}")
     if not (1 <= k <= l):
         raise ValueError(f"k must satisfy 1 <= k <= l, got k={k}, l={l}")
-    sources = [n for n, _ in terms]
-    weights = [w for _, w in terms]
     step = 1 << (l - k)
     m = 1 << k
-    if getattr(builder, "stamper", None) is not None and l < 62:
+    if getattr(builder, "counts_only", False) and (
+        getattr(builder, "stamper", None) is not None
+        or getattr(builder, "prefers_bulk", False)
+    ):
+        # Dry-run shortcut (vectorized counting only): the bank's shape is
+        # known in closed form — m interval gates over the merged source row
+        # plus one select gate — so neither wires, weights nor thresholds
+        # are ever materialized.  ``np.unique`` mirrors the canonical
+        # duplicate-source merge of the real builder.
+        if terms:
+            unique = np.unique(
+                np.fromiter((n for n, _ in terms), dtype=np.int64, count=len(terms))
+            )
+            fan = int(unique.size)
+            depth = int(builder.node_depths_of(unique).max())
+        else:
+            fan = 0
+            depth = 0
+        fan_ins = np.full(m + 1, fan, dtype=np.int64)
+        fan_ins[m] = m
+        depths = np.full(m + 1, depth + 1, dtype=np.int64)
+        depths[m] = depth + 2
+        node_ids = builder.add_gate_rows(
+            fan_ins,
+            depths,
+            tag_counts={f"{tag}/interval": m, f"{tag}/select": 1},
+        )
+        return int(node_ids[-1])
+    sources = [n for n, _ in terms]
+    weights = [w for _, w in terms]
+    if (
+        getattr(builder, "stamper", None) is not None
+        or getattr(builder, "prefers_bulk", False)
+    ) and l < 62:
         # Bulk emission: the whole interval bank shares one source/weight row
         # (canonicalized once, exactly like the per-gate Gate constructor),
         # so the m interval gates plus the select gate land in a single
         # add_gates call with the select gate referencing its bank in-batch.
-        # Thresholds up to 2**l must fit int64, hence the l < 62 guard; a
-        # row whose individual weights leave int64 falls through to the
-        # per-gate path below (exact Python-int storage).
+        # Template recorders (``prefers_bulk``) take the same path, so
+        # *recording* a wide gadget is array work too.  Thresholds up to
+        # 2**l must fit int64, hence the l < 62 guard; a row whose
+        # individual weights leave int64 falls through to the per-gate path
+        # below (exact Python-int storage).
         row_sources, row_weights = canonical_parts(sources, weights)
         try:
             weights_row = np.asarray(row_weights, dtype=np.int64)
@@ -97,6 +131,19 @@ def build_kth_msb(
     if weights_row is not None:
         fan = len(row_sources)
         base = builder.n_nodes
+        # The bank's depths are closed-form: the m interval gates sit one
+        # level above the deepest source, the select gate one above them —
+        # no need for the generic batch layering passes.  (On a template
+        # recorder, node_depths_of is parameter-relative, so these are the
+        # correct relative depths too.)
+        if fan:
+            source_depth = int(
+                builder.node_depths_of(np.asarray(row_sources, dtype=np.int64)).max()
+            )
+        else:
+            source_depth = 0
+        bank_depths = np.full(m + 1, source_depth + 1, dtype=np.int64)
+        bank_depths[m] = source_depth + 2
         all_sources = np.empty(m * fan + m, dtype=np.int64)
         all_weights = np.empty(m * fan + m, dtype=np.int64)
         if fan:
@@ -118,7 +165,7 @@ def build_kth_msb(
         select_tag = f"{tag}/select"
         # Pre-interned int32 codes: one dict lookup per *tag*, not per gate
         # (the interval banks dominate the constructed circuits' gate count).
-        intern = builder.circuit.store.intern_tag
+        intern = builder.intern_tag
         tag_codes = np.full(m + 1, intern(interval_tag), dtype=np.int32)
         tag_codes[m] = intern(select_tag)
         node_ids = builder.add_gates(
@@ -128,6 +175,7 @@ def build_kth_msb(
             thresholds,
             tag=tag_codes,
             canonicalize=False,
+            depths=bank_depths,
             tag_counts={interval_tag: m, select_tag: 1},
         )
         return int(node_ids[-1])
@@ -193,8 +241,21 @@ def plan_full_extraction(
     n_bits:
         How many low-order bits to extract; defaults to all
         ``bits(sum(weights))`` bits, i.e. the full value.
+
+    The plan is a pure function of the weight signature, and constructions
+    re-emit the same signatures over and over (every cell of a tree level,
+    every deferred template instance), so results are memoized.
     """
-    weights = [int(w) for w in weights]
+    return _plan_full_extraction_cached(
+        tuple(int(w) for w in weights), n_bits
+    )
+
+
+@lru_cache(maxsize=4096)
+def _plan_full_extraction_cached(
+    weights: Tuple[int, ...],
+    n_bits: Optional[int],
+) -> ExtractionPlan:
     for w in weights:
         if w <= 0:
             raise ValueError(f"plan_full_extraction requires positive weights, got {w}")
@@ -241,6 +302,11 @@ def build_full_extraction(
     """
     terms = [(int(n), int(w)) for n, w in terms]
     plan = plan_full_extraction([w for _, w in terms], n_bits)
+    if getattr(builder, "counts_only", False) and (
+        getattr(builder, "stamper", None) is not None
+        or getattr(builder, "prefers_bulk", False)
+    ):
+        return _count_full_extraction_rows(builder, terms, plan, tag)
     outputs: List[Optional[int]] = []
     for bit_plan in plan.bit_plans:
         if bit_plan.is_zero:
@@ -255,4 +321,64 @@ def build_full_extraction(
             tag=f"{tag}/bit{bit_plan.position}",
         )
         outputs.append(node)
+    return outputs
+
+
+def _count_full_extraction_rows(builder, terms, plan, tag) -> List[Optional[int]]:
+    """Dry-run fast lane for a whole extraction: terms are touched once.
+
+    Every bit's bank shape is closed-form (``2**k`` interval gates over the
+    kept terms plus a select gate), so the per-bit work reduces to a fan-in
+    lookup; the term array, its depths and its duplicate check are computed
+    once for the whole extraction instead of per bit.
+    """
+    n_terms = len(terms)
+    if n_terms:
+        src = np.fromiter((n for n, _ in terms), dtype=np.int64, count=n_terms)
+        term_depths = builder.node_depths_of(src)
+        distinct = len(np.unique(src)) == n_terms
+        depth_lo = int(term_depths.min())
+        depth_hi = int(term_depths.max())
+        uniform_depth = depth_lo == depth_hi
+    else:
+        src = np.empty(0, dtype=np.int64)
+        term_depths = src
+        distinct = True
+        depth_hi = 0
+        uniform_depth = True
+    base = builder.n_nodes
+    offset = 0
+    outputs: List[Optional[int]] = []
+    fan_parts: List[np.ndarray] = []
+    depth_parts: List[np.ndarray] = []
+    tag_counts: dict = {}
+    for bit_plan in plan.bit_plans:
+        if bit_plan.is_zero:
+            outputs.append(None)
+            continue
+        m = 1 << bit_plan.k
+        kept = bit_plan.kept_indices
+        if distinct and uniform_depth:
+            fan = len(kept)
+            depth = depth_hi if kept else 0
+        else:
+            kept_idx = np.asarray(kept, dtype=np.int64)
+            sub = src[kept_idx]
+            fan = int(np.unique(sub).size) if not distinct else len(kept)
+            depth = int(term_depths[kept_idx].max()) if len(kept) else 0
+        fan_ins = np.full(m + 1, fan, dtype=np.int64)
+        fan_ins[m] = m
+        depths = np.full(m + 1, depth + 1, dtype=np.int64)
+        depths[m] = depth + 2
+        fan_parts.append(fan_ins)
+        depth_parts.append(depths)
+        bit_tag = f"{tag}/bit{bit_plan.position}"
+        tag_counts[f"{bit_tag}/interval"] = m
+        tag_counts[f"{bit_tag}/select"] = 1
+        outputs.append(base + offset + m)
+        offset += m + 1
+    if fan_parts:
+        builder.add_gate_rows(
+            np.concatenate(fan_parts), np.concatenate(depth_parts), tag_counts
+        )
     return outputs

@@ -21,11 +21,14 @@ from __future__ import annotations
 import itertools
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.arithmetic.signed import (
     BinaryNumber,
     Rep,
     SignedBinaryNumber,
     SignedValue,
+    SignedValueBank,
 )
 from repro.circuits.builder import CircuitBuilder
 
@@ -33,6 +36,7 @@ __all__ = [
     "build_unsigned_product_rep",
     "build_signed_product",
     "build_signed_products",
+    "build_signed_product_banks",
     "count_unsigned_product_rep",
     "count_signed_product",
 ]
@@ -145,29 +149,7 @@ def build_signed_products(
             for factors in group
         ]
 
-        def emit_template(recorder, layout=layout):
-            local = 0
-            local_factors = []
-            for pos_positions, neg_positions in layout:
-                pos_nodes = tuple(range(local, local + len(pos_positions)))
-                local += len(pos_positions)
-                neg_nodes = tuple(range(local, local + len(neg_positions)))
-                local += len(neg_positions)
-                local_factors.append(
-                    SignedBinaryNumber(
-                        BinaryNumber(
-                            pos_positions,
-                            pos_nodes,
-                            max(pos_positions) + 1 if pos_positions else 0,
-                        ),
-                        BinaryNumber(
-                            neg_positions,
-                            neg_nodes,
-                            max(neg_positions) + 1 if neg_positions else 0,
-                        ),
-                    )
-                )
-            return _build_signed_product_direct(recorder, local_factors, tag)
+        emit_template = _product_template_emitter(layout, tag)
 
         def emit_legacy(i, group=group):
             return _build_signed_product_direct(builder, group[i], tag)
@@ -177,6 +159,102 @@ def build_signed_products(
         )
         start = end
     return results
+
+
+def _product_template_emitter(layout, tag):
+    """Template recorder for a signed product with the given bit layout.
+
+    Shared by the scalar grouping path and the banked path, so both record
+    byte-identical templates under the same key.
+    """
+
+    def emit_template(recorder, layout=layout):
+        local = 0
+        local_factors = []
+        for pos_positions, neg_positions in layout:
+            pos_nodes = tuple(range(local, local + len(pos_positions)))
+            local += len(pos_positions)
+            neg_nodes = tuple(range(local, local + len(neg_positions)))
+            local += len(neg_positions)
+            local_factors.append(
+                SignedBinaryNumber(
+                    BinaryNumber(
+                        pos_positions,
+                        pos_nodes,
+                        max(pos_positions) + 1 if pos_positions else 0,
+                    ),
+                    BinaryNumber(
+                        neg_positions,
+                        neg_nodes,
+                        max(neg_positions) + 1 if neg_positions else 0,
+                    ),
+                )
+            )
+        return _build_signed_product_direct(recorder, local_factors, tag)
+
+    return emit_template
+
+
+def build_signed_product_banks(
+    builder,
+    factor_banks: Sequence[SignedValueBank],
+    tag: str = "lemma3.3",
+) -> SignedValueBank:
+    """Banked signed products: instance ``i`` multiplies row ``i`` of every
+    factor bank.
+
+    All factor banks must carry binary layouts and agree on the batch size;
+    the shared layouts mean the whole batch is one template key, so the gate
+    stream equals :func:`build_signed_products` on the materialized factor
+    lists (duplicate-node rows drop to the legacy emitter in place and come
+    back as bank overrides, since a merged product has a different term
+    layout).
+    """
+    if not factor_banks:
+        raise ValueError("a product needs at least one factor")
+    k = factor_banks[0].k
+    if k == 0:
+        raise ValueError("cannot emit an empty product batch")
+    for bank in factor_banks:
+        if bank.k != k:
+            raise ValueError("factor banks disagree on the batch size")
+    if any(bank.overrides for bank in factor_banks):
+        factors_list = [
+            [bank.signed_binary(i) for bank in factor_banks] for i in range(k)
+        ]
+        return SignedValueBank.from_scalars(
+            build_signed_products(builder, factors_list, tag=tag)
+        )
+    layout = tuple((f.pos.positions, f.neg.positions) for f in factor_banks)
+    key = ("signed_product", layout, tag)
+    n_params = sum(f.pos.n_terms + f.neg.n_terms for f in factor_banks)
+    columns = [
+        part.nodes for f in factor_banks for part in (f.pos, f.neg) if part.n_terms
+    ]
+    if columns:
+        params = np.concatenate(columns, axis=1)
+        if not params.flags.c_contiguous:
+            params = np.ascontiguousarray(params)
+    else:
+        params = np.empty((k, 0), dtype=np.int64)
+    emit_template = _product_template_emitter(layout, tag)
+
+    def emit_legacy(i):
+        return _build_signed_product_direct(
+            builder, [bank.signed_binary(i) for bank in factor_banks], tag
+        )
+
+    template, mapped, overrides = builder.stamper.stamp_all_mapped(
+        key, n_params, params, emit_template, emit_legacy
+    )
+    if template is None:
+        # Not templated (unrelocatable or recording deferred): `mapped` holds
+        # the directly emitted scalar results, already in stream order.
+        return SignedValueBank.from_scalars(mapped)
+    bank = SignedValueBank.from_template(template, mapped)
+    if overrides:
+        bank = SignedValueBank(bank.pos, bank.neg, overrides)
+    return bank
 
 
 def _build_signed_product_direct(

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.circuits.circuit import ThresholdCircuit
 from repro.circuits.gate import canonical_parts
+from repro.circuits.store import accumulate_tag_counts
 
 __all__ = ["CircuitBuilder"]
 
@@ -35,7 +36,11 @@ class CircuitBuilder:
     """Builds a :class:`ThresholdCircuit` incrementally."""
 
     def __init__(
-        self, name: str = "", share_gates: bool = False, vectorize: bool = True
+        self,
+        name: str = "",
+        share_gates: bool = False,
+        vectorize: bool = True,
+        banked: bool = True,
     ) -> None:
         self._circuit = ThresholdCircuit(0, name=name)
         self._input_blocks: Dict[str, List[int]] = {}
@@ -54,6 +59,26 @@ class CircuitBuilder:
             from repro.circuits.template import GadgetStamper
 
             self.stamper = GadgetStamper(self)
+        # Value banks ride on top of stamping: the construction stages pass
+        # whole Rep/SignedValue batches as arrays instead of scalar objects.
+        # ``banked=False`` keeps the stamped-but-scalar interface (the PR-2
+        # intermediate, exposed as a benchmarking ablation).
+        self.use_banks = bool(banked) and self.stamper is not None
+
+    # --------------------------------------------------------------- protocol
+    # Small duck-typed surface shared with CountingBuilder so the template
+    # stamper and the bulk gadget emitters never reach into ``.circuit``.
+    def intern_tag(self, tag: str) -> int:
+        """Intern a tag string, returning its int32 code."""
+        return self._circuit.store.intern_tag(tag)
+
+    def tag_of_code(self, code: int) -> str:
+        """Inverse of :meth:`intern_tag`."""
+        return self._circuit.store.tag_of_code(code)
+
+    def node_depths_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Vectorized node-id -> depth lookup (inputs are depth 0)."""
+        return self._circuit.node_depths_of(nodes)
 
     # ----------------------------------------------------------------- inputs
     def allocate_inputs(self, count: int, label: str = "") -> List[int]:
@@ -164,21 +189,13 @@ class CircuitBuilder:
             validate=validate,
             depths=depths,
         )
-        n_new = len(node_ids)
-        if tag_counts is not None:
-            for t, count in tag_counts.items():
-                if t:
-                    self._tag_counts[t] = self._tag_counts.get(t, 0) + count
-        elif isinstance(tag, str):
-            if tag and n_new:
-                self._tag_counts[tag] = self._tag_counts.get(tag, 0) + n_new
-        else:
-            store = self._circuit.store
-            for t in tag:
-                if not isinstance(t, str):
-                    t = store.tag_of_code(int(t))  # pre-interned codes
-                if t:
-                    self._tag_counts[t] = self._tag_counts.get(t, 0) + 1
+        accumulate_tag_counts(
+            self._tag_counts,
+            tag,
+            len(node_ids),
+            tag_counts,
+            self._circuit.store.tag_of_code,  # pre-interned codes
+        )
         return node_ids
 
     def _add_gates_shared(self, sources, offsets, weights, thresholds, tag) -> np.ndarray:

@@ -36,13 +36,112 @@ from repro.circuits.gate import Gate, canonical_parts
 from repro.circuits.store import (
     Columns,
     GateStore,
+    csr_dirty_rows,
     gather_ranges,
     group_by_depth,
     int_column,
     segment_max,
+    validate_csr_sources,
 )
 
-__all__ = ["ThresholdCircuit", "CircuitStats", "GateView"]
+__all__ = ["ThresholdCircuit", "CircuitStats", "GateView", "resolve_batch_depths"]
+
+
+def _batch_depths_scan(sources, offsets, src_depth, base) -> np.ndarray:
+    """Ordered per-gate depth scan (internal sources precede their row)."""
+    n_new = len(offsets) - 1
+    src_list = sources.tolist()
+    ext_depth = src_depth.tolist()
+    off_list = offsets.tolist()
+    depths = [0] * n_new
+    for i in range(n_new):
+        best = 0
+        for w in range(off_list[i], off_list[i + 1]):
+            s = src_list[w]
+            d = depths[s - base] if s >= base else ext_depth[w]
+            if d > best:
+                best = d
+        depths[i] = best + 1
+    return np.asarray(depths, dtype=np.int64)
+
+
+def resolve_batch_depths(
+    node_depths_of, sources, offsets, fan_ins, rows, base
+) -> np.ndarray:
+    """Depth of every gate of a CSR batch, resolved in vectorized passes.
+
+    ``node_depths_of`` maps an array of *existing* node ids to their depths
+    (inputs are 0); sources ``>= base`` are intra-batch references.  Shared by
+    :class:`ThresholdCircuit` and the dry-run counting builder so both label
+    bulk batches identically.
+    """
+    n_new = len(fan_ins)
+    src_depth = np.zeros(len(sources), dtype=np.int64)
+    external = sources < base
+    if external.any():
+        src_depth[external] = node_depths_of(sources[external])
+    internal = ~external
+    if not internal.any():
+        return segment_max(src_depth, offsets) + 1
+    # Level-synchronous resolution (Kahn over the batch subgraph): each
+    # round finalizes the frontier of rows whose intra-batch sources are
+    # all resolved, then walks only the wires *consuming* those rows.
+    # Every wire is gathered exactly once, so a maximal-depth chain batch
+    # stays O(E) instead of O(E * depth).
+    if rows is None:
+        rows = np.repeat(np.arange(n_new, dtype=np.int64), fan_ins)
+    depths = np.zeros(n_new, dtype=np.int64)
+    int_idx = np.nonzero(internal)[0]
+    int_target = sources[int_idx] - base  # referenced batch row per wire
+    int_rows = rows[int_idx]  # owning batch row per wire
+    # Reverse adjacency: internal wire positions grouped by target row.
+    by_target = np.argsort(int_target, kind="stable")
+    sorted_targets = int_target[by_target]
+    pending = np.bincount(int_rows, minlength=n_new)
+    frontier = np.nonzero(pending == 0)[0]
+    resolved_count = 0
+    level = 0
+    while frontier.size:
+        level += 1
+        if level > 512:
+            # Per-level numpy overhead beats a plain scan on extremely
+            # deep batches (a 10^5-level chain); finish gate by gate.
+            return _batch_depths_scan(sources, offsets, src_depth, base)
+        # Depths of the frontier rows: segment max over their own wires
+        # (all resolved by construction of the frontier).
+        lens = fan_ins[frontier]
+        wire_idx = gather_ranges(offsets[frontier], lens)
+        if wire_idx.size:
+            seg_offsets = np.zeros(len(frontier) + 1, dtype=np.int64)
+            np.cumsum(lens, out=seg_offsets[1:])
+            depths[frontier] = segment_max(src_depth[wire_idx], seg_offsets) + 1
+        else:
+            depths[frontier] = 1
+        resolved_count += frontier.size
+        pending[frontier] = -1  # mark resolved
+        if resolved_count == n_new:
+            return depths
+        # Wires consuming the frontier: contiguous runs of the
+        # target-sorted order, located by binary search.
+        lo = np.searchsorted(sorted_targets, frontier, side="left")
+        hi = np.searchsorted(sorted_targets, frontier, side="right")
+        run_lens = hi - lo
+        pos = gather_ranges(lo, run_lens)
+        consumed = pos.size
+        if not consumed:
+            raise AssertionError("batch depth resolution stalled")
+        wires = by_target[pos]  # positions within the internal-wire arrays
+        src_depth[int_idx[wires]] = depths[int_target[wires]]
+        consumer_rows = int_rows[wires]
+        if consumed * 8 >= n_new:
+            pending -= np.bincount(consumer_rows, minlength=n_new)
+        else:
+            # Touch only the consumed rows: a full-length bincount per
+            # level would make deep chain batches quadratic again.
+            np.subtract.at(pending, consumer_rows, 1)
+        candidates = np.unique(consumer_rows)
+        frontier = candidates[pending[candidates] == 0]
+    raise AssertionError("cyclic batch dependency (validation bypassed?)")
 
 
 @dataclass(frozen=True)
@@ -312,17 +411,8 @@ class ThresholdCircuit:
         rows: Optional[np.ndarray] = None
         if validate or canonicalize:
             rows = np.repeat(np.arange(n_new, dtype=np.int64), fan_ins)
-        if validate and sources.size:
-            if int(sources.min()) < 0:
-                raise ValueError("gate references a negative node id")
-            bad = sources >= base + rows
-            if bad.any():
-                wire = int(np.argmax(bad))
-                raise ValueError(
-                    f"gate {base + int(rows[wire])} references node "
-                    f"{int(sources[wire])}, but only nodes < "
-                    f"{base + int(rows[wire])} exist"
-                )
+        if validate:
+            validate_csr_sources(sources, offsets, fan_ins, base, rows)
 
         if canonicalize:
             result = self._canonicalize_batch(
@@ -373,14 +463,10 @@ class ThresholdCircuit:
         """
         if not sources.size:
             return None
-        order = np.lexsort((sources, rows))
-        s_sorted = sources[order]
-        r_sorted = rows[order]
-        dup_wire = (s_sorted[1:] == s_sorted[:-1]) & (r_sorted[1:] == r_sorted[:-1])
-        if not dup_wire.any():
+        dirty_rows = csr_dirty_rows(sources, rows)
+        if not dirty_rows.size:
             return None
         n_rows = len(offsets) - 1
-        dirty_rows = np.unique(r_sorted[1:][dup_wire])
         # Canonicalize only the dirty rows in Python; everything else is
         # moved by array copies below, so one duplicate-source gate in a
         # million-gate batch does not degrade the whole import to a per-wire
@@ -447,94 +533,9 @@ class ThresholdCircuit:
 
     def _batch_depths(self, sources, offsets, fan_ins, rows, base) -> np.ndarray:
         """Depth of every batch gate, resolved in vectorized passes."""
-        n_new = len(fan_ins)
-        src_depth = np.zeros(len(sources), dtype=np.int64)
-        external = sources < base
-        if external.any():
-            ext_gate = external & (sources >= self.n_inputs)
-            if ext_gate.any():
-                src_depth[ext_gate] = self._store.depths.view()[
-                    sources[ext_gate] - self.n_inputs
-                ]
-        internal = ~external
-        if not internal.any():
-            return segment_max(src_depth, offsets) + 1
-        # Level-synchronous resolution (Kahn over the batch subgraph): each
-        # round finalizes the frontier of rows whose intra-batch sources are
-        # all resolved, then walks only the wires *consuming* those rows.
-        # Every wire is gathered exactly once, so a maximal-depth chain batch
-        # stays O(E) instead of O(E * depth).
-        if rows is None:
-            rows = np.repeat(np.arange(n_new, dtype=np.int64), fan_ins)
-        depths = np.zeros(n_new, dtype=np.int64)
-        int_idx = np.nonzero(internal)[0]
-        int_target = sources[int_idx] - base  # referenced batch row per wire
-        int_rows = rows[int_idx]  # owning batch row per wire
-        # Reverse adjacency: internal wire positions grouped by target row.
-        by_target = np.argsort(int_target, kind="stable")
-        sorted_targets = int_target[by_target]
-        pending = np.bincount(int_rows, minlength=n_new)
-        frontier = np.nonzero(pending == 0)[0]
-        resolved_count = 0
-        level = 0
-        while frontier.size:
-            level += 1
-            if level > 512:
-                # Per-level numpy overhead beats a plain scan on extremely
-                # deep batches (a 10^5-level chain); finish gate by gate.
-                return self._batch_depths_scan(sources, offsets, src_depth, base)
-            # Depths of the frontier rows: segment max over their own wires
-            # (all resolved by construction of the frontier).
-            lens = fan_ins[frontier]
-            wire_idx = gather_ranges(offsets[frontier], lens)
-            if wire_idx.size:
-                seg_offsets = np.zeros(len(frontier) + 1, dtype=np.int64)
-                np.cumsum(lens, out=seg_offsets[1:])
-                depths[frontier] = segment_max(src_depth[wire_idx], seg_offsets) + 1
-            else:
-                depths[frontier] = 1
-            resolved_count += frontier.size
-            pending[frontier] = -1  # mark resolved
-            if resolved_count == n_new:
-                return depths
-            # Wires consuming the frontier: contiguous runs of the
-            # target-sorted order, located by binary search.
-            lo = np.searchsorted(sorted_targets, frontier, side="left")
-            hi = np.searchsorted(sorted_targets, frontier, side="right")
-            run_lens = hi - lo
-            pos = gather_ranges(lo, run_lens)
-            consumed = pos.size
-            if not consumed:
-                raise AssertionError("batch depth resolution stalled")
-            wires = by_target[pos]  # positions within the internal-wire arrays
-            src_depth[int_idx[wires]] = depths[int_target[wires]]
-            consumer_rows = int_rows[wires]
-            if consumed * 8 >= n_new:
-                pending -= np.bincount(consumer_rows, minlength=n_new)
-            else:
-                # Touch only the consumed rows: a full-length bincount per
-                # level would make deep chain batches quadratic again.
-                np.subtract.at(pending, consumer_rows, 1)
-            candidates = np.unique(consumer_rows)
-            frontier = candidates[pending[candidates] == 0]
-        raise AssertionError("cyclic batch dependency (validation bypassed?)")
-
-    def _batch_depths_scan(self, sources, offsets, src_depth, base) -> np.ndarray:
-        """Ordered per-gate depth scan (internal sources precede their row)."""
-        n_new = len(offsets) - 1
-        src_list = sources.tolist()
-        ext_depth = src_depth.tolist()
-        off_list = offsets.tolist()
-        depths = [0] * n_new
-        for i in range(n_new):
-            best = 0
-            for w in range(off_list[i], off_list[i + 1]):
-                s = src_list[w]
-                d = depths[s - base] if s >= base else ext_depth[w]
-                if d > best:
-                    best = d
-            depths[i] = best + 1
-        return np.asarray(depths, dtype=np.int64)
+        return resolve_batch_depths(
+            self.node_depths_of, sources, offsets, fan_ins, rows, base
+        )
 
     def set_outputs(self, nodes: Sequence[int], labels: Optional[Sequence[str]] = None) -> None:
         """Declare the circuit outputs (any existing nodes, typically gates)."""

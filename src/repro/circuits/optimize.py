@@ -12,16 +12,52 @@ Two semantics-preserving transformations are provided:
   output.
 
 Both return a *new* circuit plus a mapping from old node ids to new ones.
+
+Both passes operate directly on the columnar gate store and emit the
+surviving gates through one bulk ``add_gates`` call — no per-gate ``Gate``
+objects are materialized from the lazy view.  Dead-gate reachability walks
+depth layers with array gathers; deduplication keeps its (inherently
+sequential) first-seen keying but works on raw column slices.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.circuits.circuit import ThresholdCircuit
-from repro.circuits.gate import Gate
+from repro.circuits.gate import canonical_parts
+from repro.circuits.store import gather_ranges, group_by_depth, int_column
 
 __all__ = ["deduplicate_gates", "eliminate_dead_gates"]
+
+
+def _emit_bulk(
+    new_circuit: ThresholdCircuit,
+    rows: List[Tuple[List[int], List[int], int]],
+    tags: List[str],
+) -> None:
+    """Append pre-canonicalized gate rows through one bulk call."""
+    if not rows:
+        return
+    fan_ins = np.asarray([len(srcs) for srcs, _, _ in rows], dtype=np.int64)
+    offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(fan_ins, out=offsets[1:])
+    sources = np.asarray(
+        [s for srcs, _, _ in rows for s in srcs], dtype=np.int64
+    )
+    weights, _ = int_column([w for _, wts, _ in rows for w in wts])
+    thresholds, _ = int_column([t for _, _, t in rows])
+    new_circuit.add_gates(
+        sources,
+        offsets,
+        weights,
+        thresholds,
+        tags=tags,
+        canonicalize=False,
+        validate=False,
+    )
 
 
 def deduplicate_gates(circuit: ThresholdCircuit) -> Tuple[ThresholdCircuit, Dict[int, int]]:
@@ -35,21 +71,48 @@ def deduplicate_gates(circuit: ThresholdCircuit) -> Tuple[ThresholdCircuit, Dict
     """
     new_circuit = ThresholdCircuit(circuit.n_inputs, name=circuit.name)
     new_circuit.metadata = dict(circuit.metadata)
-    node_map: Dict[int, int] = {i: i for i in range(circuit.n_inputs)}
+    n_inputs = circuit.n_inputs
+    node_map: Dict[int, int] = {i: i for i in range(n_inputs)}
+    if circuit.size == 0:
+        if circuit.outputs:
+            new_circuit.set_outputs(
+                [node_map[o] for o in circuit.outputs], circuit.output_labels
+            )
+        return new_circuit, node_map
+
+    cols = circuit.columnar()
+    store = circuit.store
+    src_list = cols.sources.tolist()
+    wts_list = cols.weights.tolist()
+    off_list = cols.offsets.tolist()
+    thr_list = cols.thresholds.tolist()
+    # new id per old node, inputs prefilled; gates resolved in id order (a
+    # gate's sources precede it, so their entries are final when it is read).
+    mapped: List[int] = list(range(n_inputs)) + [0] * cols.n_gates
     seen: Dict[tuple, int] = {}
-
-    for offset, gate in enumerate(circuit.gates):
-        old_id = circuit.n_inputs + offset
-        sources = [node_map[s] for s in gate.sources]
-        candidate = Gate(sources, gate.weights, gate.threshold, gate.tag)
-        key = candidate.structural_key()
-        if key in seen:
-            node_map[old_id] = seen[key]
-        else:
-            new_id = new_circuit.add_gate(candidate)
+    kept_rows: List[Tuple[List[int], List[int], int]] = []
+    kept_tags: List[str] = []
+    tag_codes = cols.tag_codes.tolist()
+    for i in range(cols.n_gates):
+        lo, hi = off_list[i], off_list[i + 1]
+        srcs = [mapped[s] for s in src_list[lo:hi]]
+        wts = wts_list[lo:hi]
+        if len(set(srcs)) != len(srcs):
+            # Sources merged by deduplication collapse within the row,
+            # exactly like the Gate constructor would canonicalize them.
+            srcs_t, wts_t = canonical_parts(srcs, wts)
+            srcs, wts = list(srcs_t), list(wts_t)
+        key = (tuple(srcs), tuple(wts), thr_list[i])
+        new_id = seen.get(key)
+        if new_id is None:
+            new_id = n_inputs + len(kept_rows)
             seen[key] = new_id
-            node_map[old_id] = new_id
+            kept_rows.append((srcs, wts, thr_list[i]))
+            kept_tags.append(store.tag_of_code(tag_codes[i]))
+        mapped[n_inputs + i] = new_id
 
+    _emit_bulk(new_circuit, kept_rows, kept_tags)
+    node_map = dict(enumerate(mapped))
     if circuit.outputs:
         new_circuit.set_outputs(
             [node_map[o] for o in circuit.outputs], circuit.output_labels
@@ -61,33 +124,61 @@ def eliminate_dead_gates(circuit: ThresholdCircuit) -> Tuple[ThresholdCircuit, D
     """Remove gates that no declared output depends on.
 
     Requires the circuit to declare outputs; inputs are always kept so the
-    wire layout of encodings remains valid.
+    wire layout of encodings remains valid.  Reachability is resolved layer
+    by layer (deepest first) with array gathers over the columnar store.
     """
     if not circuit.outputs:
         raise ValueError("dead-gate elimination requires declared outputs")
 
-    needed = [False] * circuit.n_nodes
-    for out in circuit.outputs:
-        needed[out] = True
-    # Walk gates in reverse topological order, propagating need to sources.
-    for offset in range(len(circuit.gates) - 1, -1, -1):
-        node_id = circuit.n_inputs + offset
-        if not needed[node_id]:
-            continue
-        for s in circuit.gates[offset].sources:
-            needed[s] = True
-
-    new_circuit = ThresholdCircuit(circuit.n_inputs, name=circuit.name)
+    n_inputs = circuit.n_inputs
+    new_circuit = ThresholdCircuit(n_inputs, name=circuit.name)
     new_circuit.metadata = dict(circuit.metadata)
-    node_map: Dict[int, int] = {i: i for i in range(circuit.n_inputs)}
-    for offset, gate in enumerate(circuit.gates):
-        old_id = circuit.n_inputs + offset
-        if not needed[old_id]:
-            continue
-        sources = [node_map[s] for s in gate.sources]
-        node_map[old_id] = new_circuit.add_gate(
-            Gate(sources, gate.weights, gate.threshold, gate.tag)
+    node_map: Dict[int, int] = {i: i for i in range(n_inputs)}
+    if circuit.size == 0:
+        new_circuit.set_outputs(
+            [node_map[o] for o in circuit.outputs], circuit.output_labels
         )
+        return new_circuit, node_map
+
+    cols = circuit.columnar()
+    fan_ins = cols.fan_ins()
+    depths = circuit.gate_depths()
+    needed = np.zeros(circuit.n_nodes, dtype=bool)
+    needed[np.asarray(circuit.outputs, dtype=np.int64)] = True
+    order, _, starts, ends = group_by_depth(depths)
+    # Deepest layer first: a gate's sources always sit in strictly lower
+    # layers, so one gather per layer propagates need all the way down.
+    for layer_index in range(len(starts) - 1, -1, -1):
+        layer = order[starts[layer_index] : ends[layer_index]]
+        hot = layer[needed[layer + n_inputs]]
+        if hot.size:
+            wires = gather_ranges(cols.offsets[hot], fan_ins[hot])
+            needed[cols.sources[wires]] = True
+
+    kept = np.nonzero(needed[n_inputs:])[0]
+    new_ids = np.empty(circuit.n_nodes, dtype=np.int64)
+    new_ids[:n_inputs] = np.arange(n_inputs, dtype=np.int64)
+    new_ids[n_inputs + kept] = n_inputs + np.arange(len(kept), dtype=np.int64)
+    if kept.size:
+        wires = gather_ranges(cols.offsets[kept], fan_ins[kept])
+        new_offsets = np.zeros(len(kept) + 1, dtype=np.int64)
+        np.cumsum(fan_ins[kept], out=new_offsets[1:])
+        store = circuit.store
+        tags = [store.tag_of_code(c) for c in cols.tag_codes[kept].tolist()]
+        new_circuit.add_gates(
+            new_ids[cols.sources[wires]],
+            new_offsets,
+            cols.weights[wires],
+            cols.thresholds[kept],
+            tags=tags,
+            canonicalize=False,
+            validate=False,
+            # Dropping unreachable gates never changes a survivor's depth
+            # (all of its sources survive), so the recorded depths transfer.
+            depths=depths[kept],
+        )
+    for old_gate in kept.tolist():
+        node_map[n_inputs + old_gate] = int(new_ids[n_inputs + old_gate])
 
     new_circuit.set_outputs(
         [node_map[o] for o in circuit.outputs], circuit.output_labels

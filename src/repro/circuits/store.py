@@ -33,12 +33,119 @@ __all__ = [
     "Columns",
     "GateStore",
     "IntVector",
+    "TagTable",
+    "accumulate_tag_counts",
+    "csr_dirty_rows",
     "gather_ranges",
     "group_by_depth",
     "int_column",
     "segment_max",
     "segment_sum",
+    "validate_csr_sources",
 ]
+
+
+def validate_csr_sources(sources, offsets, fan_ins, base, rows) -> None:
+    """Shared bounds checks for a CSR gate batch (one rule set, all paths).
+
+    ``rows`` maps each wire to its owning batch row; a source must reference
+    a node below ``base + row`` (inputs, earlier gates, or earlier rows of
+    the same batch).
+    """
+    if fan_ins.size and int(fan_ins.min()) < 0:
+        raise ValueError("offsets must be nondecreasing")
+    if int(offsets[0]) != 0 or int(offsets[-1]) != len(sources):
+        raise ValueError("offsets do not cover the wire arrays")
+    if sources.size:
+        if int(sources.min()) < 0:
+            raise ValueError("gate references a negative node id")
+        bad = sources >= base + rows
+        if bad.any():
+            wire = int(np.argmax(bad))
+            raise ValueError(
+                f"gate {base + int(rows[wire])} references node "
+                f"{int(sources[wire])}, but only nodes < "
+                f"{base + int(rows[wire])} exist"
+            )
+
+
+def csr_dirty_rows(sources, rows) -> np.ndarray:
+    """Batch rows containing duplicate sources (empty array when clean).
+
+    The single duplicate-wire detection shared by the circuit, counting and
+    template-recording bulk appends, so canonicalization semantics cannot
+    drift between the build and dry-run paths.
+    """
+    if not len(sources):
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort((sources, rows))
+    s_sorted = sources[order]
+    r_sorted = rows[order]
+    dup_wire = (s_sorted[1:] == s_sorted[:-1]) & (r_sorted[1:] == r_sorted[:-1])
+    if not dup_wire.any():
+        return np.empty(0, dtype=np.int64)
+    return np.unique(r_sorted[1:][dup_wire])
+
+
+def accumulate_tag_counts(counts, tag, n_new, tag_counts=None, decode=None) -> None:
+    """Fold one bulk append's tag information into a per-tag counter dict.
+
+    Accepts the four tag input forms of the bulk protocol: an explicit
+    ``tag_counts`` mapping, one tag string for the batch, an int32 code
+    array (``decode`` maps codes back to strings), or a per-gate sequence of
+    strings/codes.
+    """
+    if tag_counts is not None:
+        for t, count in tag_counts.items():
+            if t:
+                counts[t] = counts.get(t, 0) + count
+    elif isinstance(tag, str):
+        if tag and n_new:
+            counts[tag] = counts.get(tag, 0) + n_new
+    elif isinstance(tag, np.ndarray) and tag.dtype == np.int32:
+        code_counts = np.bincount(tag)
+        for code in np.nonzero(code_counts)[0].tolist():
+            t = decode(int(code))
+            if t:
+                counts[t] = counts.get(t, 0) + int(code_counts[code])
+    else:
+        for t in tag:
+            if not isinstance(t, str):
+                t = decode(int(t))
+            if t:
+                counts[t] = counts.get(t, 0) + 1
+
+
+class TagTable:
+    """Append-only string interner (tag <-> int32 code).
+
+    One implementation shared by the gate store, the template recorder and
+    the counting builder, so the three tag protocols cannot drift.
+    """
+
+    __slots__ = ("_table", "_index")
+
+    def __init__(self) -> None:
+        self._table: List[str] = []
+        self._index: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def intern(self, tag: str) -> int:
+        code = self._index.get(tag)
+        if code is None:
+            code = len(self._table)
+            self._index[tag] = code
+            self._table.append(tag)
+        return code
+
+    def decode(self, code: int) -> str:
+        return self._table[code]
+
+    def strings(self) -> List[str]:
+        """A copy of the table, index-aligned with the codes."""
+        return list(self._table)
 
 
 class IntVector:
@@ -218,8 +325,7 @@ class GateStore:
         # Depths are kept materialized: add_gate/add_gates read them randomly.
         self.depths = IntVector()
         # Tag interning: one short string per construction site, shared.
-        self._tag_table: List[str] = []
-        self._tag_index: Dict[str, int] = {}
+        self._tags = TagTable()
         # Incrementally tracked totals (no consolidation needed for stats).
         self._n_gates = 0
         self._n_edges = 0
@@ -246,15 +352,10 @@ class GateStore:
 
     # ------------------------------------------------------------------- tags
     def intern_tag(self, tag: str) -> int:
-        code = self._tag_index.get(tag)
-        if code is None:
-            code = len(self._tag_table)
-            self._tag_index[tag] = code
-            self._tag_table.append(tag)
-        return code
+        return self._tags.intern(tag)
 
     def tag_of_code(self, code: int) -> str:
-        return self._tag_table[code]
+        return self._tags.decode(code)
 
     # ---------------------------------------------------------------- appends
     def append(
@@ -398,11 +499,11 @@ class GateStore:
             sources,
             weights,
             int(cols.thresholds[index]),
-            self._tag_table[int(cols.tag_codes[index])],
+            self._tags.decode(int(cols.tag_codes[index])),
         )
 
     def tags(self) -> List[str]:
         """Per-gate tag strings (one list comprehension over interned codes)."""
         cols = self.columns()
-        table = self._tag_table
+        table = self._tags.strings()
         return [table[c] for c in cols.tag_codes.tolist()]

@@ -31,6 +31,7 @@ def build_direct_matmul_circuit(
     algorithm: Optional[BilinearAlgorithm] = None,
     stages: int = 1,
     vectorize: bool = True,
+    banked: bool = True,
 ) -> MatmulCircuit:
     """Theorem 4.1 matrix-product circuit (single-jump schedule, staged sums)."""
     algorithm = algorithm if algorithm is not None else strassen_2x2()
@@ -41,6 +42,7 @@ def build_direct_matmul_circuit(
         schedule=direct_schedule(algorithm, n),
         stages=stages,
         vectorize=vectorize,
+        banked=banked,
     )
 
 
@@ -51,6 +53,7 @@ def build_direct_trace_circuit(
     algorithm: Optional[BilinearAlgorithm] = None,
     stages: int = 1,
     vectorize: bool = True,
+    banked: bool = True,
 ) -> TraceCircuit:
     """Theorem 4.1-style trace circuit (single-jump schedule, staged sums)."""
     algorithm = algorithm if algorithm is not None else strassen_2x2()
@@ -62,4 +65,5 @@ def build_direct_trace_circuit(
         schedule=direct_schedule(algorithm, n),
         stages=stages,
         vectorize=vectorize,
+        banked=banked,
     )

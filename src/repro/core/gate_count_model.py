@@ -84,8 +84,15 @@ def count_trace_circuit(
     schedule: Optional[LevelSchedule] = None,
     depth_parameter: Optional[int] = None,
     stages: int = 1,
+    vectorize: bool = True,
 ) -> CircuitCost:
-    """Exact size/depth of the Theorem 4.4/4.5 trace circuit, without building it."""
+    """Exact size/depth of the Theorem 4.4/4.5 trace circuit, without building it.
+
+    ``vectorize=True`` (default) counts through the bulk/stamping protocol —
+    stamped gadget batches reuse the recorded template's gate/edge totals —
+    while ``vectorize=False`` keeps the per-gate dry run (benchmark
+    baseline).  Both report identical costs.
+    """
     algorithm = algorithm if algorithm is not None else strassen_2x2()
     bit_width = bit_width if bit_width is not None else default_bit_width(n)
     schedule = (
@@ -93,7 +100,7 @@ def count_trace_circuit(
         if schedule is not None
         else schedule_for(algorithm, n, depth_parameter=depth_parameter)
     )
-    builder = CountingBuilder(name="count-trace")
+    builder = CountingBuilder(name="count-trace", vectorize=vectorize)
     assemble_trace_circuit(builder, n, tau, bit_width, algorithm, schedule, stages=stages)
     return _cost_from(builder)
 
@@ -105,8 +112,12 @@ def count_matmul_circuit(
     schedule: Optional[LevelSchedule] = None,
     depth_parameter: Optional[int] = None,
     stages: int = 1,
+    vectorize: bool = True,
 ) -> CircuitCost:
-    """Exact size/depth of the Theorem 4.8/4.9 product circuit, without building it."""
+    """Exact size/depth of the Theorem 4.8/4.9 product circuit, without building it.
+
+    See :func:`count_trace_circuit` for the ``vectorize`` knob.
+    """
     algorithm = algorithm if algorithm is not None else strassen_2x2()
     bit_width = bit_width if bit_width is not None else default_bit_width(n)
     schedule = (
@@ -114,7 +125,7 @@ def count_matmul_circuit(
         if schedule is not None
         else schedule_for(algorithm, n, depth_parameter=depth_parameter)
     )
-    builder = CountingBuilder(name="count-matmul")
+    builder = CountingBuilder(name="count-matmul", vectorize=vectorize)
     assemble_matmul_circuit(builder, n, bit_width, algorithm, schedule, stages=stages)
     return _cost_from(builder)
 

@@ -14,13 +14,18 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.arithmetic.signed import SignedBinaryNumber, SignedValue
-from repro.arithmetic.weighted_sum import build_signed_sums
+from repro.arithmetic.signed import (
+    RepBank,
+    SignedBinaryNumber,
+    SignedValue,
+    SignedValueBank,
+)
+from repro.arithmetic.weighted_sum import build_signed_sum_banks, build_signed_sums
 from repro.core.schedule import LevelSchedule
 from repro.core.trees import Side, edge_matrices, iter_paths, relative_functional
 from repro.fastmm.bilinear import BilinearAlgorithm
 
-__all__ = ["matrix_of_inputs", "build_tree_levels"]
+__all__ = ["matrix_of_inputs", "matrix_of_input_banks", "build_tree_levels"]
 
 Path = Tuple[int, ...]
 
@@ -39,6 +44,29 @@ def matrix_of_inputs(encoding, builder=None) -> np.ndarray:
             pos, neg = encoding.entry_wires(i, j)
             values[i, j] = SignedBinaryNumber.from_input_bits(pos, neg)
     return values
+
+
+def matrix_of_input_banks(encoding, transpose: bool = False) -> SignedValueBank:
+    """Wrap a matrix encoding as one value bank (rows in row-major order).
+
+    Row ``i * n + j`` of the bank holds entry ``(i, j)`` — or ``(j, i)``
+    when ``transpose`` is set (the pairing tree's root is ``A^T``).  The
+    entry layout matches :func:`matrix_of_inputs` exactly: positive bits
+    LSB-first, then negative bits.
+    """
+    n = encoding.n
+    b = encoding.bit_width
+    entry = np.arange(n * n, dtype=np.int64)
+    if transpose:
+        entry = (entry % n) * n + entry // n
+    base = encoding.offset + entry[:, None] * (2 * b)
+    bit = np.arange(b, dtype=np.int64)[None, :]
+    positions = tuple(range(b))
+    weights = tuple(1 << i for i in range(b))
+    return SignedValueBank(
+        RepBank(base + bit, weights, positions, b),
+        RepBank(base + b + bit, weights, positions, b),
+    )
 
 
 def _as_signed_value(entry) -> SignedValue:
@@ -80,8 +108,14 @@ def build_tree_levels(
     -------
     dict
         Mapping from full leaf paths (length ``log_T n``) to the scalar
-        :class:`SignedBinaryNumber` computed for that leaf.
+        :class:`SignedBinaryNumber` computed for that leaf — or, when
+        ``root_values`` is a :class:`SignedValueBank` (the banked pipeline),
+        to a single-row bank view of it.
     """
+    if isinstance(root_values, SignedValueBank):
+        return _build_tree_levels_banked(
+            builder, algorithm, side, root_values, schedule, stages, tag
+        )
     n = root_values.shape[0]
     t = algorithm.t
     if t ** schedule.leaf_level != n:
@@ -129,3 +163,65 @@ def build_tree_levels(
         current = new
 
     return {path: matrix[0, 0] for path, matrix in current.items()}
+
+
+def _build_tree_levels_banked(
+    builder,
+    algorithm: BilinearAlgorithm,
+    side: Side,
+    root_bank: SignedValueBank,
+    schedule: LevelSchedule,
+    stages: int,
+    tag: str,
+) -> Dict[Path, SignedValueBank]:
+    """Banked leaf stage: whole matrices travel as row-major value banks.
+
+    Level matrices are uniform by construction (every child matrix comes out
+    of one same-signature batch), so each transition is a handful of array
+    gathers plus one banked sum emission per ``(ancestor, sigma)`` pair —
+    the emitted gate stream is identical to the scalar path's.
+    """
+    k_root = root_bank.k
+    n = int(round(k_root ** 0.5))
+    t = algorithm.t
+    if n * n != k_root or t ** schedule.leaf_level != n:
+        raise ValueError(
+            f"schedule leaf level {schedule.leaf_level} does not match matrix size {n}"
+        )
+    edges = edge_matrices(algorithm, side)
+
+    current: Dict[Path, SignedValueBank] = {(): root_bank}
+    for g, h in zip(schedule.levels, schedule.levels[1:]):
+        delta = h - g
+        k_h = n // t ** h
+        k_g = n // t ** g
+        functionals = {
+            sigma: relative_functional(edges, sigma)
+            for sigma in iter_paths(algorithm.r, delta)
+        }
+        level_tag = f"{tag}/level{h}"
+        # Instance (x, y) of a child matrix — row-major, matching the scalar
+        # path's (x, y) loop — reads ancestor cell (p*k_h + x, q*k_h + y).
+        x = np.repeat(np.arange(k_h, dtype=np.int64), k_h)
+        y = np.tile(np.arange(k_h, dtype=np.int64), k_h)
+        rows_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        new: Dict[Path, SignedValueBank] = {}
+        for ancestor_path, ancestor in current.items():
+            for sigma, functional in functionals.items():
+                terms = []
+                for (p, q), coeff in functional.items():
+                    rows = rows_cache.get((p, q))
+                    if rows is None:
+                        rows = (p * k_h + x) * k_g + (q * k_h + y)
+                        rows_cache[(p, q)] = rows
+                    terms.append((ancestor, rows, coeff))
+                new[ancestor_path + sigma] = build_signed_sum_banks(
+                    builder,
+                    terms,
+                    stages=stages,
+                    tag=level_tag,
+                    count=k_h * k_h,
+                )
+        current = new
+
+    return current

@@ -23,7 +23,11 @@ import numpy as np
 from repro.circuits.builder import CircuitBuilder
 from repro.circuits.circuit import ThresholdCircuit
 from repro.circuits.simulator import CompiledCircuit
-from repro.core.leaf_builder import build_tree_levels, matrix_of_inputs
+from repro.core.leaf_builder import (
+    build_tree_levels,
+    matrix_of_input_banks,
+    matrix_of_inputs,
+)
 from repro.core.product_stage import build_leaf_products
 from repro.core.recombine import build_product_tree
 from repro.core.schedule import LevelSchedule, schedule_for
@@ -54,8 +58,15 @@ def assemble_matmul_circuit(
     encoding_a = MatrixEncoding(n, bit_width, offset=a_wires[0] if a_wires else 0)
     encoding_b = MatrixEncoding(n, bit_width, offset=b_wires[0] if b_wires else 0)
 
-    root_a = matrix_of_inputs(encoding_a)
-    root_b = matrix_of_inputs(encoding_b)
+    if getattr(builder, "use_banks", False):
+        # Banked pipeline: whole matrices travel between stages as node-id
+        # banks; the scalar object form only materializes for the n^2 output
+        # entries.  Wire-for-wire identical to the scalar path.
+        root_a = matrix_of_input_banks(encoding_a)
+        root_b = matrix_of_input_banks(encoding_b)
+    else:
+        root_a = matrix_of_inputs(encoding_a)
+        root_b = matrix_of_inputs(encoding_b)
 
     leaves_a = build_tree_levels(
         builder, algorithm, "A", root_a, schedule, stages=stages, tag="TA"
@@ -147,11 +158,13 @@ def build_matmul_circuit(
     share_gates: bool = False,
     engine=None,
     vectorize: bool = True,
+    banked: bool = True,
 ) -> MatmulCircuit:
     """Build the Theorem 4.8 / 4.9 circuit computing ``C = AB``.
 
     See :func:`repro.core.trace_circuit.build_trace_circuit` for the meaning
-    of the common parameters (including ``engine`` and ``vectorize``).
+    of the common parameters (including ``engine``, ``vectorize`` and
+    ``banked``).
     """
     from repro.core.trace_circuit import default_bit_width
 
@@ -166,6 +179,7 @@ def build_matmul_circuit(
         name=f"matmul-{algorithm.name}-n{n}",
         share_gates=share_gates,
         vectorize=vectorize,
+        banked=banked,
     )
     encoding_a, encoding_b, entries = assemble_matmul_circuit(
         builder, n, bit_width, algorithm, schedule, stages=stages

@@ -10,10 +10,17 @@ cases are a single application of Lemma 3.3 per leaf, i.e. one extra layer.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.arithmetic.product import build_signed_products
-from repro.arithmetic.signed import SignedBinaryNumber, SignedValue
+import numpy as np
+
+from repro.arithmetic.product import build_signed_product_banks, build_signed_products
+from repro.arithmetic.signed import (
+    RepBank,
+    SignedBinaryNumber,
+    SignedValue,
+    SignedValueBank,
+)
 
 __all__ = ["build_leaf_products"]
 
@@ -49,12 +56,95 @@ def build_leaf_products(
         if set(other) != paths:
             raise ValueError("leaf trees disagree on the set of leaf paths")
 
+    ordered_paths = sorted(paths)
+    if ordered_paths and isinstance(
+        leaf_sets[0][ordered_paths[0]], SignedValueBank
+    ):
+        return _build_leaf_product_banks(builder, leaf_sets, ordered_paths, tag)
+
     # One batched call over all leaves: consecutive leaves with identical
     # factor bit layouts are template-stamped together by the vectorizing
     # builder, in the same sorted-path order the per-leaf loop used.
-    ordered_paths = sorted(paths)
     factors_list = [
         [leaves[path] for leaves in leaf_sets] for path in ordered_paths
     ]
     values = build_signed_products(builder, factors_list, tag=tag)
     return dict(zip(ordered_paths, values))
+
+
+def _build_leaf_product_banks(
+    builder,
+    leaf_sets: Sequence[Dict[Path, SignedValueBank]],
+    ordered_paths: List[Path],
+    tag: str,
+) -> Dict[Path, SignedValueBank]:
+    """Banked product stage: stack same-layout leaf runs, one stamp per run.
+
+    The leaves arrive as single-row bank views; consecutive paths whose
+    layouts agree across all trees are vertically stacked into one factor
+    bank per tree and multiplied in a single banked emission (same sorted
+    order, hence the same gate stream as the scalar grouping path).
+    """
+
+    def signature(path):
+        return tuple(
+            (
+                id(leaves[path].pos.weights),
+                id(leaves[path].neg.weights),
+                leaves[path].overrides is None,
+            )
+            for leaves in leaf_sets
+        )
+
+    results: Dict[Path, SignedValueBank] = {}
+    start = 0
+    total = len(ordered_paths)
+    while start < total:
+        sig = signature(ordered_paths[start])
+        end = start + 1
+        while end < total and signature(ordered_paths[end]) == sig:
+            end += 1
+        group = ordered_paths[start:end]
+        if any(leaves[group[0]].overrides for leaves in leaf_sets):
+            # Override rows carry per-row layouts whose node-matrix entries
+            # are meaningless; the whole (override-homogeneous, see the
+            # signature) run goes through the scalar path instead of being
+            # stacked as if it were clean.
+            factors_list = [
+                [leaves[path].signed_binary(0) for leaves in leaf_sets]
+                for path in group
+            ]
+            values = build_signed_products(builder, factors_list, tag=tag)
+            banked = SignedValueBank.from_scalars(values)
+            for j, path in enumerate(group):
+                results[path] = banked.row_any(j)
+            start = end
+            continue
+        factor_banks = []
+        for leaves in leaf_sets:
+            views = [leaves[path] for path in group]
+            first = views[0]
+            if len(views) == 1:
+                factor_banks.append(first)
+            else:
+                factor_banks.append(
+                    SignedValueBank(
+                        RepBank(
+                            np.concatenate([v.pos.nodes for v in views], axis=0),
+                            first.pos.weights,
+                            first.pos.positions,
+                            first.pos.width,
+                        ),
+                        RepBank(
+                            np.concatenate([v.neg.nodes for v in views], axis=0),
+                            first.neg.weights,
+                            first.neg.positions,
+                            first.neg.width,
+                        ),
+                    )
+                )
+        bank = build_signed_product_banks(builder, factor_banks, tag=tag)
+        for j, path in enumerate(group):
+            results[path] = bank.row_any(j)
+        start = end
+    return results

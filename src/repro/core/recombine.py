@@ -21,8 +21,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.arithmetic.signed import SignedBinaryNumber, SignedValue
-from repro.arithmetic.weighted_sum import build_signed_sums
+from repro.arithmetic.signed import SignedBinaryNumber, SignedValue, SignedValueBank
+from repro.arithmetic.weighted_sum import build_signed_sums, build_signed_sums_cellwise
 from repro.core.schedule import LevelSchedule
 from repro.core.trees import edge_matrices, iter_paths, relative_functional
 from repro.fastmm.bilinear import BilinearAlgorithm
@@ -62,8 +62,14 @@ def build_product_tree(
             f"schedule leaf level {leaf_level} does not match matrix size {n}"
         )
     edges = edge_matrices(algorithm, "C")
+    banked = bool(leaf_products) and isinstance(
+        next(iter(leaf_products.values())), SignedValueBank
+    )
 
     # Values at the deepest level: 1x1 matrices holding the leaf products.
+    # In the banked pipeline the cells hold single-row bank views instead of
+    # scalar values; the per-block sums then go through the cellwise banked
+    # emitter (parent matrices mix block layouts, so no uniform matrix bank).
     current: Dict[Path, np.ndarray] = {}
     for path, value in leaf_products.items():
         cell = np.empty((1, 1), dtype=object)
@@ -99,7 +105,9 @@ def build_product_tree(
                     # from a single template, in the legacy (x, y) order.
                     items_list = [
                         [
-                            (
+                            (current[parent_path + sigma][x, y], coeff)
+                            if banked
+                            else (
                                 _as_signed_value(
                                     current[parent_path + sigma][x, y]
                                 ),
@@ -110,9 +118,14 @@ def build_product_tree(
                         for x in range(k_h)
                         for y in range(k_h)
                     ]
-                    cells = build_signed_sums(
-                        builder, items_list, stages=stages, tag=level_tag
-                    )
+                    if banked:
+                        cells = build_signed_sums_cellwise(
+                            builder, items_list, stages=stages, tag=level_tag
+                        )
+                    else:
+                        cells = build_signed_sums(
+                            builder, items_list, stages=stages, tag=level_tag
+                        )
                     for index, cell in enumerate(cells):
                         parent[p * k_h + index // k_h, q * k_h + index % k_h] = cell
             new[parent_path] = parent
@@ -120,4 +133,14 @@ def build_product_tree(
 
     if list(current.keys()) != [()]:
         raise AssertionError("recombination did not terminate at the root")
-    return current[()]
+    root = current[()]
+    if banked:
+        # Materialize the n x n scalar entries for the output stage; the n^2
+        # conversions are the only per-cell objects the banked pipeline ever
+        # creates.
+        entries = np.empty(root.shape, dtype=object)
+        for i in range(root.shape[0]):
+            for j in range(root.shape[1]):
+                entries[i, j] = root[i, j].signed_binary(0)
+        return entries
+    return root

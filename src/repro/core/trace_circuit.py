@@ -24,12 +24,16 @@ from typing import Optional
 
 import numpy as np
 
-from repro.arithmetic.comparator import build_ge_comparison
+from repro.arithmetic.comparator import build_ge_comparison, build_ge_comparison_banks
 from repro.arithmetic.signed import Rep, SignedValue
 from repro.circuits.builder import CircuitBuilder
 from repro.circuits.circuit import ThresholdCircuit
 from repro.circuits.simulator import CompiledCircuit
-from repro.core.leaf_builder import build_tree_levels, matrix_of_inputs
+from repro.core.leaf_builder import (
+    build_tree_levels,
+    matrix_of_input_banks,
+    matrix_of_inputs,
+)
 from repro.core.product_stage import build_leaf_products
 from repro.core.schedule import LevelSchedule, schedule_for
 from repro.fastmm.bilinear import BilinearAlgorithm
@@ -64,8 +68,15 @@ def assemble_trace_circuit(
     offset = wires[0] if wires else 0
     encoding = MatrixEncoding(n, bit_width, offset=offset)
 
-    root_a = matrix_of_inputs(encoding)
-    root_pairing = root_a.T  # the pairing tree's root is A^T (equation (4))
+    banked = getattr(builder, "use_banks", False)
+    if banked:
+        root_a = matrix_of_input_banks(encoding)
+        # The pairing tree's root is A^T (equation (4)): same bank, rows
+        # permuted to transpose order.
+        root_pairing = matrix_of_input_banks(encoding, transpose=True)
+    else:
+        root_a = matrix_of_inputs(encoding)
+        root_pairing = root_a.T
 
     leaves_a = build_tree_levels(
         builder, algorithm, "A", root_a, schedule, stages=stages, tag="TA"
@@ -81,13 +92,18 @@ def assemble_trace_circuit(
         builder, [leaves_a, leaves_b, leaves_pair], tag="trace/product"
     )
 
-    pos_terms = []
-    neg_terms = []
-    for value in products.values():
-        pos_terms.extend(value.pos.terms)
-        neg_terms.extend(value.neg.terms)
-    total = SignedValue(Rep.from_terms(pos_terms), Rep.from_terms(neg_terms))
-    output = build_ge_comparison(builder, total, tau, tag="trace/output")
+    if banked:
+        output = build_ge_comparison_banks(
+            builder, products.values(), tau, tag="trace/output"
+        )
+    else:
+        pos_terms = []
+        neg_terms = []
+        for value in products.values():
+            pos_terms.extend(value.pos.terms)
+            neg_terms.extend(value.neg.terms)
+        total = SignedValue(Rep.from_terms(pos_terms), Rep.from_terms(neg_terms))
+        output = build_ge_comparison(builder, total, tau, tag="trace/output")
     builder.set_outputs([output], [f"trace(A^3) >= {tau}"])
     return encoding
 
@@ -136,7 +152,14 @@ class TraceCircuit:
         return bool(np.atleast_1d(result.outputs)[0])
 
     def evaluate_batch(self, matrices) -> np.ndarray:
-        """Vectorized evaluation of several matrices at once."""
+        """Vectorized evaluation of several matrices at once.
+
+        An empty batch is a no-op returning an empty decision vector (the
+        scheduler handles zero-width blocks, but there is nothing to encode).
+        """
+        matrices = list(matrices)
+        if not matrices:
+            return np.zeros(0, dtype=bool)
         batch = np.stack([self.encoding.encode(m) for m in matrices], axis=1)
         result = self._engine().evaluate(self.circuit, batch)
         return result.outputs[0].astype(bool)
@@ -163,6 +186,7 @@ def build_trace_circuit(
     share_gates: bool = False,
     engine=None,
     vectorize: bool = True,
+    banked: bool = True,
 ) -> TraceCircuit:
     """Build the Theorem 4.4 / 4.5 circuit deciding ``trace(A^3) >= tau``.
 
@@ -193,6 +217,11 @@ def build_trace_circuit(
         True (default) emits gadgets through the columnar bulk/stamping
         path; False forces the legacy per-gate path.  Both construct
         bit-identical circuits (equal ``structural_hash``).
+    banked:
+        True (default) additionally passes whole value banks between the
+        construction stages (the array-native ``Rep``/``SignedValue``
+        interface); False keeps the stamped-but-scalar stage interface.
+        All three paths construct bit-identical circuits.
     """
     algorithm = algorithm if algorithm is not None else strassen_2x2()
     bit_width = bit_width if bit_width is not None else default_bit_width(n)
@@ -205,6 +234,7 @@ def build_trace_circuit(
         name=f"trace-{algorithm.name}-n{n}",
         share_gates=share_gates,
         vectorize=vectorize,
+        banked=banked,
     )
     encoding = assemble_trace_circuit(
         builder, n, tau, bit_width, algorithm, schedule, stages=stages

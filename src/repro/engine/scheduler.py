@@ -67,6 +67,9 @@ def evaluate_batched(
     """
     config = config if config is not None else EngineConfig()
     batch = inputs.shape[1]
+    if batch == 0:
+        # Zero-width batches short-circuit: nothing to chunk or shard.
+        return np.empty((program.n_nodes, 0), dtype=np.int8)
     chunk_size = config.chunk_size
     parallel_ok = config.max_workers > 1 and batch >= config.parallel_threshold
     if parallel_ok:

@@ -460,3 +460,28 @@ class TestCompiledCircuitFix:
             assert mine.compile_calls == 1
         finally:
             set_default_engine(previous)
+
+
+class TestZeroWidthBatches:
+    def test_engine_evaluate_zero_width(self):
+        circuit = parity_circuit(4)
+        engine = Engine()
+        result = engine.evaluate(circuit, np.zeros((4, 0), dtype=np.int8))
+        assert result.node_values.shape == (circuit.n_nodes, 0)
+        assert result.node_values.dtype == np.int8
+        assert result.outputs.shape[-1] == 0
+
+    def test_evaluate_batched_zero_width_all_backends(self):
+        circuit = parity_circuit(3)
+        for backend in BACKENDS:
+            engine = Engine(EngineConfig(backend=backend))
+            result = engine.evaluate(circuit, np.zeros((3, 0), dtype=np.int8))
+            assert result.node_values.shape == (circuit.n_nodes, 0)
+
+    def test_trace_evaluate_batch_empty(self):
+        from repro.core.trace_circuit import build_trace_circuit
+
+        trace = build_trace_circuit(2, 1, depth_parameter=1)
+        out = trace.evaluate_batch([])
+        assert out.shape == (0,)
+        assert out.dtype == bool
