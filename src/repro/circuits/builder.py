@@ -80,6 +80,16 @@ class CircuitBuilder:
         """Vectorized node-id -> depth lookup (inputs are depth 0)."""
         return self._circuit.node_depths_of(nodes)
 
+    def note_template_block(self, block) -> None:
+        """Record one stamped run on the circuit under construction.
+
+        Called by :meth:`~repro.circuits.template.GadgetTemplate.stamp`
+        right after the block's gates land, so the execution engine can
+        later compile the template once and tile it across the stamps
+        (``ThresholdCircuit.template_blocks``).
+        """
+        self._circuit.template_blocks.append(block)
+
     # ----------------------------------------------------------------- inputs
     def allocate_inputs(self, count: int, label: str = "") -> List[int]:
         """Reserve ``count`` fresh input wires and return their node ids.

@@ -225,6 +225,15 @@ class ThresholdCircuit:
         self.outputs: List[int] = []
         self.output_labels: List[str] = []
         self.metadata: Dict[str, object] = {}
+        # Construction provenance for the template-streaming compile path:
+        # one :class:`~repro.circuits.template.TemplateBlock` per stamped run
+        # (appended by the builder's ``note_template_block`` hook, in node-id
+        # order).  Purely additive metadata — the columnar store stays the
+        # single source of truth for structure, hashing and stats, and
+        # circuits rebuilt without stamping (legacy path, deserialization,
+        # the optimizer) simply leave this empty and compile via the CSR
+        # path.
+        self.template_blocks: List[object] = []
         self._structural_hash: Optional[str] = None  # cache, invalidated on mutation
         self._stats: Optional[CircuitStats] = None  # cache, same lifecycle
 

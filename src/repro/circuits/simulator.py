@@ -21,21 +21,25 @@ auto-selection for free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 from scipy import sparse
 
 from repro.circuits.circuit import ThresholdCircuit
-from repro.circuits.store import gather_ranges, group_by_depth, segment_sum
+from repro.circuits.store import csr_max_magnitude, iter_depth_layers
 
 __all__ = [
     "CompiledCircuit",
     "LayerPlan",
     "LayerSpec",
+    "ResidualLayer",
+    "ResidualSegment",
     "SimulationResult",
+    "TemplatePlan",
     "build_layer_plan",
+    "build_template_plan",
     "simulate",
 ]
 
@@ -117,10 +121,11 @@ def build_layer_plan(circuit: ThresholdCircuit) -> LayerPlan:
     A circuit is int64-safe when, for every gate, the worst-case magnitude of
     its weighted sum plus its threshold stays comfortably below ``2**63``.
     The fast path slices each depth layer out of the circuit's columnar
-    arrays with pure numpy gathers; the safety verdict is first bounded in
-    float64, and any circuit whose magnitudes approach the overflow boundary
-    (or whose weights already left int64) is re-planned on exact Python ints,
-    so huge weights can never silently wrap.
+    arrays with pure numpy gathers; the safety verdict comes from the shared
+    :func:`~repro.circuits.store.csr_max_magnitude` rule (float64-certified
+    int64 arithmetic, exact Python-int fallback near the boundary), and a
+    circuit whose weights already left int64 is planned gatewise on exact
+    Python ints, so huge weights can never silently wrap.
     """
     cols_store = circuit.columnar()
     if not cols_store.int64_ok:
@@ -141,40 +146,22 @@ def build_layer_plan(circuit: ThresholdCircuit) -> LayerPlan:
             layers=[],
         )
 
-    # Overflow analysis.  A float64 bound decides whether the exact int64
-    # magnitudes can themselves overflow while being computed: per-wire
-    # |weight| <= 2**63 and the float sum's relative error is ~n*2**-52, so
-    # staying clearly below 2**61 certifies the int64 arithmetic, with a wide
-    # margin to the 2**62 safety limit.  np.abs wraps on INT64_MIN itself
-    # (abs(-2**63) is not representable), so that lone value goes gatewise.
-    int64_min = np.iinfo(np.int64).min
-    if (
-        (weights.size and int(weights.min()) == int64_min)
-        or (thresholds.size and int(thresholds.min()) == int64_min)
-    ):
-        return _build_layer_plan_gatewise(circuit)
-    abs_weights = np.abs(weights)
-    float_mag = segment_sum(abs_weights.astype(np.float64), offsets)
-    float_total = float_mag + np.abs(thresholds).astype(np.float64)
-    if float(float_total.max()) >= float(1 << 61):
-        return _build_layer_plan_gatewise(circuit)
-    magnitudes = segment_sum(abs_weights, offsets) + np.abs(thresholds)
-    max_magnitude = int(magnitudes.max())
+    # Overflow analysis: the one exact rule in store.csr_max_magnitude
+    # (float64-certified int64 fast lane, exact Python-int fallback near the
+    # boundary), shared with the template compiler so both plan forms derive
+    # identical safety verdicts.
+    max_magnitude = csr_max_magnitude(weights, offsets, thresholds, True)
 
-    order, sorted_depths, starts, ends = group_by_depth(circuit.gate_depths())
-
-    fan_ins = np.diff(offsets)
     specs: List[LayerSpec] = []
-    for start, end in zip(starts, ends):
-        gate_idx = order[start:end]  # ascending node order within the layer
-        layer_fan = fan_ins[gate_idx]
+    for depth, gate_idx, wire_idx, layer_fan in iter_depth_layers(
+        circuit.gate_depths(), offsets
+    ):
+        # gate_idx is in ascending node order within the layer; wire_idx
+        # gathers each gate's offsets[g] .. offsets[g+1] range in that order.
         rows = np.repeat(np.arange(len(gate_idx), dtype=np.int64), layer_fan)
-        # Gather the wire slices of the layer's gates: for each gate, the
-        # range offsets[g] .. offsets[g+1] — materialized as one index array.
-        wire_idx = gather_ranges(offsets[gate_idx], layer_fan)
         specs.append(
             LayerSpec(
-                depth=int(sorted_depths[start]),
+                depth=depth,
                 nodes=gate_idx + circuit.n_inputs,
                 rows=rows,
                 cols=sources[wire_idx],
@@ -234,6 +221,189 @@ def _build_layer_plan_gatewise(circuit: ThresholdCircuit) -> LayerPlan:
     )
 
 
+# --------------------------------------------------------------------------
+# Template-streaming compilation: the paper's constructions stamp a small set
+# of lemma gadgets thousands of times, so most of a circuit's gates are k
+# translated copies of a template whose layer structure is known once.  A
+# TemplatePlan keeps that factorization: one compiled layer plan per
+# template (local CSR over parameter slots + local gates) plus the per-stamp
+# parameter rows, and thin "residual" segments for the gates that were
+# emitted outside any stamp.  Backends tile the template layers across the
+# stamps at evaluation time, so compiling skips the consolidated-CSR
+# re-gather (and the per-layer sparse-matrix builds) of build_layer_plan
+# entirely.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ResidualLayer:
+    """One depth layer of a residual (non-stamped) gate run, in COO form.
+
+    ``offsets`` are per-gate CSR offsets into ``cols``/``data`` (local to
+    the layer), so backends can evaluate the layer with one gather plus a
+    segment reduction — no per-layer matrix over all ``n_nodes`` columns is
+    ever materialized for these thin runs.
+    """
+
+    depth: int
+    nodes: np.ndarray  # gate node ids, int64, ascending
+    cols: np.ndarray  # source node id per wire, int64
+    data: Sequence[int]  # weights (int64 array on the fast path)
+    offsets: np.ndarray  # int64[n_gates + 1]
+    thresholds: Sequence[int]
+
+
+@dataclass
+class ResidualSegment:
+    """A maximal run of gates not covered by any template block."""
+
+    layers: List[ResidualLayer]
+
+
+@dataclass
+class TemplatePlan:
+    """A circuit factorized into template blocks plus residual runs.
+
+    Semantically equivalent to the :class:`LayerPlan` of the same circuit
+    (same overflow verdict, bit-identical evaluation on every backend);
+    segments — the circuit's validated
+    :class:`~repro.circuits.template.TemplateBlock` records interleaved
+    with :class:`ResidualSegment` runs — are ordered by node id, which is a
+    topological order because gates only ever reference earlier nodes.
+    For a template block, copy ``i`` occupies node ids ``base + i *
+    n_gates ..`` and the template's relative-depth layers are a valid
+    evaluation order for every copy.
+    """
+
+    n_inputs: int
+    n_nodes: int
+    outputs: List[int]
+    int64_safe: bool
+    max_magnitude: int
+    covered_gates: int
+    size: int
+    segments: List[object] = field(default_factory=list)
+
+    @property
+    def float64_exact(self) -> bool:
+        """Same BLAS-safety rule as :attr:`LayerPlan.float64_exact`."""
+        return self.max_magnitude < (1 << 53)
+
+
+def _residual_segment(circuit, cols, depths, start, stop):
+    """Lower gates ``start:stop`` (a contiguous run) into depth-grouped COO.
+
+    Returns ``(segment, max_magnitude)``.  Only the run's own wire slice is
+    touched — for template-heavy circuits that is a vanishing fraction of
+    the edges.
+    """
+    lo, hi = int(cols.offsets[start]), int(cols.offsets[stop])
+    run_sources = cols.sources[lo:hi]
+    run_weights = cols.weights[lo:hi]
+    run_offsets = cols.offsets[start : stop + 1] - lo
+    run_thresholds = cols.thresholds[start:stop]
+    magnitude = csr_max_magnitude(
+        run_weights, run_offsets, run_thresholds, cols.int64_ok
+    )
+    layers: List[ResidualLayer] = []
+    for depth, gate_idx, wire_idx, layer_fan in iter_depth_layers(
+        depths[start:stop], run_offsets
+    ):
+        # gate_idx is run-local (ascending); rebase to absolute node ids.
+        seg_offsets = np.zeros(len(gate_idx) + 1, dtype=np.int64)
+        np.cumsum(layer_fan, out=seg_offsets[1:])
+        layers.append(
+            ResidualLayer(
+                depth=depth,
+                nodes=gate_idx + start + circuit.n_inputs,
+                cols=run_sources[wire_idx],
+                data=run_weights[wire_idx],
+                offsets=seg_offsets,
+                thresholds=run_thresholds[gate_idx],
+            )
+        )
+    return ResidualSegment(layers), magnitude
+
+
+def build_template_plan(
+    circuit: ThresholdCircuit, min_cover: float = 0.0
+) -> Optional[TemplatePlan]:
+    """Factorize a circuit into template blocks + residual runs, if it can.
+
+    Returns ``None`` — the caller falls back to :func:`build_layer_plan` —
+    when the circuit carries no template provenance, when the recorded
+    blocks cover less than ``min_cover`` of the gates, or when the records
+    do not tile the gate range consistently (stale or foreign provenance is
+    never trusted over the columnar store).
+    """
+    blocks = getattr(circuit, "template_blocks", None)
+    size = circuit.size
+    if not blocks or size == 0:
+        return None
+    compiled_blocks = []
+    covered = 0
+    for block in blocks:
+        if block.k == 0:
+            continue
+        compiled = block.template  # a CompiledTemplate (slim, wire-carrying)
+        if compiled is None or compiled.n_gates == 0:
+            return None
+        params = block.params
+        # Provenance is never trusted over the columnar store: parameter
+        # rows must be well-shaped and reference only nodes preceding the
+        # block, or the whole factorization is refused.
+        if (
+            params.ndim != 2
+            or params.shape[1] != compiled.n_params
+            or (params.size and int(params.min()) < 0)
+            or (params.size and int(params.max()) >= block.base)
+        ):
+            return None
+        covered += block.k * compiled.n_gates
+        compiled_blocks.append((block, compiled))
+    if covered < min_cover * size:
+        return None
+    compiled_blocks.sort(key=lambda pair: pair[0].base)
+
+    n_inputs = circuit.n_inputs
+    depths = circuit.gate_depths()
+    cols = circuit.columnar()
+    segments: List[object] = []
+    max_magnitude = 0
+    cursor = 0  # gate index (node id - n_inputs)
+    for block, compiled in compiled_blocks:
+        first = block.base - n_inputs
+        length = block.k * compiled.n_gates
+        if first < cursor or first + length > size:
+            return None  # overlapping or out-of-range provenance
+        if first > cursor:
+            segment, magnitude = _residual_segment(
+                circuit, cols, depths, cursor, first
+            )
+            segments.append(segment)
+            if magnitude > max_magnitude:
+                max_magnitude = magnitude
+        segments.append(block)  # the validated TemplateBlock, as-is
+        if compiled.max_magnitude > max_magnitude:
+            max_magnitude = compiled.max_magnitude
+        cursor = first + length
+    if cursor < size:
+        segment, magnitude = _residual_segment(circuit, cols, depths, cursor, size)
+        segments.append(segment)
+        if magnitude > max_magnitude:
+            max_magnitude = magnitude
+    return TemplatePlan(
+        n_inputs=n_inputs,
+        n_nodes=circuit.n_nodes,
+        outputs=list(circuit.outputs),
+        int64_safe=max_magnitude < _INT64_SAFE_LIMIT,
+        max_magnitude=max_magnitude,
+        covered_gates=covered,
+        size=size,
+        segments=segments,
+    )
+
+
 def check_batch_inputs(circuit: ThresholdCircuit, inputs: np.ndarray) -> None:
     """Validate a ``(n_inputs, batch)`` array of 0/1 values for a circuit."""
     if inputs.shape[0] != circuit.n_inputs:
@@ -266,16 +436,39 @@ class SimulationResult:
 
 
 class CompiledCircuit:
-    """A circuit compiled to layered sparse matrices for batched evaluation."""
+    """A circuit compiled to layered sparse matrices for batched evaluation.
 
-    def __init__(self, circuit: ThresholdCircuit) -> None:
+    Circuits carrying template provenance (built through the gadget
+    stamper) compile via the template-streaming path instead: one layer
+    plan per template, tiled across stamps at evaluation time.  Both forms
+    are bit-identical; ``uses_fast_path`` keeps its meaning (int64-safe).
+    ``config`` (an :class:`~repro.engine.config.EngineConfig`) governs the
+    same two template knobs the engine honors — pass
+    ``EngineConfig(template_compile=False)`` to force the classic CSR
+    compile.
+    """
+
+    def __init__(self, circuit: ThresholdCircuit, config=None) -> None:
         self.circuit = circuit
         self._layers: List[dict] = []
         self._int64_safe = True
-        self._compile()
+        self._template_program = None
+        self._compile(config)
 
     # ---------------------------------------------------------------- compile
-    def _compile(self) -> None:
+    def _compile(self, config) -> None:
+        # Deferred imports: the program classes live with the engine
+        # backends (which import this module), mirroring simulate().
+        from repro.engine.backends import SparseBackend, template_plan_for
+
+        template_plan = template_plan_for(self.circuit, config)
+        # int64_safe additionally required here (unlike the engine): this
+        # class's overflow fallback is the per-column evaluate_slow replay,
+        # not the exact backend program.
+        if template_plan is not None and template_plan.int64_safe:
+            self._template_program = SparseBackend().compile_template(template_plan)
+            self._int64_safe = True
+            return
         plan = build_layer_plan(self.circuit)
         self._int64_safe = plan.int64_safe
         for spec in plan.layers:
@@ -335,6 +528,8 @@ class CompiledCircuit:
         return SimulationResult(node_values, outputs, energy)
 
     def _evaluate_fast(self, inputs: np.ndarray, batch: int) -> np.ndarray:
+        if self._template_program is not None:
+            return self._template_program.run(inputs)
         circuit = self.circuit
         node_values = np.zeros((circuit.n_nodes, batch), dtype=np.int64)
         node_values[: circuit.n_inputs, :] = inputs

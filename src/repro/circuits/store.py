@@ -36,8 +36,10 @@ __all__ = [
     "TagTable",
     "accumulate_tag_counts",
     "csr_dirty_rows",
+    "csr_max_magnitude",
     "gather_ranges",
     "group_by_depth",
+    "iter_depth_layers",
     "int_column",
     "segment_max",
     "segment_sum",
@@ -216,13 +218,60 @@ def segment_max(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
 
 
 def segment_sum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
-    """Per-segment sum under CSR offsets; empty segments yield 0."""
+    """Per-segment sum along axis 0 under CSR offsets; empty segments yield 0.
+
+    ``values`` may be 1-D (one number per wire) or 2-D (one row per wire,
+    e.g. a ``(wires, batch)`` block in the template-tiled evaluators);
+    trailing axes are carried through.
+    """
     n = len(offsets) - 1
-    out = np.zeros(n, dtype=values.dtype)
+    out = np.zeros((n,) + values.shape[1:], dtype=values.dtype)
     nonempty = offsets[:-1] < offsets[1:]
     if values.size and nonempty.any():
-        out[nonempty] = np.add.reduceat(values, offsets[:-1][nonempty])
+        out[nonempty] = np.add.reduceat(values, offsets[:-1][nonempty], axis=0)
     return out
+
+
+def csr_max_magnitude(weights, offsets, thresholds, int64_ok: bool = True) -> int:
+    """Exact max over gates of ``sum |w| + |threshold|`` (overflow measure).
+
+    One rule shared by the full-circuit layer plan and the per-template
+    compile path, so both derive the same int64-safety verdict.  The fast
+    lane certifies its int64 arithmetic with a float64 bound (per-wire
+    ``|w| <= 2**63`` and relative error ``~n * 2**-52``, so staying clearly
+    below ``2**61`` is safe); anything near the boundary — or already beyond
+    int64 — is re-summed on exact Python ints.  ``np.abs`` wraps on
+    INT64_MIN itself, so that lone value also goes exact.
+    """
+    n = len(offsets) - 1
+    if n == 0:
+        return 0
+    if int64_ok:
+        int64_min = np.iinfo(np.int64).min
+        if not (
+            (weights.size and int(weights.min()) == int64_min)
+            or (thresholds.size and int(thresholds.min()) == int64_min)
+        ):
+            abs_weights = np.abs(weights)
+            float_total = segment_sum(
+                abs_weights.astype(np.float64), offsets
+            ) + np.abs(thresholds).astype(np.float64)
+            if float(float_total.max()) < float(1 << 61):
+                return int(
+                    (segment_sum(abs_weights, offsets) + np.abs(thresholds)).max()
+                )
+    wts_list = weights.tolist() if isinstance(weights, np.ndarray) else list(weights)
+    off_list = offsets.tolist() if isinstance(offsets, np.ndarray) else list(offsets)
+    thr_list = (
+        thresholds.tolist() if isinstance(thresholds, np.ndarray) else list(thresholds)
+    )
+    best = 0
+    for i in range(n):
+        total = sum(abs(w) for w in wts_list[off_list[i] : off_list[i + 1]])
+        total += abs(thr_list[i])
+        if total > best:
+            best = total
+    return best
 
 
 def gather_ranges(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
@@ -254,6 +303,31 @@ def group_by_depth(depths: np.ndarray):
     starts = np.concatenate(([0], boundaries))
     ends = np.concatenate((boundaries, [len(order)]))
     return order, sorted_depths, starts, ends
+
+
+def iter_depth_layers(depths: np.ndarray, offsets: np.ndarray):
+    """Yield ``(depth, gate_idx, wire_idx, layer_fan)`` per depth layer.
+
+    The single depth-layer lowering shared by the simulator's layer plan,
+    the template compiler (residual runs and template-local layers) and the
+    spiking activity view — gate indices are ascending within a layer (the
+    grouping sort is stable) and ``wire_idx`` gathers each layer's wires in
+    gate order, so every consumer sees identical layer ordering by
+    construction rather than by parallel maintenance.
+    """
+    if not len(depths):
+        return
+    fan_ins = np.diff(offsets)
+    order, sorted_depths, starts, ends = group_by_depth(depths)
+    for start, end in zip(starts, ends):
+        gate_idx = order[start:end]
+        layer_fan = fan_ins[gate_idx]
+        yield (
+            int(sorted_depths[start]),
+            gate_idx,
+            gather_ranges(offsets[gate_idx], layer_fan),
+            layer_fan,
+        )
 
 
 def int_column(values) -> Tuple[np.ndarray, bool]:

@@ -31,7 +31,8 @@ legacy one):
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,9 +43,17 @@ from repro.circuits.store import (
     TagTable,
     accumulate_tag_counts,
     csr_dirty_rows,
+    csr_max_magnitude,
+    iter_depth_layers,
 )
 
-__all__ = ["GadgetStamper", "GadgetTemplate", "TemplateBuilder"]
+__all__ = [
+    "CompiledTemplate",
+    "GadgetStamper",
+    "GadgetTemplate",
+    "TemplateBlock",
+    "TemplateBuilder",
+]
 
 # Sentinel returned by ``GadgetStamper.template_for`` for a key seen for the
 # first time with a single copy: recording a template costs about as much as
@@ -415,6 +424,103 @@ class TemplateBuilder:
         return np.arange(base, base + n_new, dtype=np.int64)
 
 
+class CompiledTemplate:
+    """The compile-time export of a recorded template: local CSR + layers.
+
+    This is the *stable* form the execution engine consumes (the
+    template-streaming compile path): everything is a plain array keyed by
+    local ids — parameter slots ``0 .. n_params-1``, gates ``n_params + j``
+    — with no reference back to the recorder, the stamper or the recorded
+    result closures, so compiled programs holding it stay picklable for the
+    process-parallel batch scheduler.
+
+    ``layers`` groups the local gates by their relative depth (parameters
+    sit at depth 0); within one block every gate only reads parameter slots
+    or lower-relative-depth local gates, so evaluating the layers in order
+    is topologically valid for every stamped copy regardless of where the
+    copy's actual parameters sit in the host circuit.
+    """
+
+    __slots__ = (
+        "n_params",
+        "n_gates",
+        "n_locals",
+        "sources",
+        "offsets",
+        "weights",
+        "thresholds",
+        "rel_depths",
+        "layers",
+        "max_magnitude",
+        "int64_ok",
+    )
+
+    def __init__(self, template: "GadgetTemplate") -> None:
+        if template.wireless:
+            raise ValueError("wireless (counting-only) templates carry no wires")
+        self.n_params = template.n_params
+        self.n_gates = template.n_gates
+        self.n_locals = template.n_params + template.n_gates
+        self.sources = template.sources
+        self.offsets = template.offsets
+        self.weights = template.weights
+        self.thresholds = template.thresholds
+        self.rel_depths = template.rel_depths
+        self.int64_ok = (
+            self.weights.dtype != object and self.thresholds.dtype != object
+        )
+        self.max_magnitude = csr_max_magnitude(
+            self.weights, self.offsets, self.thresholds, self.int64_ok
+        )
+        layers: List[Tuple[np.ndarray, np.ndarray, np.ndarray, Any, Any]] = []
+        for _depth, lgates, wire_idx, layer_fan in iter_depth_layers(
+            self.rel_depths, self.offsets
+        ):
+            # lgates are local gate indices, insertion order within a layer.
+            rows = np.repeat(np.arange(len(lgates), dtype=np.int64), layer_fan)
+            layers.append(
+                (
+                    lgates,
+                    rows,
+                    self.sources[wire_idx],
+                    self.weights[wire_idx],
+                    self.thresholds[lgates],
+                )
+            )
+        self.layers = layers
+
+
+@dataclass(frozen=True)
+class TemplateBlock:
+    """One stamped run recorded on the host circuit.
+
+    ``base`` is the node id of the first stamped gate; copy ``i`` of the
+    template occupies node ids ``base + i * n_gates .. base + (i+1) *
+    n_gates - 1`` and reads the actual parameter nodes ``params[i]``.
+    Together with the template's local CSR this reconstructs the block's
+    gates exactly, which is what lets the engine compile one layer plan per
+    template and tile it across stamps instead of re-reading the circuit's
+    consolidated arrays.
+
+    Deliberately holds the slim :class:`CompiledTemplate` (shared across
+    every block stamped from one gadget), not the recording-side
+    :class:`GadgetTemplate` — provenance must not pin the stamper's tiled
+    emission caches and result-rebuild closures to the circuit's lifetime.
+    """
+
+    template: "CompiledTemplate"
+    base: int
+    params: np.ndarray  # (k, n_params) absolute node ids
+
+    @property
+    def k(self) -> int:
+        return int(self.params.shape[0])
+
+    @property
+    def n_gates(self) -> int:
+        return self.template.n_gates
+
+
 class GadgetTemplate:
     """A recorded, relocatable gadget plus its return-value descriptor."""
 
@@ -441,6 +547,7 @@ class GadgetTemplate:
         "_param_slots",
         "_tiled",
         "bank_meta",
+        "_compiled",
     )
 
     def __init__(self, recorder: TemplateBuilder, result: Any) -> None:
@@ -499,6 +606,21 @@ class GadgetTemplate:
         # can be handed out again and again.  One slot bounds the memory of
         # constructions whose run lengths vary (duplicate-parameter splits).
         self._tiled = None
+        self._compiled: Optional[CompiledTemplate] = None
+
+    def compiled(self) -> Optional[CompiledTemplate]:
+        """The stable compile-time export (None for wireless templates).
+
+        Cached: every block stamped from this template shares one
+        :class:`CompiledTemplate`, so the engine builds each template's
+        layer matrices exactly once per compile however many times it was
+        stamped.
+        """
+        if self.wireless:
+            return None
+        if self._compiled is None:
+            self._compiled = CompiledTemplate(self)
+        return self._compiled
 
     def stamp(
         self,
@@ -589,6 +711,22 @@ class GadgetTemplate:
                     depths=depths,
                     tag_counts=tag_counts_k,
                 )
+                # Builders that compile through the engine remember the stamp
+                # (template + base + parameter rows) so the compiler can
+                # stream the template's layer plan instead of re-reading the
+                # consolidated CSR.  Duck-typed: counting/recording builders
+                # simply have no such hook.  The rows are copied: recorded
+                # provenance must stay immutable even if a caller reuses its
+                # parameter buffer after stamping.
+                note = getattr(builder, "note_template_block", None)
+                if note is not None:
+                    note(
+                        TemplateBlock(
+                            self.compiled(),
+                            int(base),
+                            np.array(params, dtype=np.int64),
+                        )
+                    )
         # Rebuild the recorded result per copy from one vectorized id remap:
         # row i of `mapped` holds the actual node ids of the result's local
         # ids under copy i's translation.

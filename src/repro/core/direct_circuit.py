@@ -33,7 +33,12 @@ def build_direct_matmul_circuit(
     vectorize: bool = True,
     banked: bool = True,
 ) -> MatmulCircuit:
-    """Theorem 4.1 matrix-product circuit (single-jump schedule, staged sums)."""
+    """Theorem 4.1 matrix-product circuit (single-jump schedule, staged sums).
+
+    Like every driver, the stamped construction's template provenance rides
+    on the returned ``circuit`` (``template_blocks``), so engine compiles of
+    direct circuits take the template-streaming path too.
+    """
     algorithm = algorithm if algorithm is not None else strassen_2x2()
     return build_matmul_circuit(
         n,

@@ -115,6 +115,21 @@ class MatmulCircuit:
             self._compiled = CompiledCircuit(self.circuit)
         return self._compiled
 
+    def _engine(self):
+        from repro.engine import default_engine
+
+        return self.engine if self.engine is not None else default_engine()
+
+    def compile(self, backend: Optional[str] = None):
+        """Precompile through the engine (cache-shared with evaluation).
+
+        The construction's template provenance (``circuit.template_blocks``)
+        is handed through to the engine, so stamped circuits compile via the
+        template-streaming path; the returned program is the one later
+        :meth:`evaluate` calls reuse from the compile cache.
+        """
+        return self._engine().compile(self.circuit, backend=backend)
+
     def _encode_inputs(self, a, b) -> np.ndarray:
         vec = np.zeros(self.circuit.n_inputs, dtype=np.int8)
         a_vec = self.encoding_a.encode(a)
@@ -130,11 +145,8 @@ class MatmulCircuit:
         the process-wide default), so repeated products on the same
         construction share one compiled program.
         """
-        from repro.engine import default_engine
-
-        engine = self.engine if self.engine is not None else default_engine()
         inputs = self._encode_inputs(a, b)
-        result = engine.evaluate(self.circuit, inputs)
+        result = self._engine().evaluate(self.circuit, inputs)
         node_values = result.node_values
         out = np.empty((self.n, self.n), dtype=object)
         for i in range(self.n):

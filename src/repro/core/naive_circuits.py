@@ -56,7 +56,12 @@ class NaiveTriangleCircuit:
 
     @property
     def compiled(self) -> CompiledCircuit:
-        """Compiled form, built lazily."""
+        """Compiled form, built lazily.
+
+        :class:`CompiledCircuit` consumes the circuit's template provenance
+        when present, so the bulk-emitted triangle bank compiles through
+        whichever path the provenance supports.
+        """
         if self._compiled is None:
             self._compiled = CompiledCircuit(self.circuit)
         return self._compiled
@@ -137,7 +142,13 @@ def build_naive_triangle_circuit(
         )
     builder.set_outputs([output], [f"triangles >= {tau}"])
     circuit = builder.build()
-    circuit.metadata.update({"kind": "naive-triangles", "n": n, "tau": tau})
+    circuit.metadata.update(
+        {
+            "kind": "naive-triangles",
+            "n": n,
+            "tau": tau,
+        }
+    )
     return NaiveTriangleCircuit(circuit=circuit, n=n, tau=tau, edge_index=edge_index)
 
 
@@ -228,7 +239,12 @@ def build_naive_matmul_circuit(
     builder.set_outputs(output_nodes, output_labels)
     circuit = builder.build()
     circuit.metadata.update(
-        {"kind": "naive-matmul", "n": n, "bit_width": bit_width, "stages": stages}
+        {
+            "kind": "naive-matmul",
+            "n": n,
+            "bit_width": bit_width,
+            "stages": stages,
+        }
     )
     return MatmulCircuit(
         circuit=circuit,
@@ -299,7 +315,14 @@ def build_naive_trace_circuit(
     output = build_ge_comparison(builder, total, tau, tag="naive/output")
     builder.set_outputs([output], [f"trace(A^3) >= {tau}"])
     circuit = builder.build()
-    circuit.metadata.update({"kind": "naive-trace", "n": n, "tau": tau, "bit_width": bit_width})
+    circuit.metadata.update(
+        {
+            "kind": "naive-trace",
+            "n": n,
+            "tau": tau,
+            "bit_width": bit_width,
+        }
+    )
     return TraceCircuit(
         circuit=circuit,
         encoding=encoding,

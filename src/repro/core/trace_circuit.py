@@ -145,6 +145,14 @@ class TraceCircuit:
 
         return self.engine if self.engine is not None else default_engine()
 
+    def compile(self, backend: Optional[str] = None):
+        """Precompile through the engine (cache-shared with evaluation).
+
+        Hands the construction's template provenance through to the engine,
+        so stamped circuits take the template-streaming compile path.
+        """
+        return self._engine().compile(self.circuit, backend=backend)
+
     def evaluate(self, matrix) -> bool:
         """Run the circuit on an integer matrix and return its decision."""
         inputs = self.encoding.encode(matrix)

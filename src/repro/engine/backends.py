@@ -27,12 +27,21 @@ overflow verdict, or forced through the engine config.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
+from typing import Dict, List, Optional, Protocol, Tuple, Union, runtime_checkable
 
 import numpy as np
+from scipy import sparse
 
 from repro.circuits.circuit import CircuitStats, ThresholdCircuit
-from repro.circuits.simulator import LayerPlan, build_layer_plan, csr_layer_matrix
+from repro.circuits.store import segment_sum
+from repro.circuits.simulator import (
+    LayerPlan,
+    TemplatePlan,
+    build_layer_plan,
+    build_template_plan,
+    csr_layer_matrix,
+)
+from repro.circuits.template import TemplateBlock
 from repro.engine.config import EngineConfig
 
 __all__ = [
@@ -44,8 +53,10 @@ __all__ = [
     "SparseBackend",
     "backend_registry",
     "compile_circuit",
+    "compile_with_fallback",
     "get_backend",
     "select_backend_name",
+    "template_plan_for",
 ]
 
 
@@ -152,6 +163,11 @@ class SparseBackend:
             self.name, plan.n_inputs, plan.n_nodes, list(circuit.outputs), layers
         )
 
+    def compile_template(self, plan: TemplatePlan) -> "_TemplateProgram":
+        """Template-tiled compile: CSR layer matrices per *template*."""
+        _require_safe(plan, self.name)
+        return _compile_template_matrix(plan, self.name, dense=False)
+
 
 # ---------------------------------------------------------------------- dense
 class DenseBackend:
@@ -195,6 +211,16 @@ class DenseBackend:
             layers,
             values_dtype=dtype,
         )
+
+    def compile_template(self, plan: TemplatePlan) -> "_TemplateProgram":
+        """Template-tiled compile: dense layer matrices per *template*.
+
+        Local matrices have ``n_params + n_gates`` columns (not
+        ``n_nodes``), so the dense form stays cheap however large the host
+        circuit is; the float64/int64 dtype rule matches :meth:`compile`.
+        """
+        _require_safe(plan, self.name)
+        return _compile_template_matrix(plan, self.name, dense=True)
 
 
 # ---------------------------------------------------------------------- exact
@@ -272,6 +298,282 @@ class ExactBackend:
             plan.n_inputs, plan.n_nodes, list(circuit.outputs), gates
         )
 
+    def compile_template(self, plan: TemplatePlan) -> "_TemplateExactProgram":
+        """Template-tiled exact compile (always applicable)."""
+        return _compile_template_exact(plan)
+
+
+# ----------------------------------------------------------- template tiling
+def _template_layer_matrices(template, dense: bool, dtype):
+    """Per-relative-depth layer matrices of one compiled template.
+
+    Each matrix has shape ``(layer gates, n_params + n_gates)`` — columns
+    are the template's *local* slots, so one matrix serves every stamped
+    copy.  Built once per distinct template per compile (the plan shares
+    ``CompiledTemplate`` objects across that template's blocks).
+    """
+    layers = []
+    for lgates, rows, cols, data, thresholds in template.layers:
+        if dense:
+            matrix = np.zeros((len(lgates), template.n_locals), dtype=dtype)
+            if len(data):
+                matrix[rows, cols] = np.asarray(data, dtype=np.int64)
+        else:
+            matrix = sparse.csr_matrix(
+                (
+                    np.asarray(data, dtype=np.int64),
+                    (rows, cols),
+                ),
+                shape=(len(lgates), template.n_locals),
+            )
+        layers.append(
+            (
+                template.n_params + lgates,  # V rows to write
+                matrix,
+                np.asarray(thresholds, dtype=np.int64).astype(dtype),
+            )
+        )
+    return layers
+
+
+class _TemplateProgram:
+    """Template-tiled program shared by the sparse and dense backends.
+
+    Segments are evaluated in node-id order (a topological order).  A
+    template segment keeps one local value matrix ``V`` of shape
+    ``(n_params + n_gates, k * batch)``: parameter rows are gathered from
+    the already-computed node values, the template's layer matrices run on
+    all ``k`` stamps at once, and the gate rows scatter back into the
+    block's node-id range.  Residual segments evaluate from their COO
+    slices with one gather plus a segment reduction per depth layer.
+    """
+
+    def __init__(
+        self,
+        backend_name: str,
+        n_inputs: int,
+        n_nodes: int,
+        outputs: List[int],
+        segments: List[tuple],
+        values_dtype=np.int64,
+    ) -> None:
+        self.backend_name = backend_name
+        self.n_inputs = n_inputs
+        self.n_nodes = n_nodes
+        self.outputs = outputs
+        self.segments = segments
+        self.values_dtype = values_dtype
+
+    def run(self, inputs: np.ndarray) -> np.ndarray:
+        batch = inputs.shape[1]
+        node_values = np.zeros((self.n_nodes, batch), dtype=self.values_dtype)
+        node_values[: self.n_inputs, :] = inputs
+        for kind, payload in self.segments:
+            if kind == "tpl":
+                base, k, params, n_params, n_gates, layers = payload
+                local = np.zeros(
+                    (n_params + n_gates, k * batch), dtype=self.values_dtype
+                )
+                if n_params:
+                    # params.T is (n_params, k); the gather yields
+                    # (n_params, k, batch), flattened stamp-major so column
+                    # i * batch + b is copy i's batch column b.
+                    local[:n_params] = node_values[params.T].reshape(
+                        n_params, k * batch
+                    )
+                for v_rows, matrix, thresholds in layers:
+                    sums = matrix @ local
+                    local[v_rows] = sums >= thresholds[:, None]
+                # Gate j of copy i lives at node base + i * n_gates + j.
+                node_values[base : base + k * n_gates] = (
+                    local[n_params:]
+                    .reshape(n_gates, k, batch)
+                    .transpose(1, 0, 2)
+                    .reshape(k * n_gates, batch)
+                )
+            else:
+                for nodes, cols, data, offsets, thresholds in payload:
+                    sums = segment_sum(
+                        data[:, None] * node_values[cols], offsets
+                    )
+                    node_values[nodes] = sums >= thresholds[:, None]
+        return node_values.astype(np.int8)
+
+
+class _TemplateExactProgram:
+    """Arbitrary-precision template-tiled program (object dtype).
+
+    Loops over each template's *local* gates once, vectorized over all
+    stamps and the batch — the copy count k never re-enters the Python
+    loop, which is the exact-path analogue of the matrix tiling above.
+    """
+
+    backend_name = "exact"
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_nodes: int,
+        outputs: List[int],
+        segments: List[tuple],
+    ) -> None:
+        self.backend_name = "exact"
+        self.n_inputs = n_inputs
+        self.n_nodes = n_nodes
+        self.outputs = outputs
+        self.segments = segments
+
+    def run(self, inputs: np.ndarray) -> np.ndarray:
+        batch = inputs.shape[1]
+        values = np.zeros((self.n_nodes, batch), dtype=object)
+        values[: self.n_inputs, :] = inputs.astype(np.int64).astype(object)
+        for kind, payload in self.segments:
+            if kind == "tpl":
+                base, k, params, n_params, n_gates, local_gates = payload
+                local = np.zeros((n_params + n_gates, k * batch), dtype=object)
+                if n_params:
+                    local[:n_params] = values[params.T].reshape(
+                        n_params, k * batch
+                    )
+                for j, (lsrc, weights, threshold) in enumerate(local_gates):
+                    if lsrc.size:
+                        sums = (weights[:, None] * local[lsrc, :]).sum(axis=0)
+                        fired = sums >= threshold
+                    else:
+                        fired = np.full(k * batch, 0 >= threshold)
+                    local[n_params + j, :] = np.where(fired, 1, 0).astype(object)
+                values[base : base + k * n_gates] = (
+                    local[n_params:]
+                    .reshape(n_gates, k, batch)
+                    .transpose(1, 0, 2)
+                    .reshape(k * n_gates, batch)
+                )
+            else:
+                for node, sources, weights, threshold in payload:
+                    if sources.size:
+                        sums = (weights[:, None] * values[sources, :]).sum(axis=0)
+                        fired = sums >= threshold
+                    else:
+                        fired = np.full(batch, 0 >= threshold)
+                    values[node, :] = np.where(fired, 1, 0).astype(object)
+        return values.astype(np.int8)
+
+
+def _compile_template_matrix(
+    plan: TemplatePlan, backend_name: str, dense: bool
+) -> _TemplateProgram:
+    dtype = np.float64 if (dense and plan.float64_exact) else np.int64
+    shared: Dict[int, list] = {}
+    segments: List[tuple] = []
+    for segment in plan.segments:
+        if isinstance(segment, TemplateBlock):
+            template = segment.template
+            layers = shared.get(id(template))
+            if layers is None:
+                layers = _template_layer_matrices(template, dense, dtype)
+                shared[id(template)] = layers
+            segments.append(
+                (
+                    "tpl",
+                    (
+                        segment.base,
+                        segment.k,
+                        segment.params,
+                        template.n_params,
+                        template.n_gates,
+                        layers,
+                    ),
+                )
+            )
+        else:
+            layers = [
+                (
+                    layer.nodes,
+                    layer.cols,
+                    np.asarray(layer.data, dtype=np.int64).astype(dtype),
+                    layer.offsets,
+                    np.asarray(layer.thresholds, dtype=np.int64).astype(dtype),
+                )
+                for layer in segment.layers
+            ]
+            segments.append(("coo", layers))
+    return _TemplateProgram(
+        backend_name,
+        plan.n_inputs,
+        plan.n_nodes,
+        list(plan.outputs),
+        segments,
+        values_dtype=dtype if dense else np.int64,
+    )
+
+
+def _object_weights(weights) -> np.ndarray:
+    """Box a weight slice into an object array of Python ints."""
+    values = weights.tolist() if isinstance(weights, np.ndarray) else list(weights)
+    out = np.empty(len(values), dtype=object)
+    out[:] = [int(v) for v in values]
+    return out
+
+
+def _compile_template_exact(plan: TemplatePlan) -> _TemplateExactProgram:
+    shared: Dict[int, list] = {}
+    segments: List[tuple] = []
+    for segment in plan.segments:
+        if isinstance(segment, TemplateBlock):
+            template = segment.template
+            local_gates = shared.get(id(template))
+            if local_gates is None:
+                src_list = template.sources.tolist()
+                off_list = template.offsets.tolist()
+                thr_list = template.thresholds.tolist()
+                local_gates = []
+                for j in range(template.n_gates):
+                    lo, hi = off_list[j], off_list[j + 1]
+                    local_gates.append(
+                        (
+                            np.asarray(src_list[lo:hi], dtype=np.int64),
+                            _object_weights(template.weights[lo:hi]),
+                            int(thr_list[j]),
+                        )
+                    )
+                shared[id(template)] = local_gates
+            segments.append(
+                (
+                    "tpl",
+                    (
+                        segment.base,
+                        segment.k,
+                        segment.params,
+                        template.n_params,
+                        template.n_gates,
+                        local_gates,
+                    ),
+                )
+            )
+        else:
+            gates = []
+            for layer in segment.layers:
+                off_list = layer.offsets.tolist()
+                thr_list = (
+                    layer.thresholds.tolist()
+                    if isinstance(layer.thresholds, np.ndarray)
+                    else list(layer.thresholds)
+                )
+                for row, node in enumerate(layer.nodes.tolist()):
+                    lo, hi = off_list[row], off_list[row + 1]
+                    gates.append(
+                        (
+                            node,
+                            layer.cols[lo:hi],
+                            _object_weights(layer.data[lo:hi]),
+                            int(thr_list[row]),
+                        )
+                    )
+            segments.append(("coo", gates))
+    return _TemplateExactProgram(
+        plan.n_inputs, plan.n_nodes, list(plan.outputs), segments
+    )
+
 
 # ------------------------------------------------------------------ selection
 _BACKENDS: Dict[str, Backend] = {
@@ -296,7 +598,7 @@ def get_backend(name: str) -> Backend:
 
 
 def select_backend_name(
-    plan: LayerPlan, stats: CircuitStats, config: EngineConfig
+    plan: Union[LayerPlan, TemplatePlan], stats: CircuitStats, config: EngineConfig
 ) -> str:
     """Pick the concrete backend for one circuit (the ``"auto"`` heuristic).
 
@@ -304,7 +606,9 @@ def select_backend_name(
     when the circuit is small enough that dense layer matrices stay cheap, or
     wire-dense enough that CSR buys nothing; everything else goes sparse.
     Forcing a specific backend is the engine's job — this function only
-    encodes the heuristic.
+    encodes the heuristic.  Both plan forms carry the fields it reads
+    (``int64_safe``, ``n_nodes``), so template and CSR compiles of the same
+    circuit always resolve to the same backend.
     """
     if not plan.int64_safe:
         return "exact"
@@ -315,10 +619,61 @@ def select_backend_name(
     return "sparse"
 
 
+def template_plan_for(
+    circuit: ThresholdCircuit, config: Optional[EngineConfig] = None
+) -> Optional[TemplatePlan]:
+    """The template plan the engine's config rules select, or None.
+
+    The single gating rule (``template_compile`` switch + ``min_cover``
+    threshold) shared by :meth:`Engine.compile`, :func:`compile_circuit`
+    and the simulator's :class:`~repro.circuits.simulator.CompiledCircuit`,
+    so the documented fallback behavior cannot drift between entry points.
+    """
+    cfg = config if config is not None else EngineConfig()
+    if not cfg.template_compile:
+        return None
+    return build_template_plan(circuit, min_cover=cfg.template_min_cover)
+
+
+def compile_with_fallback(
+    backend: Backend,
+    circuit: ThresholdCircuit,
+    template_plan: Optional[TemplatePlan] = None,
+    plan: Optional[LayerPlan] = None,
+) -> Tuple[CompiledProgram, Optional[LayerPlan]]:
+    """Compile via the template path when possible, else the CSR plan.
+
+    Returns ``(program, layer_plan)`` where ``layer_plan`` is None exactly
+    when the template path compiled (the caller then has no global
+    depth-layer view); a backend without ``compile_template`` falls back to
+    the CSR plan, building it on demand.
+    """
+    if template_plan is not None and hasattr(backend, "compile_template"):
+        return backend.compile_template(template_plan), None
+    if plan is None:
+        plan = build_layer_plan(circuit)
+    return backend.compile(circuit, plan=plan), plan
+
+
 def compile_circuit(
     circuit: ThresholdCircuit,
     name: str,
     plan: Optional[LayerPlan] = None,
+    template_plan: Optional[TemplatePlan] = None,
+    config: Optional[EngineConfig] = None,
 ) -> CompiledProgram:
-    """Compile a circuit for a concrete backend name."""
-    return get_backend(name).compile(circuit, plan=plan)
+    """Compile a circuit for a concrete backend name.
+
+    When the circuit carries template provenance (and no explicit CSR
+    ``plan`` was handed in) the template-streaming path is used; circuits
+    without provenance — or backends without a ``compile_template`` — fall
+    back to the CSR path automatically.  ``config`` governs the same two
+    knobs the engine honors (``template_compile``, ``template_min_cover``);
+    None applies the default config, so this entry point and
+    :meth:`Engine.compile` route identically.
+    """
+    backend = get_backend(name)
+    if plan is None and template_plan is None:
+        template_plan = template_plan_for(circuit, config)
+    program, _ = compile_with_fallback(backend, circuit, template_plan, plan)
+    return program

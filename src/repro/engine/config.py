@@ -48,6 +48,16 @@ class EngineConfig:
     dense_density:
         Auto-selection: circuits whose wire density (edges per gate-node
         pair) is at least this also go dense, whatever their size.
+    template_compile:
+        When True (default), circuits carrying template provenance compile
+        through the template-streaming path (one layer plan per stamped
+        gadget template, tiled across stamps) instead of re-reading the
+        consolidated CSR.  Bit-identical to the CSR path; disable to force
+        the classic compile (ablation / debugging).
+    template_min_cover:
+        Minimum fraction of gates that must be covered by template blocks
+        before the template path is taken; sparsely-stamped circuits below
+        it compile via the CSR path, which amortizes better there.
     """
 
     backend: str = "auto"
@@ -57,6 +67,8 @@ class EngineConfig:
     parallel_threshold: int = 1024
     dense_node_limit: int = 512
     dense_density: float = 0.25
+    template_compile: bool = True
+    template_min_cover: float = 0.25
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_NAMES:
@@ -69,6 +81,10 @@ class EngineConfig:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
         if self.max_workers < 0:
             raise ValueError(f"max_workers must be >= 0, got {self.max_workers}")
+        if not (0.0 <= self.template_min_cover <= 1.0):
+            raise ValueError(
+                f"template_min_cover must be in [0, 1], got {self.template_min_cover}"
+            )
 
     def with_overrides(self, **changes) -> "EngineConfig":
         """Return a copy with the given fields replaced (validation re-runs)."""

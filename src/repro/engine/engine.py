@@ -30,8 +30,10 @@ from repro.circuits.simulator import (
 )
 from repro.engine.backends import (
     CompiledProgram,
+    compile_with_fallback,
     get_backend,
     select_backend_name,
+    template_plan_for,
 )
 from repro.engine.cache import CacheInfo, CompileCache
 from repro.engine.config import BACKEND_NAMES, EngineConfig
@@ -47,10 +49,13 @@ class _CacheEntry:
 
     The full :class:`LayerPlan` (per-wire Python-int lists, O(edges) boxed
     ints) is deliberately *not* retained: it exists only during compilation.
+    Template-streaming compiles never build the global depth-layer view, so
+    ``activity`` starts as None there and is filled lazily from the circuit
+    on the first spike-trace request.
     """
 
     program: CompiledProgram
-    activity: ActivityPlan
+    activity: Optional[ActivityPlan]
 
 
 class Engine:
@@ -86,9 +91,24 @@ class Engine:
             entry = self._cache.get((key_hash, resolved))
             if entry is not None:
                 return entry
-        plan = build_layer_plan(circuit)
+        # Template-streaming compile: circuits built through the gadget
+        # stamper carry their template blocks, and compiling one layer plan
+        # per template (tiled across stamps) skips the consolidated-CSR
+        # re-gather entirely.  Everything else — and any backend without a
+        # compile_template — falls back to the classic CSR plan.  Both
+        # compiles are bit-identical and share the (hash, backend) cache
+        # slot, so a template compile can satisfy later CSR-built rebuilds
+        # of the same circuit and vice versa.
+        template_plan = template_plan_for(circuit, self.config)
+        plan = None
+        if template_plan is None:
+            plan = build_layer_plan(circuit)
         if requested == "auto":
-            selected = select_backend_name(plan, circuit.stats(), self.config)
+            selected = select_backend_name(
+                template_plan if template_plan is not None else plan,
+                circuit.stats(),
+                self.config,
+            )
             # Verdicts are cheap to recompute; keep the map bounded so a
             # long-lived engine seeing many distinct circuits cannot leak.
             if len(self._auto_resolved) >= max(64, 4 * self._cache.capacity):
@@ -101,11 +121,16 @@ class Engine:
                 if entry is not None:
                     return entry
             resolved = selected
-        program = get_backend(resolved).compile(circuit, plan=plan)
-        self.compile_calls += 1
-        entry = _CacheEntry(
-            program=program, activity=ActivityPlan.from_layer_plan(plan)
+        program, used_plan = compile_with_fallback(
+            get_backend(resolved), circuit, template_plan, plan
         )
+        # Template compiles skip the global depth-layer view; the activity
+        # plan is then built lazily from the circuit if a trace ever asks.
+        activity = (
+            None if used_plan is None else ActivityPlan.from_layer_plan(used_plan)
+        )
+        self.compile_calls += 1
+        entry = _CacheEntry(program=program, activity=activity)
         self._cache.put((key_hash, resolved), entry)
         return entry
 
@@ -158,6 +183,11 @@ class Engine:
             inputs = inputs[:, None]
         check_batch_inputs(circuit, inputs)
         entry = self._entry(circuit, backend)
+        if entry.activity is None:
+            # Template-streaming compiles skip the global depth-layer pass;
+            # build (and memoize on the entry) the activity view on the
+            # first trace request only.
+            entry.activity = ActivityPlan.from_circuit(circuit)
         node_values = evaluate_batched(entry.program, inputs, self.config)
         return compute_spike_trace(entry.activity, node_values)
 

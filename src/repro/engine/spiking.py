@@ -49,6 +49,32 @@ class ActivityPlan:
             ),
         )
 
+    @classmethod
+    def from_circuit(cls, circuit) -> "ActivityPlan":
+        """Build the activity layers straight from a circuit's columnar store.
+
+        Produces exactly the layers :meth:`from_layer_plan` would for the
+        same circuit, without lowering weights or thresholds.  Used by the
+        engine when a circuit was compiled through the template-streaming
+        path (no full :class:`LayerPlan` exists there) and a spike trace is
+        requested — the one consumer that genuinely needs the global
+        depth-layer view.
+        """
+        from repro.circuits.store import iter_depth_layers
+
+        cols_store = circuit.columnar()
+        layers = [
+            (depth, gate_idx + circuit.n_inputs, cols_store.sources[wire_idx])
+            for depth, gate_idx, wire_idx, _fan in iter_depth_layers(
+                circuit.gate_depths(), cols_store.offsets
+            )
+        ]
+        return cls(
+            n_inputs=circuit.n_inputs,
+            n_nodes=circuit.n_nodes,
+            layers=tuple(layers),
+        )
+
 
 @dataclass(frozen=True)
 class SpikeTrace:

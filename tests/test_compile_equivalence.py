@@ -1,0 +1,359 @@
+"""Differential harness: every compile path must be bit-identical.
+
+The engine now has two ways to compile a circuit — the classic CSR layer
+plan and the template-streaming path (one layer plan per stamped gadget
+template, tiled across stamps) — and three backends to lower either into.
+This module is the single place where all of them are pinned against each
+other and against the gate-by-gate reference ``evaluate_slow``:
+
+    {template-tiled, CSR} x {sparse, dense, exact}  (+ evaluate_slow)
+
+on every construction family (matmul / trace / direct / naive) in every
+builder mode (banked / stamped / legacy), plus a Hypothesis-driven random
+gadget soup.  Any future change to construction, stamping or compilation
+that breaks bit-equality fails here with the offending path named.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.simulator import build_template_plan
+from repro.core.direct_circuit import build_direct_matmul_circuit
+from repro.core.matmul_circuit import build_matmul_circuit
+from repro.core.naive_circuits import (
+    build_naive_matmul_circuit,
+    build_naive_trace_circuit,
+    build_naive_triangle_circuit,
+)
+from repro.core.trace_circuit import build_trace_circuit
+from repro.engine import Engine
+from repro.engine.config import EngineConfig
+
+BACKENDS = ("sparse", "dense", "exact")
+
+
+def _template_engine() -> Engine:
+    # min_cover=0 forces the template path whenever any block exists, so the
+    # harness exercises it even on sparsely-stamped constructions.
+    return Engine(EngineConfig(template_compile=True, template_min_cover=0.0))
+
+
+def _csr_engine() -> Engine:
+    return Engine(EngineConfig(template_compile=False))
+
+
+def _random_inputs(circuit, batch=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=(circuit.n_inputs, batch)).astype(np.int64)
+
+
+def assert_compile_equivalent(circuit, inputs=None, require_templates=False):
+    """All paths x backends produce the reference node values, bit for bit."""
+    if inputs is None:
+        inputs = _random_inputs(circuit)
+    batch = inputs.shape[1]
+    reference = np.stack(
+        [circuit.evaluate_slow(list(inputs[:, b])) for b in range(batch)], axis=1
+    )
+    if require_templates:
+        assert build_template_plan(circuit) is not None, (
+            "expected template provenance on this circuit"
+        )
+    template_engine = _template_engine()
+    csr_engine = _csr_engine()
+    for backend in BACKENDS:
+        for label, engine in (("template", template_engine), ("csr", csr_engine)):
+            values = engine.evaluate(circuit, inputs, backend=backend).node_values
+            assert values.shape == reference.shape
+            mismatch = values != reference
+            assert not mismatch.any(), (
+                f"{label} x {backend}: {int(mismatch.sum())} node values differ "
+                f"from evaluate_slow (first at index "
+                f"{np.argwhere(mismatch)[0].tolist()})"
+            )
+
+
+CONSTRUCTIONS = [
+    pytest.param(
+        lambda: build_naive_matmul_circuit(3, bit_width=1, stages=2).circuit,
+        True,
+        id="naive-matmul-banked",
+    ),
+    pytest.param(
+        lambda: build_naive_matmul_circuit(
+            3, bit_width=1, stages=2, banked=False
+        ).circuit,
+        True,
+        id="naive-matmul-stamped",
+    ),
+    pytest.param(
+        lambda: build_naive_matmul_circuit(
+            3, bit_width=1, stages=2, vectorize=False
+        ).circuit,
+        False,
+        id="naive-matmul-legacy",
+    ),
+    pytest.param(
+        lambda: build_naive_trace_circuit(3, tau=1, bit_width=1).circuit,
+        True,
+        id="naive-trace-banked",
+    ),
+    pytest.param(
+        lambda: build_naive_trace_circuit(
+            3, tau=1, bit_width=1, banked=False
+        ).circuit,
+        True,
+        id="naive-trace-stamped",
+    ),
+    pytest.param(
+        lambda: build_naive_triangle_circuit(5, tau=2).circuit,
+        False,  # pure bulk emission, no stamped gadgets
+        id="naive-triangles",
+    ),
+    pytest.param(
+        lambda: build_matmul_circuit(2, bit_width=1).circuit,
+        True,
+        id="matmul-strassen-banked",
+    ),
+    pytest.param(
+        lambda: build_matmul_circuit(2, bit_width=1, banked=False).circuit,
+        True,
+        id="matmul-strassen-stamped",
+    ),
+    pytest.param(
+        lambda: build_matmul_circuit(2, bit_width=1, vectorize=False).circuit,
+        False,
+        id="matmul-strassen-legacy",
+    ),
+    pytest.param(
+        lambda: build_trace_circuit(2, tau=0, bit_width=1).circuit,
+        True,
+        id="trace-strassen-banked",
+    ),
+    pytest.param(
+        lambda: build_trace_circuit(2, tau=0, bit_width=1, banked=False).circuit,
+        True,
+        id="trace-strassen-stamped",
+    ),
+    pytest.param(
+        lambda: build_direct_matmul_circuit(2, bit_width=1, stages=2).circuit,
+        True,
+        id="direct-matmul-banked",
+    ),
+]
+
+
+class TestConstructionEquivalence:
+    @pytest.mark.parametrize("build, require_templates", CONSTRUCTIONS)
+    def test_all_paths_bit_identical(self, build, require_templates):
+        circuit = build()
+        assert_compile_equivalent(circuit, require_templates=require_templates)
+
+    def test_template_and_csr_verdicts_agree(self):
+        from repro.circuits.simulator import build_layer_plan
+
+        circuit = build_naive_matmul_circuit(3, bit_width=1, stages=2).circuit
+        template_plan = build_template_plan(circuit)
+        layer_plan = build_layer_plan(circuit)
+        assert template_plan is not None
+        assert template_plan.int64_safe == layer_plan.int64_safe
+        assert template_plan.max_magnitude == layer_plan.max_magnitude
+        assert template_plan.float64_exact == layer_plan.float64_exact
+        assert template_plan.n_nodes == layer_plan.n_nodes
+
+    def test_compile_circuit_honors_config(self):
+        from repro.engine.backends import compile_circuit
+
+        circuit = build_naive_matmul_circuit(2, bit_width=1).circuit
+        assert circuit.template_blocks
+        templated = compile_circuit(circuit, "sparse")
+        assert hasattr(templated, "segments")  # default config: template path
+        classic = compile_circuit(
+            circuit, "sparse", config=EngineConfig(template_compile=False)
+        )
+        assert hasattr(classic, "layers")  # ablation switch: CSR path
+        inputs = _random_inputs(circuit, batch=3, seed=2)
+        assert (templated.run(inputs) == classic.run(inputs)).all()
+
+    def test_spike_trace_matches_across_paths(self):
+        circuit = build_naive_matmul_circuit(2, bit_width=1).circuit
+        inputs = _random_inputs(circuit, batch=3, seed=7)
+        trace_t = _template_engine().spike_trace(circuit, inputs)
+        trace_c = _csr_engine().spike_trace(circuit, inputs)
+        assert (trace_t.depths == trace_c.depths).all()
+        assert (trace_t.gates_per_layer == trace_c.gates_per_layer).all()
+        assert (trace_t.spikes_per_layer == trace_c.spikes_per_layer).all()
+        assert (
+            trace_t.synaptic_events_per_layer == trace_c.synaptic_events_per_layer
+        ).all()
+        assert (trace_t.energy == trace_c.energy).all()
+
+
+class TestOverflowTemplatePath:
+    """Templates with >int64 weights must route to the exact backend."""
+
+    BIG = 1 << 70
+
+    def _circuit(self):
+        builder = CircuitBuilder(name="huge")
+        builder.allocate_inputs(4)
+
+        def emit_template(recorder):
+            inner = recorder.add_gate([0, 1], [self.BIG, -self.BIG], 0, tag="huge")
+            return recorder.add_gate([inner, 2], [1, 1], 2, tag="and")
+
+        def emit_legacy(i):
+            raise AssertionError("distinct-parameter copies must stamp")
+
+        params = [[0, 1, 2], [1, 2, 3], [2, 3, 0]]
+        results = builder.stamper.stamp_all(
+            "huge-key", 3, params, emit_template, emit_legacy
+        )
+        builder.set_outputs([int(node) for node in results])
+        return builder.build()
+
+    def test_overflowing_template_circuit_is_exact_and_correct(self):
+        from repro.engine.backends import BackendError
+
+        circuit = self._circuit()
+        plan = build_template_plan(circuit)
+        assert plan is not None and not plan.int64_safe
+        inputs = _random_inputs(circuit, batch=8, seed=5)
+        reference = np.stack(
+            [circuit.evaluate_slow(list(inputs[:, b])) for b in range(8)], axis=1
+        )
+        engine = _template_engine()
+        result = engine.evaluate(circuit, inputs)  # auto resolves to exact
+        assert (result.node_values == reference).all()
+        program = engine.compile(circuit)
+        assert program.backend_name == "exact"
+        assert hasattr(program, "segments")  # template-tiled, not gatewise
+        for backend in ("sparse", "dense"):
+            with pytest.raises(BackendError):
+                engine.compile(circuit, backend=backend)
+
+
+# --------------------------------------------------------------------------- #
+# Random gadget soup: arbitrary interleavings of stamped sums/products and
+# hand-emitted gates, so template blocks and residual runs alternate in ways
+# the named constructions never produce.
+# --------------------------------------------------------------------------- #
+
+
+def _soup_circuit(data):
+    from repro.arithmetic.signed import SignedBinaryNumber
+    from repro.arithmetic.product import build_signed_products
+    from repro.arithmetic.weighted_sum import build_signed_sums
+
+    n_inputs = data.draw(st.integers(min_value=2, max_value=5), label="n_inputs")
+    builder = CircuitBuilder(name="soup")
+    wires = builder.allocate_inputs(n_inputs, "x")
+
+    def draw_number(label):
+        n_bits = data.draw(st.integers(min_value=1, max_value=2), label=f"{label}/bits")
+        picks = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_inputs - 1),
+                min_size=2 * n_bits,
+                max_size=2 * n_bits,
+            ),
+            label=f"{label}/wires",
+        )
+        return SignedBinaryNumber.from_input_bits(
+            [wires[p] for p in picks[:n_bits]], [wires[p] for p in picks[n_bits:]]
+        )
+
+    numbers = [
+        draw_number(f"value{i}")
+        for i in range(data.draw(st.integers(min_value=2, max_value=3), label="n_values"))
+    ]
+    outputs = []
+    for i in range(data.draw(st.integers(min_value=1, max_value=3), label="n_ops")):
+        kind = data.draw(
+            st.sampled_from(["sum", "product", "raw"]), label=f"op{i}/kind"
+        )
+        if kind == "raw":
+            # A hand-emitted gate between stamps forces a residual segment.
+            fan = data.draw(st.integers(min_value=0, max_value=2), label=f"op{i}/fan")
+            sources = data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=builder.n_nodes - 1),
+                    min_size=fan,
+                    max_size=fan,
+                ),
+                label=f"op{i}/sources",
+            )
+            weights = data.draw(
+                st.lists(
+                    st.integers(min_value=-4, max_value=4),
+                    min_size=fan,
+                    max_size=fan,
+                ),
+                label=f"op{i}/weights",
+            )
+            threshold = data.draw(
+                st.integers(min_value=-3, max_value=3), label=f"op{i}/thr"
+            )
+            outputs.append(builder.add_gate(sources, weights, threshold, tag="raw"))
+            continue
+        count = data.draw(st.integers(min_value=1, max_value=3), label=f"op{i}/count")
+        if kind == "sum":
+            groups = []
+            for j in range(count):
+                terms = [
+                    (
+                        numbers[
+                            data.draw(
+                                st.integers(min_value=0, max_value=len(numbers) - 1),
+                                label=f"op{i}/{j}/{t}/value",
+                            )
+                        ].to_signed_value(),
+                        data.draw(
+                            st.integers(min_value=-3, max_value=3).filter(bool),
+                            label=f"op{i}/{j}/{t}/weight",
+                        ),
+                    )
+                    for t in range(
+                        data.draw(
+                            st.integers(min_value=1, max_value=2),
+                            label=f"op{i}/{j}/terms",
+                        )
+                    )
+                ]
+                groups.append(terms)
+            results = build_signed_sums(builder, groups, tag=f"soup/sum{i}")
+            numbers.extend(results)
+            outputs.extend(node for r in results for node in r.pos.bit_nodes)
+        else:
+            groups = [
+                [
+                    numbers[
+                        data.draw(
+                            st.integers(min_value=0, max_value=len(numbers) - 1),
+                            label=f"op{i}/{j}/{f}/factor",
+                        )
+                    ]
+                    for f in range(2)
+                ]
+                for j in range(count)
+            ]
+            results = build_signed_products(builder, groups, tag=f"soup/prod{i}")
+            for value in results:
+                outputs.extend(node for node, _ in value.pos.terms)
+    circuit = builder.build()
+    if outputs:
+        circuit.set_outputs(sorted(set(outputs)))
+    return circuit
+
+
+class TestRandomGadgetSoup:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_soup_bit_identical_across_paths(self, data):
+        circuit = _soup_circuit(data)
+        if circuit.size == 0:
+            return
+        inputs = _random_inputs(circuit, batch=3, seed=11)
+        assert_compile_equivalent(circuit, inputs)

@@ -249,6 +249,87 @@ class TestCompileCache:
             set_default_engine(previous)
 
 
+class TestTemplateCacheAliasing:
+    """Template and CSR compiles of one circuit must alias to one entry.
+
+    The cache key is (structural_hash, backend) on purpose: the two compile
+    paths produce bit-identical programs, so a ``banked=False`` (or even
+    ``vectorize=False``) rebuild of the same circuit must *hit* the entry a
+    template compile stored — not coexist beside it — and eviction under
+    ``cache_size=1`` must never hand back a program for the wrong circuit.
+    """
+
+    @staticmethod
+    def _engine(**overrides):
+        return Engine(
+            EngineConfig(
+                backend="sparse", template_min_cover=0.0, **overrides
+            )
+        )
+
+    @staticmethod
+    def _build(n=3, **kwargs):
+        from repro.core.naive_circuits import build_naive_matmul_circuit
+
+        return build_naive_matmul_circuit(n, bit_width=1, stages=2, **kwargs).circuit
+
+    def test_template_compile_then_unbanked_rebuild_hits_same_entry(self):
+        engine = self._engine()
+        banked = self._build()
+        assert banked.template_blocks  # the compile below is template-tiled
+        program = engine.compile(banked)
+        assert hasattr(program, "segments")  # template-tiled program form
+        assert engine.compile_calls == 1
+
+        stamped = self._build(banked=False)  # PR-2 ablation rebuild
+        assert stamped.structural_hash() == banked.structural_hash()
+        assert engine.compile(stamped) is program
+        legacy = self._build(vectorize=False)  # no template provenance at all
+        assert not legacy.template_blocks
+        assert engine.compile(legacy) is program
+        assert engine.compile_calls == 1
+        assert engine.cache_info().hits == 2
+
+    def test_csr_compile_first_then_template_circuit_hits(self):
+        engine = self._engine()
+        legacy = self._build(vectorize=False)
+        program = engine.compile(legacy)
+        assert hasattr(program, "layers")  # classic CSR program form
+        banked = self._build()
+        assert engine.compile(banked) is program
+        assert engine.compile_calls == 1
+
+    def test_maxsize_one_eviction_never_returns_stale_program(self):
+        engine = self._engine(cache_size=1)
+        circuit_a = self._build(2)
+        circuit_b = self._build(3)
+        inputs_a = np.ones((circuit_a.n_inputs, 1), dtype=np.int64)
+
+        program_a = engine.compile(circuit_a)
+        assert engine.compile(circuit_b) is not program_a  # A evicted
+        assert engine.cache_info().evictions == 1
+        # Recompiling A must rebuild, not resurrect anything stale.
+        fresh_a = engine.compile(circuit_a)
+        assert engine.compile_calls == 3
+        assert fresh_a.n_nodes == circuit_a.n_nodes
+        values = fresh_a.run(inputs_a)
+        expected = circuit_a.evaluate_slow(list(inputs_a[:, 0]))
+        assert (values[:, 0] == expected).all()
+
+    def test_template_and_csr_programs_bit_identical_for_cached_circuit(self):
+        # The aliasing above is only sound because both compile paths agree
+        # bit for bit; pin that directly on the engine entry points.
+        circuit = self._build()
+        inputs = np.ones((circuit.n_inputs, 2), dtype=np.int64)
+        inputs[::2, 1] = 0
+        with_templates = self._engine().evaluate(circuit, inputs)
+        without = Engine(
+            EngineConfig(backend="sparse", template_compile=False)
+        ).evaluate(circuit, inputs)
+        assert (with_templates.node_values == without.node_values).all()
+        assert (with_templates.energy == without.energy).all()
+
+
 class TestStructuralHash:
     def test_stable_and_label_insensitive(self):
         a = parity_circuit(5)

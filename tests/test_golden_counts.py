@@ -1,0 +1,121 @@
+"""Golden-fixture regression tests for the canonical constructions.
+
+The equivalence harness (``test_compile_equivalence``) pins the *internal*
+consistency of the construction and compile paths against each other — but
+a change that drifts every path in lockstep (a gadget emitting one extra
+gate, a depth off by one, an energy regression) would sail through it.
+These tests pin the constructions against serialized ground truth instead:
+``tests/fixtures/golden_counts.json`` holds the structural hash and the
+gate / wire / depth / energy counts of each canonical small construction,
+so silent construction drift fails fast with a readable field-by-field diff.
+
+When a change *intentionally* alters a construction, regenerate with::
+
+    GOLDEN_REGEN=1 python -m pytest tests/test_golden_counts.py
+
+and commit the updated fixture together with the change that explains it.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.direct_circuit import build_direct_matmul_circuit
+from repro.core.matmul_circuit import build_matmul_circuit
+from repro.core.naive_circuits import (
+    build_naive_matmul_circuit,
+    build_naive_trace_circuit,
+    build_naive_triangle_circuit,
+)
+from repro.core.trace_circuit import build_trace_circuit
+from repro.engine import Engine
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_counts.json"
+
+CASES = {
+    "naive-triangles-n6-tau2": lambda: build_naive_triangle_circuit(6, tau=2).circuit,
+    "naive-matmul-n4-b1-stages1": lambda: build_naive_matmul_circuit(
+        4, bit_width=1
+    ).circuit,
+    "naive-matmul-n4-b1-stages2": lambda: build_naive_matmul_circuit(
+        4, bit_width=1, stages=2
+    ).circuit,
+    "naive-trace-n4-b1-tau1": lambda: build_naive_trace_circuit(
+        4, tau=1, bit_width=1
+    ).circuit,
+    "matmul-strassen-n4-b1": lambda: build_matmul_circuit(4, bit_width=1).circuit,
+    "trace-strassen-n4-b1-tau0": lambda: build_trace_circuit(
+        4, tau=0, bit_width=1
+    ).circuit,
+    "direct-matmul-n4-b1-stages2": lambda: build_direct_matmul_circuit(
+        4, bit_width=1, stages=2
+    ).circuit,
+}
+
+
+def _golden_row(circuit) -> dict:
+    """Everything a construction must reproduce exactly, as plain JSON."""
+    stats = circuit.stats()
+    # Deterministic energy probe: the all-ones assignment fires the maximal
+    # gate population of these monotone-ish constructions, and a fixed
+    # counter pattern catches value-dependent drift.
+    ones = np.ones((circuit.n_inputs, 1), dtype=np.int64)
+    pattern = (np.arange(circuit.n_inputs, dtype=np.int64) % 2)[:, None]
+    inputs = np.concatenate([ones, pattern], axis=1)
+    result = Engine().evaluate(circuit, inputs)
+    return {
+        "structural_hash": circuit.structural_hash(),
+        "n_inputs": stats.n_inputs,
+        "gates": stats.size,
+        "wires": stats.edges,
+        "depth": stats.depth,
+        "max_fan_in": stats.max_fan_in,
+        "max_abs_weight": stats.max_abs_weight,
+        "n_outputs": stats.n_outputs,
+        "template_blocks": len(circuit.template_blocks),
+        "energy_all_ones": int(result.energy[0]),
+        "energy_alternating": int(result.energy[1]),
+    }
+
+
+def _load_fixture() -> dict:
+    if not FIXTURE.exists():
+        pytest.fail(
+            f"missing golden fixture {FIXTURE}; regenerate with GOLDEN_REGEN=1"
+        )
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_counts(name):
+    row = _golden_row(CASES[name]())
+    if os.environ.get("GOLDEN_REGEN") == "1":
+        data = json.loads(FIXTURE.read_text()) if FIXTURE.exists() else {}
+        data[name] = row
+        FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+        FIXTURE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated golden row for {name}")
+    golden = _load_fixture()
+    assert name in golden, f"no golden row for {name}; run with GOLDEN_REGEN=1"
+    expected = golden[name]
+    diffs = [
+        f"  {field}: expected {expected[field]!r}, got {row.get(field)!r}"
+        for field in expected
+        if row.get(field) != expected[field]
+    ]
+    extra = [field for field in row if field not in expected]
+    if extra:
+        diffs.append(f"  fields missing from fixture: {extra}")
+    assert not diffs, (
+        f"construction drift in {name} "
+        f"(GOLDEN_REGEN=1 to accept intentional changes):\n" + "\n".join(diffs)
+    )
+
+
+def test_fixture_has_no_orphan_rows():
+    golden = _load_fixture()
+    orphans = sorted(set(golden) - set(CASES))
+    assert not orphans, f"fixture rows without a test case: {orphans}"
