@@ -138,6 +138,13 @@ class MatmulCircuit:
         vec[self.encoding_b.offset : self.encoding_b.offset + b_vec.shape[0]] = b_vec
         return vec
 
+    def _decode_product(self, node_values: np.ndarray) -> np.ndarray:
+        out = np.empty((self.n, self.n), dtype=object)
+        for i in range(self.n):
+            for j in range(self.n):
+                out[i, j] = self.entries[i, j].value(node_values)
+        return out
+
     def evaluate(self, a, b) -> np.ndarray:
         """Compute ``A @ B`` with the threshold circuit (exact integers).
 
@@ -147,12 +154,50 @@ class MatmulCircuit:
         """
         inputs = self._encode_inputs(a, b)
         result = self._engine().evaluate(self.circuit, inputs)
-        node_values = result.node_values
-        out = np.empty((self.n, self.n), dtype=object)
-        for i in range(self.n):
-            for j in range(self.n):
-                out[i, j] = self.entries[i, j].value(node_values)
-        return out
+        return self._decode_product(result.node_values)
+
+    def evaluate_batch(self, pairs) -> List[np.ndarray]:
+        """Compute many products ``A_k @ B_k`` with one batched evaluation.
+
+        ``pairs`` is an iterable of ``(a, b)`` matrix pairs; all of them are
+        encoded into one input block and evaluated in a single engine call,
+        so wide query streams ride the batch scheduler (and, when the engine
+        is configured with workers, the persistent evaluation service).
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        batch = np.stack([self._encode_inputs(a, b) for a, b in pairs], axis=1)
+        result = self._engine().evaluate(self.circuit, batch)
+        return [
+            self._decode_product(result.node_values[:, k])
+            for k in range(len(pairs))
+        ]
+
+    def submit_batch(self, pairs):
+        """Asynchronous :meth:`evaluate_batch`: a future of the product list.
+
+        Rides :meth:`Engine.submit`, so independent constructions can keep
+        the persistent service's workers busy while this batch is in flight.
+        The per-entry product decode (a Python pass over all ``n*n`` output
+        numbers per pair) runs on the shared transform executor, not on the
+        service dispatcher thread that completes the inner future.
+        """
+        from repro.engine.service import chain_future, transform_executor
+
+        pairs = list(pairs)
+        batch = np.stack(
+            [self._encode_inputs(a, b) for a, b in pairs], axis=1
+        ) if pairs else np.zeros((self.circuit.n_inputs, 0), dtype=np.int8)
+        inner = self._engine().submit(self.circuit, batch)
+        return chain_future(
+            inner,
+            lambda result: [
+                self._decode_product(result.node_values[:, k])
+                for k in range(len(pairs))
+            ],
+            executor=transform_executor(),
+        )
 
     @staticmethod
     def reference(a, b) -> np.ndarray:

@@ -172,6 +172,28 @@ class TraceCircuit:
         result = self._engine().evaluate(self.circuit, batch)
         return result.outputs[0].astype(bool)
 
+    def submit_batch(self, matrices):
+        """Asynchronous :meth:`evaluate_batch`: a future of the decisions.
+
+        Dispatches through :meth:`Engine.submit`, so on an engine configured
+        with workers the batch pipelines through the persistent evaluation
+        service alongside other in-flight queries; serial engines complete
+        the future inline.  An empty batch resolves immediately.
+        """
+        from concurrent.futures import Future
+
+        from repro.engine.service import chain_future
+
+        matrices = list(matrices)
+        if not matrices:
+            future: Future = Future()
+            future.set_running_or_notify_cancel()
+            future.set_result(np.zeros(0, dtype=bool))
+            return future
+        batch = np.stack([self.encoding.encode(m) for m in matrices], axis=1)
+        inner = self._engine().submit(self.circuit, batch)
+        return chain_future(inner, lambda result: result.outputs[0].astype(bool))
+
     @staticmethod
     def reference_trace(matrix) -> int:
         """Exact ``trace(A^3)`` (the oracle the circuit is validated against)."""

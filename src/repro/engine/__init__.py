@@ -9,7 +9,10 @@ This subpackage owns everything between "a ThresholdCircuit exists" and
 * :mod:`repro.engine.backends` — pluggable sparse / dense / exact backends
   behind a common protocol, with auto-selection from circuit stats;
 * :mod:`repro.engine.scheduler` — chunked and process-parallel batch
-  evaluation;
+  evaluation (per-call pool);
+* :mod:`repro.engine.service` — the resident :class:`EvaluationService`:
+  a persistent worker pool with install-once programs, shared-memory
+  batch transport, and a futures-based submission API;
 * :mod:`repro.engine.spiking` — the spiking-mode activity/energy evaluator;
 * :mod:`repro.engine.engine` — the :class:`Engine` facade tying it together.
 
@@ -33,7 +36,19 @@ from repro.engine.backends import (
 from repro.engine.cache import CacheInfo, CompileCache
 from repro.engine.config import BACKEND_NAMES, EngineConfig
 from repro.engine.engine import Engine, default_engine, set_default_engine
-from repro.engine.scheduler import evaluate_batched, iter_column_chunks
+from repro.engine.scheduler import (
+    evaluate_batched,
+    iter_column_chunks,
+    narrowed_chunk_size,
+)
+from repro.engine.service import (
+    EvaluationService,
+    ServiceClosed,
+    ServiceStats,
+    as_completed,
+    chain_future,
+    transform_executor,
+)
 from repro.engine.spiking import ActivityPlan, SpikeTrace, compute_spike_trace
 
 __all__ = [
@@ -47,16 +62,23 @@ __all__ = [
     "DenseBackend",
     "Engine",
     "EngineConfig",
+    "EvaluationService",
     "ExactBackend",
+    "ServiceClosed",
+    "ServiceStats",
     "SparseBackend",
     "SpikeTrace",
+    "as_completed",
     "backend_registry",
+    "chain_future",
     "compile_circuit",
     "compute_spike_trace",
     "default_engine",
     "evaluate_batched",
     "get_backend",
     "iter_column_chunks",
+    "narrowed_chunk_size",
     "select_backend_name",
     "set_default_engine",
+    "transform_executor",
 ]

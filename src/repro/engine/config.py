@@ -58,6 +58,25 @@ class EngineConfig:
         Minimum fraction of gates that must be covered by template blocks
         before the template path is taken; sparsely-stamped circuits below
         it compile via the CSR path, which amortizes better there.
+    persistent_pool:
+        When True (default) and ``max_workers > 1``, batched evaluation
+        routes through the resident :class:`~repro.engine.service.EvaluationService`
+        — workers stay alive across calls and compiled programs are
+        installed once per worker.  False falls back to the per-call pool
+        of :func:`~repro.engine.scheduler.evaluate_batched` (ablation /
+        debugging).
+    shared_memory_min_bytes:
+        Batches whose input block is at least this many bytes are shipped
+        to service workers through ``multiprocessing.shared_memory``
+        (inputs staged once, output columns written in place); smaller
+        batches are pickled over the queues, which is cheaper than two
+        block setups there.
+    service_queue_depth:
+        Maximum number of outstanding jobs the service accepts before
+        ``submit`` blocks — the backpressure bound on pipelined queries.
+    service_store_size:
+        Capacity of each service worker's LRU program store (distinct
+        ``(structural_hash, backend)`` programs held resident per worker).
     """
 
     backend: str = "auto"
@@ -69,6 +88,10 @@ class EngineConfig:
     dense_density: float = 0.25
     template_compile: bool = True
     template_min_cover: float = 0.25
+    persistent_pool: bool = True
+    shared_memory_min_bytes: int = 1 << 20
+    service_queue_depth: int = 16
+    service_store_size: int = 16
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_NAMES:
@@ -81,9 +104,34 @@ class EngineConfig:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
         if self.max_workers < 0:
             raise ValueError(f"max_workers must be >= 0, got {self.max_workers}")
+        if self.parallel_threshold < 1:
+            raise ValueError(
+                f"parallel_threshold must be >= 1, got {self.parallel_threshold}"
+            )
+        if self.dense_node_limit < 0:
+            raise ValueError(
+                f"dense_node_limit must be >= 0, got {self.dense_node_limit}"
+            )
+        if not self.dense_density > 0.0:  # also rejects NaN
+            raise ValueError(
+                f"dense_density must be > 0, got {self.dense_density}"
+            )
         if not (0.0 <= self.template_min_cover <= 1.0):
             raise ValueError(
                 f"template_min_cover must be in [0, 1], got {self.template_min_cover}"
+            )
+        if self.shared_memory_min_bytes < 0:
+            raise ValueError(
+                "shared_memory_min_bytes must be >= 0, "
+                f"got {self.shared_memory_min_bytes}"
+            )
+        if self.service_queue_depth < 1:
+            raise ValueError(
+                f"service_queue_depth must be >= 1, got {self.service_queue_depth}"
+            )
+        if self.service_store_size < 1:
+            raise ValueError(
+                f"service_store_size must be >= 1, got {self.service_store_size}"
             )
 
     def with_overrides(self, **changes) -> "EngineConfig":

@@ -8,7 +8,15 @@ circuits plus input batches into results:
 * :meth:`Engine.evaluate` — batched evaluation through the chunked /
   process-parallel scheduler, returning the familiar
   :class:`~repro.circuits.simulator.SimulationResult`;
+* :meth:`Engine.submit` — the same, as a future, pipelined through the
+  persistent evaluation service;
 * :meth:`Engine.spike_trace` — the spiking-mode activity trace.
+
+When ``EngineConfig.persistent_pool`` is set (the default) and the config
+asks for workers, parallel-eligible batches route through a lazily-started
+resident :class:`~repro.engine.service.EvaluationService` instead of a
+per-call pool: workers stay alive across calls and each compiled program is
+installed once per worker, keyed by ``(structural_hash, backend)``.
 
 A process-wide default engine (:func:`default_engine`) backs the
 compatibility wrappers (``repro.circuits.simulate``, ``TraceCircuit``), so
@@ -17,8 +25,10 @@ callers that never mention the engine still share one compile cache.
 
 from __future__ import annotations
 
+import weakref
+from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -37,7 +47,7 @@ from repro.engine.backends import (
 )
 from repro.engine.cache import CacheInfo, CompileCache
 from repro.engine.config import BACKEND_NAMES, EngineConfig
-from repro.engine.scheduler import evaluate_batched
+from repro.engine.scheduler import evaluate_batched, narrowed_chunk_size
 from repro.engine.spiking import ActivityPlan, SpikeTrace, compute_spike_trace
 
 __all__ = ["Engine", "default_engine", "set_default_engine"]
@@ -50,12 +60,18 @@ class _CacheEntry:
     The full :class:`LayerPlan` (per-wire Python-int lists, O(edges) boxed
     ints) is deliberately *not* retained: it exists only during compilation.
     Template-streaming compiles never build the global depth-layer view, so
-    ``activity`` starts as None there and is filled lazily from the circuit
-    on the first spike-trace request.
+    ``activity`` is None there; lazily-built plans are memoized on the
+    *engine* keyed by structural hash (never by mutating the entry, which
+    may be shared across concurrent calls — and with ``cache_size=0`` the
+    entry is discarded immediately, so an entry-level memo would silently
+    rebuild the plan on every trace).  ``key`` is the compile-cache slot
+    ``(structural_hash, backend)`` the program lives under; the service
+    reuses it as the install-once program identity.
     """
 
     program: CompiledProgram
     activity: Optional[ActivityPlan]
+    key: Tuple[str, str]
 
 
 class Engine:
@@ -67,6 +83,15 @@ class Engine:
         # Remembered auto-selection verdicts (hash -> concrete backend name),
         # so an auto lookup costs one cache probe and one LRU slot, not two.
         self._auto_resolved: dict = {}
+        # Lazily-built activity plans keyed by structural hash: survives
+        # compile-cache evictions and cache_size=0, and never mutates cache
+        # entries shared across calls.
+        self._activity_plans: dict = {}
+        # The resident evaluation service, started on the first parallel
+        # evaluation when the config enables it; the finalizer guarantees
+        # its workers stop when the engine is collected or at exit.
+        self._service = None
+        self._service_finalizer = None
         #: Number of actual backend compilations performed (cache misses that
         #: reached a backend).  Exposed so tests can assert cache behaviour.
         self.compile_calls = 0
@@ -130,7 +155,9 @@ class Engine:
             None if used_plan is None else ActivityPlan.from_layer_plan(used_plan)
         )
         self.compile_calls += 1
-        entry = _CacheEntry(program=program, activity=activity)
+        entry = _CacheEntry(
+            program=program, activity=activity, key=(key_hash, resolved)
+        )
         self._cache.put((key_hash, resolved), entry)
         return entry
 
@@ -144,7 +171,81 @@ class Engine:
         """
         return self._entry(circuit, backend).program
 
+    # ---------------------------------------------------------------- service
+    def _service_for(self):
+        """The resident evaluation service, started on first use."""
+        if self._service is None:
+            from repro.engine.service import EvaluationService
+
+            self._service = EvaluationService(self.config)
+            # Bound to the *service*, not the engine: runs when the engine
+            # is garbage-collected or at interpreter exit, stopping the
+            # resident workers without keeping the engine alive.
+            self._service_finalizer = weakref.finalize(
+                self, EvaluationService.close, self._service, wait=False
+            )
+        return self._service
+
+    def _service_eligible(self, batch: int) -> bool:
+        """Mirror of the scheduler's pool gate, for the resident service.
+
+        A batch of one column always runs inline (the scheduler would too),
+        so both paths stay bit-and-route identical apart from pool reuse.
+        """
+        config = self.config
+        return (
+            config.persistent_pool
+            and config.max_workers > 1
+            and batch >= config.parallel_threshold
+            and batch > 1
+        )
+
+    def _node_values(self, entry: _CacheEntry, inputs: np.ndarray) -> np.ndarray:
+        """Batched node values via the service or the per-call scheduler."""
+        if self._service_eligible(inputs.shape[1]):
+            return self._service_for().evaluate(
+                entry.program,
+                inputs,
+                key=entry.key,
+                chunk_size=narrowed_chunk_size(inputs.shape[1], self.config),
+            )
+        return evaluate_batched(entry.program, inputs, self.config)
+
+    def close(self) -> None:
+        """Shut down the resident evaluation service, if one was started.
+
+        The engine remains usable: the next parallel evaluation starts a
+        fresh service.  Serial evaluation never needs this.
+        """
+        if self._service is not None:
+            service, self._service = self._service, None
+            if self._service_finalizer is not None:
+                self._service_finalizer.detach()
+                self._service_finalizer = None
+            service.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # --------------------------------------------------------------- evaluate
+    @staticmethod
+    def _to_result(
+        circuit: ThresholdCircuit, node_values: np.ndarray, squeeze: bool
+    ) -> SimulationResult:
+        batch = node_values.shape[1]
+        outputs = (
+            node_values[circuit.outputs, :]
+            if circuit.outputs
+            else np.zeros((0, batch), dtype=np.int8)
+        )
+        energy = node_values[circuit.n_inputs :, :].sum(axis=0).astype(np.int64)
+        if squeeze:
+            return SimulationResult(node_values[:, 0], outputs[:, 0], energy[0])
+        return SimulationResult(node_values, outputs, energy)
+
     def evaluate(
         self,
         circuit: ThresholdCircuit,
@@ -158,18 +259,86 @@ class Engine:
         if squeeze:
             inputs = inputs[:, None]
         check_batch_inputs(circuit, inputs)
-        batch = inputs.shape[1]
         entry = self._entry(circuit, backend)
-        node_values = evaluate_batched(entry.program, inputs, self.config)
-        outputs = (
-            node_values[circuit.outputs, :]
-            if circuit.outputs
-            else np.zeros((0, batch), dtype=np.int8)
-        )
-        energy = node_values[circuit.n_inputs :, :].sum(axis=0).astype(np.int64)
+        node_values = self._node_values(entry, inputs)
+        return self._to_result(circuit, node_values, squeeze)
+
+    def submit(
+        self,
+        circuit: ThresholdCircuit,
+        inputs: np.ndarray,
+        backend: Optional[str] = None,
+    ) -> "Future[SimulationResult]":
+        """Pipelined :meth:`evaluate`: a future of the simulation result.
+
+        Parallel-eligible batches are dispatched to the resident service and
+        the future completes when the workers finish, so many independent
+        queries (different circuits, different batches) overlap over one
+        pool.  Everything else — serial configs, narrow batches — evaluates
+        inline and returns an already-completed future, so callers can use
+        one submission code path unconditionally.
+        """
+        from repro.engine.service import chain_future, transform_executor
+
+        inputs = np.asarray(inputs)
+        squeeze = inputs.ndim == 1
         if squeeze:
-            return SimulationResult(node_values[:, 0], outputs[:, 0], energy[0])
-        return SimulationResult(node_values, outputs, energy)
+            inputs = inputs[:, None]
+        check_batch_inputs(circuit, inputs)
+        entry = self._entry(circuit, backend)
+        if self._service_eligible(inputs.shape[1]):
+            inner = self._service_for().submit(
+                entry.program,
+                inputs,
+                key=entry.key,
+                chunk_size=narrowed_chunk_size(inputs.shape[1], self.config),
+            )
+            # The result transform gathers output rows and reduces the full
+            # node matrix for energy — too heavy for the dispatcher thread
+            # that completes service futures, so it runs on the shared
+            # transform executor.
+            return chain_future(
+                inner,
+                lambda values: self._to_result(circuit, values, squeeze),
+                executor=transform_executor(),
+            )
+        future: "Future[SimulationResult]" = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            node_values = evaluate_batched(entry.program, inputs, self.config)
+            future.set_result(self._to_result(circuit, node_values, squeeze))
+        except Exception as exc:
+            future.set_exception(exc)
+        except BaseException as exc:
+            # KeyboardInterrupt/SystemExit must reach the caller, not sit
+            # unnoticed on the future; park a copy there for completeness.
+            future.set_exception(exc)
+            raise
+        return future
+
+    def _activity_plan(
+        self, circuit: ThresholdCircuit, entry: _CacheEntry
+    ) -> ActivityPlan:
+        """The activity plan for a compiled entry, memoized by structural hash.
+
+        CSR compiles carry the plan on the entry; template-streaming
+        compiles build it lazily here, *once per circuit structure* — keyed
+        by hash rather than stored on the (possibly uncached, possibly
+        shared) entry, so ``cache_size=0`` engines do not rebuild the plan
+        on every trace and cached entries are never mutated.
+        """
+        if entry.activity is not None:
+            return entry.activity
+        key_hash = entry.key[0]
+        plan = self._activity_plans.get(key_hash)
+        if plan is None:
+            plan = ActivityPlan.from_circuit(circuit)
+            # Plans are cheap to rebuild; keep the map bounded so a
+            # long-lived engine seeing many circuits cannot leak.
+            if len(self._activity_plans) >= max(64, 4 * self._cache.capacity):
+                self._activity_plans.clear()
+            self._activity_plans[key_hash] = plan
+        return plan
 
     def spike_trace(
         self,
@@ -183,13 +352,9 @@ class Engine:
             inputs = inputs[:, None]
         check_batch_inputs(circuit, inputs)
         entry = self._entry(circuit, backend)
-        if entry.activity is None:
-            # Template-streaming compiles skip the global depth-layer pass;
-            # build (and memoize on the entry) the activity view on the
-            # first trace request only.
-            entry.activity = ActivityPlan.from_circuit(circuit)
-        node_values = evaluate_batched(entry.program, inputs, self.config)
-        return compute_spike_trace(entry.activity, node_values)
+        activity = self._activity_plan(circuit, entry)
+        node_values = self._node_values(entry, inputs)
+        return compute_spike_trace(activity, node_values)
 
     # ------------------------------------------------------------------ cache
     def cache_info(self) -> CacheInfo:
@@ -200,6 +365,7 @@ class Engine:
         """Drop all cached programs and verdicts (counters keep accumulating)."""
         self._cache.clear()
         self._auto_resolved.clear()
+        self._activity_plans.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         info = self._cache.info()

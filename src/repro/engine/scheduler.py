@@ -9,23 +9,29 @@ has no cross-column coupling, so no merge pass is needed).
 
 When a pool is requested the compiled program is shipped to each worker via
 the pool initializer — once per worker per call, not once per chunk — and
-the workers stream chunk results back.  The pool itself is created per
-:func:`evaluate_batched` call (a persistent, reusable pool is future work),
-so sharding only pays off when one batch is wide enough to amortize the
-spawn; the engine gates it behind ``EngineConfig.parallel_threshold``.
+the workers stream chunk results back through ``imap``: chunk views are
+generated lazily (the feeder pickles one at a time into the pipe) and each
+result is written into the preallocated output as it arrives, so peak
+parent-side memory stays near one chunk per worker instead of a full second
+copy of the batch.  The pool itself is created per :func:`evaluate_batched`
+call, so sharding only pays off when one batch is wide enough to amortize
+the spawn; the engine gates it behind ``EngineConfig.parallel_threshold``.
+For steady-state query traffic — many batches against installed programs —
+use the resident pool of :class:`repro.engine.service.EvaluationService`,
+which the engine routes to when ``EngineConfig.persistent_pool`` is set.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
 from repro.engine.backends import CompiledProgram
 from repro.engine.config import EngineConfig
 
-__all__ = ["evaluate_batched", "iter_column_chunks"]
+__all__ = ["evaluate_batched", "iter_column_chunks", "narrowed_chunk_size"]
 
 
 def iter_column_chunks(width: int, chunk_size: int) -> Iterator[Tuple[int, int]]:
@@ -34,6 +40,16 @@ def iter_column_chunks(width: int, chunk_size: int) -> Iterator[Tuple[int, int]]
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     for start in range(0, width, chunk_size):
         yield start, min(start + chunk_size, width)
+
+
+def narrowed_chunk_size(batch: int, config: EngineConfig) -> int:
+    """The pool chunk width: narrowed (if needed) so every worker gets one.
+
+    The single narrowing rule shared by the per-call pool below and the
+    engine's routing into the persistent service, so both parallel paths
+    shard a blocking batch identically.
+    """
+    return min(config.chunk_size, max(1, -(-batch // max(1, config.max_workers))))
 
 
 # Worker-side state: the compiled program is installed once per worker by the
@@ -47,7 +63,9 @@ def _worker_init(program: CompiledProgram) -> None:
 
 
 def _worker_run(chunk: np.ndarray) -> np.ndarray:
-    assert _WORKER_PROGRAM is not None, "worker pool used before initialization"
+    # A real exception, not an assert: the guard must survive ``python -O``.
+    if _WORKER_PROGRAM is None:
+        raise RuntimeError("worker pool used before initialization")
     return _WORKER_PROGRAM.run(chunk)
 
 
@@ -73,22 +91,28 @@ def evaluate_batched(
     chunk_size = config.chunk_size
     parallel_ok = config.max_workers > 1 and batch >= config.parallel_threshold
     if parallel_ok:
-        chunk_size = min(chunk_size, max(1, -(-batch // config.max_workers)))
+        chunk_size = narrowed_chunk_size(batch, config)
     if batch <= chunk_size:
         return program.run(inputs)
 
     ranges = list(iter_column_chunks(batch, chunk_size))
     use_pool = parallel_ok and len(ranges) > 1
+    node_values = np.empty((program.n_nodes, batch), dtype=np.int8)
     if use_pool:
-        chunks = [inputs[:, start:stop] for start, stop in ranges]
-        processes = min(config.max_workers, len(chunks))
+        processes = min(config.max_workers, len(ranges))
         with multiprocessing.Pool(
             processes, initializer=_worker_init, initargs=(program,)
         ) as pool:
-            parts: List[np.ndarray] = pool.map(_worker_run, chunks)
-        return np.concatenate(parts, axis=1)
+            # Chunk views are generated lazily and results written in place
+            # as they stream back, so the parent never materializes a second
+            # copy of the whole batch (``pool.map`` over a chunk list did).
+            chunk_views = (inputs[:, start:stop] for start, stop in ranges)
+            for (start, stop), part in zip(
+                ranges, pool.imap(_worker_run, chunk_views)
+            ):
+                node_values[:, start:stop] = part
+        return node_values
 
-    node_values = np.empty((program.n_nodes, batch), dtype=np.int8)
     for start, stop in ranges:
         node_values[:, start:stop] = program.run(inputs[:, start:stop])
     return node_values

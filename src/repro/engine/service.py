@@ -1,0 +1,769 @@
+"""Persistent evaluation service: a resident worker pool with install-once programs.
+
+The per-call pool in :mod:`repro.engine.scheduler` re-pays the dominant
+costs of process-parallel evaluation on *every* batch: spawning the pool and
+shipping the compiled program to each worker.  That shape is exactly wrong
+for the amortization story of the paper — build a circuit once, answer many
+queries against it — so this module keeps the workers *resident*:
+
+* Each worker process owns a small LRU **program store**.  A compiled
+  program is installed once per ``(structural_hash, backend)`` per worker
+  and thereafter referenced by that key, so steady-state requests carry
+  only input columns.
+* Wide batches travel through ``multiprocessing.shared_memory`` blocks
+  (one for the inputs, one the workers write their output columns into);
+  small batches fall back to pickling chunks over the queues, which is
+  cheaper than two block setups there.  ``EngineConfig.shared_memory_min_bytes``
+  draws the line.
+* :meth:`EvaluationService.submit` returns a :class:`concurrent.futures.Future`,
+  so many independent jobs — different circuits, different batches — pipeline
+  over one pool; ``map`` and :func:`as_completed` ride on top.
+* Workers that die (OOM-killed, segfaulted, externally killed) are detected
+  when results go quiet or at the next dispatch, respawned with an empty
+  store, and their in-flight tasks are re-dispatched; a worker answering a
+  request for a key it no longer holds (LRU eviction, or a fresh process
+  after a crash) triggers a targeted reinstall rather than an error.
+* ``close()`` (also via the context-manager protocol) drains outstanding
+  jobs, stops every worker, and releases the queues and any shared-memory
+  blocks; a closed service rejects new submissions with :class:`ServiceClosed`.
+
+The service never changes results: every task is ``program.run`` over a
+column range, which is columnwise independent, so outputs are bit-identical
+to serial evaluation whatever the sharding, transport, or interleaving.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import traceback
+import weakref
+from collections import OrderedDict
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor, as_completed
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing.shared_memory import SharedMemory
+from queue import Empty
+from typing import Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.engine.config import EngineConfig
+from repro.engine.scheduler import iter_column_chunks
+
+__all__ = [
+    "EvaluationService",
+    "ServiceClosed",
+    "ServiceStats",
+    "as_completed",
+    "chain_future",
+    "transform_executor",
+]
+
+
+class ServiceClosed(RuntimeError):
+    """Raised when work is submitted to a service that has been closed."""
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Counters describing service behaviour since construction."""
+
+    workers: int
+    jobs: int
+    tasks: int
+    installs: int
+    reinstalls: int
+    shm_jobs: int
+    worker_restarts: int
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "jobs": self.jobs,
+            "tasks": self.tasks,
+            "installs": self.installs,
+            "reinstalls": self.reinstalls,
+            "shm_jobs": self.shm_jobs,
+            "worker_restarts": self.worker_restarts,
+        }
+
+
+def chain_future(inner: Future, transform, executor=None) -> Future:
+    """A future resolving to ``transform(inner.result())``.
+
+    Errors propagate: an exception from ``inner`` (including cancellation)
+    or from ``transform`` becomes the outer future's exception.  The
+    transform runs on whatever thread completes ``inner`` (for service
+    futures: the dispatcher), so it must be cheap — pass ``executor`` to run
+    an expensive transform there instead of blocking the completing thread.
+    """
+    outer: Future = Future()
+    outer.set_running_or_notify_cancel()
+
+    def _apply(completed: Future) -> None:
+        try:
+            exception = completed.exception()
+        except CancelledError as exc:
+            outer.set_exception(exc)
+            return
+        if exception is not None:
+            outer.set_exception(exception)
+            return
+        try:
+            outer.set_result(transform(completed.result()))
+        except BaseException as exc:
+            outer.set_exception(exc)
+
+    def _done(completed: Future) -> None:
+        if executor is not None and not completed.cancelled():
+            if completed.exception() is None:
+                executor.submit(_apply, completed)
+                return
+        _apply(completed)
+
+    inner.add_done_callback(_done)
+    return outer
+
+
+_TRANSFORM_EXECUTOR: Optional[ThreadPoolExecutor] = None
+_TRANSFORM_LOCK = threading.Lock()
+
+
+def transform_executor() -> ThreadPoolExecutor:
+    """Shared single-thread executor for expensive future transforms.
+
+    Driver-level decodes (e.g. reconstructing matmul products from node
+    values, a Python-level pass over every output entry) run here so they
+    never stall the service dispatcher thread that completes futures.
+    """
+    global _TRANSFORM_EXECUTOR
+    with _TRANSFORM_LOCK:
+        if _TRANSFORM_EXECUTOR is None:
+            _TRANSFORM_EXECUTOR = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="service-transform"
+            )
+        return _TRANSFORM_EXECUTOR
+
+
+# ----------------------------------------------------------------- worker side
+def _attach_block(name: str) -> SharedMemory:
+    """Attach to a parent-owned shared-memory block without claiming it.
+
+    On Python < 3.13 attaching registers the segment with the resource
+    tracker as if this process owned it, which makes worker exits unlink (or
+    warn about) blocks the parent still manages; unregister defensively.
+    """
+    block = SharedMemory(name=name)
+    try:  # pragma: no cover - depends on interpreter version details
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(block._name, "shared_memory")
+    except Exception:
+        pass
+    return block
+
+
+def _execute_task(program, payload) -> Optional[np.ndarray]:
+    """Run one task payload; returns the chunk for pickle transport, else None."""
+    kind = payload[0]
+    if kind == "pickle":
+        return program.run(payload[1])
+    # ("shm", in_name, in_shape, in_dtype, out_name, out_shape, start, stop)
+    _, in_name, in_shape, in_dtype, out_name, out_shape, start, stop = payload
+    in_block = None
+    out_block = None
+    try:
+        # Attach inside the try: if the parent unlinked the job's blocks
+        # between the two attaches (sibling task failed the job), the first
+        # mapping must still be closed — a leaked mapping in a resident
+        # worker pins the freed segment's memory for the worker's lifetime.
+        in_block = _attach_block(in_name)
+        out_block = _attach_block(out_name)
+        inputs = np.ndarray(in_shape, dtype=np.dtype(in_dtype), buffer=in_block.buf)
+        outputs = np.ndarray(out_shape, dtype=np.int8, buffer=out_block.buf)
+        outputs[:, start:stop] = program.run(inputs[:, start:stop])
+        # Views into the buffers must be gone before close() or the memoryview
+        # export check raises BufferError.
+        del inputs, outputs
+    finally:
+        if in_block is not None:
+            in_block.close()
+        if out_block is not None:
+            out_block.close()
+    return None
+
+
+def _service_worker_main(worker_id, requests, results, store_capacity) -> None:
+    """Loop of one resident worker: install programs, run tasks, report back.
+
+    The local program store is a twin of the parent-side mirror: both evict
+    LRU-first at ``store_capacity`` and both refresh recency on installs and
+    runs, and since messages arrive in the order the parent dispatched them
+    the two stay in lockstep.  A run for a key the store no longer holds
+    (mirror drift, or a fresh process after a crash) is answered with a
+    ``missing`` report so the parent reinstalls and re-dispatches.
+    """
+    store: "OrderedDict[object, object]" = OrderedDict()
+    while True:
+        message = requests.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "install":
+            _, key, program = message
+            store[key] = program
+            store.move_to_end(key)
+            while len(store) > store_capacity:
+                store.popitem(last=False)
+            continue
+        # ("run", task_id, key, payload)
+        _, task_id, key, payload = message
+        program = store.get(key)
+        if program is None:
+            results.put((worker_id, "missing", task_id, None))
+            continue
+        store.move_to_end(key)
+        try:
+            results.put((worker_id, "done", task_id, _execute_task(program, payload)))
+        except BaseException as exc:
+            detail = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+            results.put((worker_id, "error", task_id, (repr(exc), detail)))
+
+
+# ----------------------------------------------------------------- parent side
+class _Worker:
+    """Parent-side handle of one resident worker process."""
+
+    __slots__ = ("index", "process", "requests", "store", "inflight")
+
+    def __init__(self, index, process, requests) -> None:
+        self.index = index
+        self.process = process
+        self.requests = requests
+        #: Mirror of the worker's LRU program store (keys only).
+        self.store: "OrderedDict[object, bool]" = OrderedDict()
+        #: Task ids currently dispatched to this worker.
+        self.inflight: set = set()
+
+
+#: Bound on retries per task, counting both missing-program reports (e.g. a
+#: program that cannot be pickled into the worker, which only surfaces
+#: asynchronously in the queue's feeder thread) and re-dispatches after a
+#: worker death: a task that deterministically kills its worker (OOM,
+#: native segfault) must fail the job instead of respawning forever.
+_MAX_TASK_ATTEMPTS = 5
+
+
+class _Task:
+    # No back-reference to the dispatched worker: result handling must
+    # attribute reports to the *reporting* worker id (a task may have been
+    # re-dispatched meanwhile), and a stored handle would pin dead _Worker
+    # objects alive for the task's lifetime.
+    __slots__ = ("task_id", "job", "start", "stop", "attempts")
+
+    def __init__(self, task_id, job, start, stop) -> None:
+        self.task_id = task_id
+        self.job = job
+        self.start = start
+        self.stop = stop
+        self.attempts = 0
+
+
+class _Job:
+    """One submitted batch: a future plus the state to assemble its result."""
+
+    __slots__ = (
+        "future",
+        "program",
+        "key",
+        "inputs",
+        "in_shape",
+        "in_dtype",
+        "n_nodes",
+        "batch",
+        "pending",
+        "out",
+        "in_shm",
+        "out_shm",
+        "done",
+    )
+
+    def __init__(self, future, program, key, inputs, n_nodes, batch) -> None:
+        self.future = future
+        self.program = program
+        self.key = key
+        self.inputs = inputs  # retained for pickle-mode (re-)dispatch; None for shm
+        self.in_shape = inputs.shape
+        self.in_dtype = str(inputs.dtype)
+        self.n_nodes = n_nodes
+        self.batch = batch
+        self.pending: set = set()
+        self.out: Optional[np.ndarray] = None  # pickle-mode assembly buffer
+        self.in_shm: Optional[SharedMemory] = None
+        self.out_shm: Optional[SharedMemory] = None
+        self.done = False
+
+
+class EvaluationService:
+    """A resident pool evaluating compiled programs with install-once keys.
+
+    Parameters
+    ----------
+    config:
+        The engine configuration supplying every knob the service honors:
+        ``max_workers`` (pool width; values < 2 still run one resident
+        worker), ``chunk_size`` / column sharding, ``shared_memory_min_bytes``
+        (transport cutover), ``service_queue_depth`` (bound on outstanding
+        jobs; further ``submit`` calls block) and ``service_store_size``
+        (per-worker LRU program-store capacity).
+    context:
+        Optional ``multiprocessing`` context; defaults to the platform
+        default (fork on Linux, matching the per-call scheduler pool).
+    """
+
+    def __init__(
+        self, config: Optional[EngineConfig] = None, *, context=None
+    ) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self._ctx = context if context is not None else get_context()
+        self._lock = threading.RLock()
+        self._results = self._ctx.Queue()
+        self._task_ids = itertools.count()
+        self._tasks: Dict[int, _Task] = {}
+        # Future resolutions staged under the lock, applied outside it: a
+        # future's done-callbacks (chain_future transforms, user callbacks)
+        # must never run while the service lock is held.
+        self._resolutions: List[tuple] = []
+        self._job_slots = threading.BoundedSemaphore(self.config.service_queue_depth)
+        self._auto_keys: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self._anon_ids = itertools.count()
+        self._closing = False
+        self._closed = False
+        self._jobs_submitted = 0
+        self._tasks_dispatched = 0
+        self._installs = 0
+        self._reinstalls = 0
+        self._shm_jobs = 0
+        self._worker_restarts = 0
+        n_workers = max(1, self.config.max_workers)
+        self._workers: List[_Worker] = [
+            self._spawn_worker(index) for index in range(n_workers)
+        ]
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name="evaluation-service-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------- lifecycle
+    def _spawn_worker(self, index: int) -> _Worker:
+        requests = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_service_worker_main,
+            args=(index, requests, self._results, self.config.service_store_size),
+            name=f"evaluation-service-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        return _Worker(index, process, requests)
+
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self, wait: bool = True, timeout: float = 10.0) -> None:
+        """Stop accepting work, stop every worker, release all resources.
+
+        ``wait=True`` (default) drains outstanding jobs first; ``wait=False``
+        fails their futures with :class:`ServiceClosed` and terminates the
+        workers immediately.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closing = True
+            outstanding = list(
+                {task.job for task in self._tasks.values() if not task.job.done}
+            )
+        if wait:
+            for job in outstanding:
+                try:
+                    job.future.exception(timeout=timeout)
+                except Exception:
+                    pass
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for task in list(self._tasks.values()):
+                self._fail_job(task.job, ServiceClosed("service closed"))
+            self._tasks.clear()
+            workers = list(self._workers)
+        self._flush_resolutions()
+        for worker in workers:
+            try:
+                worker.requests.put(("stop",))
+            except (ValueError, OSError):  # pragma: no cover - queue torn down
+                pass
+        self._results.put(None)  # wake + stop the dispatcher
+        self._dispatcher.join(timeout=timeout)
+        for worker in workers:
+            worker.process.join(timeout=timeout)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            worker.requests.close()
+        self._results.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of the service counters."""
+        with self._lock:
+            return ServiceStats(
+                workers=len(self._workers),
+                jobs=self._jobs_submitted,
+                tasks=self._tasks_dispatched,
+                installs=self._installs,
+                reinstalls=self._reinstalls,
+                shm_jobs=self._shm_jobs,
+                worker_restarts=self._worker_restarts,
+            )
+
+    # ------------------------------------------------------------ submission
+    def _key_for(self, program) -> object:
+        """A stable per-program key when the caller did not supply one.
+
+        Held weakly: the key dies with the program object, so id-style reuse
+        cannot alias two different programs.
+        """
+        try:
+            key = self._auto_keys.get(program)
+            if key is None:
+                key = ("anon", next(self._anon_ids))
+                self._auto_keys[program] = key
+            return key
+        except TypeError:  # unweakrefable program object
+            return ("anon", next(self._anon_ids))
+
+    def submit(self, program, inputs, *, key=None, chunk_size=None) -> Future:
+        """Schedule one batched evaluation; returns a future of node values.
+
+        ``inputs`` is a ``(n_inputs, batch)`` block (a 1-D vector is promoted
+        to one column; the result keeps the 2-D ``(n_nodes, batch)`` shape).
+        ``key`` identifies the program across calls — the engine passes
+        ``(structural_hash, backend)`` — so repeated submissions reuse the
+        per-worker installs; omitted keys are derived per program object.
+        Blocks while ``service_queue_depth`` jobs are already outstanding.
+
+        Jobs are split into column tasks of ``chunk_size`` (default: the
+        config's) — and *not* narrowed to the worker count: a pipelined
+        query stream already keeps every worker busy with whole jobs, and
+        sparse evaluation cost is largely per-chunk, so finer within-job
+        sharding buys latency only when the pool is otherwise idle.  The
+        engine passes its scheduler-narrowed width for blocking calls.
+        """
+        inputs = np.asarray(inputs)
+        if inputs.ndim == 1:
+            inputs = inputs[:, None]
+        if inputs.ndim != 2:
+            raise ValueError(f"inputs must be 1-D or 2-D, got shape {inputs.shape}")
+        if self._closing or self._closed:
+            raise ServiceClosed("cannot submit to a closed service")
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        batch = inputs.shape[1]
+        if batch == 0:
+            future.set_result(np.empty((program.n_nodes, 0), dtype=np.int8))
+            return future
+        if key is None:
+            with self._lock:
+                key = self._key_for(program)
+
+        if chunk_size is None:
+            chunk_size = self.config.chunk_size
+        ranges = list(iter_column_chunks(batch, chunk_size))
+        self._job_slots.acquire()
+        job = _Job(future, program, key, inputs, program.n_nodes, batch)
+        try:
+            use_shm = inputs.nbytes >= self.config.shared_memory_min_bytes
+            if use_shm:
+                try:
+                    self._setup_shared_memory(job, inputs)
+                except (OSError, ValueError):  # no /dev/shm or exhausted space
+                    use_shm = False
+            if not use_shm:
+                job.out = np.empty((job.n_nodes, batch), dtype=np.int8)
+            with self._lock:
+                if self._closing or self._closed:
+                    raise ServiceClosed("cannot submit to a closed service")
+                self._jobs_submitted += 1
+                if job.in_shm is not None:
+                    self._shm_jobs += 1
+                for start, stop in ranges:
+                    task = _Task(next(self._task_ids), job, start, stop)
+                    job.pending.add(task.task_id)
+                    self._tasks[task.task_id] = task
+                    self._dispatch(task)
+        except BaseException as exc:
+            with self._lock:
+                if not job.done:
+                    self._fail_job(
+                        job,
+                        exc if isinstance(exc, Exception) else RuntimeError(repr(exc)),
+                    )
+            self._flush_resolutions()
+            raise
+        # Dispatching may have respawned a dead worker and failed another
+        # job's over-retried tasks; resolve those futures lock-free too.
+        self._flush_resolutions()
+        return future
+
+    def evaluate(self, program, inputs, *, key=None, chunk_size=None) -> np.ndarray:
+        """Blocking :meth:`submit`: the ``(n_nodes, batch)`` node values."""
+        return self.submit(program, inputs, key=key, chunk_size=chunk_size).result()
+
+    def map(
+        self, program, batches: Iterable, *, key=None, chunk_size=None
+    ) -> Iterator[np.ndarray]:
+        """Submit many batches of one program; yield results in order."""
+        futures = [
+            self.submit(program, batch, key=key, chunk_size=chunk_size)
+            for batch in batches
+        ]
+        for future in futures:
+            yield future.result()
+
+    def _setup_shared_memory(self, job: _Job, inputs: np.ndarray) -> None:
+        in_shm = SharedMemory(create=True, size=max(1, inputs.nbytes))
+        try:
+            out_shm = SharedMemory(create=True, size=max(1, job.n_nodes * job.batch))
+        except BaseException:
+            in_shm.close()
+            in_shm.unlink()
+            raise
+        staged = np.ndarray(inputs.shape, dtype=inputs.dtype, buffer=in_shm.buf)
+        staged[:] = inputs
+        del staged
+        job.in_shm = in_shm
+        job.out_shm = out_shm
+        # The block now owns the data; dispatch only needs shape and dtype.
+        job.inputs = None
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self, task: _Task) -> None:
+        """Send one task to the least-loaded live worker (lock held)."""
+        for worker in self._workers:
+            if not worker.process.is_alive():
+                self._respawn_worker(worker)
+        worker = min(self._workers, key=lambda w: (len(w.inflight), w.index))
+        self._install_if_needed(worker, task.job)
+        worker.inflight.add(task.task_id)
+        self._tasks_dispatched += 1
+        worker.requests.put(
+            ("run", task.task_id, task.job.key, self._payload_for(task))
+        )
+
+    def _payload_for(self, task: _Task) -> tuple:
+        job = task.job
+        if job.in_shm is not None:
+            return (
+                "shm",
+                job.in_shm.name,
+                job.in_shape,
+                job.in_dtype,
+                job.out_shm.name,
+                (job.n_nodes, job.batch),
+                task.start,
+                task.stop,
+            )
+        return ("pickle", job.inputs[:, task.start : task.stop])
+
+    def _install_if_needed(self, worker: _Worker, job: _Job) -> None:
+        """Mirror-checked install: ship the program once per worker per key."""
+        if job.key not in worker.store:
+            worker.requests.put(("install", job.key, job.program))
+            self._installs += 1
+        worker.store[job.key] = True
+        worker.store.move_to_end(job.key)
+        while len(worker.store) > self.config.service_store_size:
+            worker.store.popitem(last=False)
+
+    def _respawn_worker(self, worker: _Worker) -> None:
+        """Replace a dead worker and re-dispatch whatever it was running.
+
+        Re-dispatches count against the task's attempt budget so a task that
+        deterministically kills its worker (OOM, native crash) fails its job
+        after :data:`_MAX_TASK_ATTEMPTS` instead of respawning forever.
+        """
+        self._worker_restarts += 1
+        worker.process.join(timeout=0)
+        worker.requests.close()
+        replacement = self._spawn_worker(worker.index)
+        self._workers[self._workers.index(worker)] = replacement
+        orphaned = [
+            self._tasks[task_id]
+            for task_id in worker.inflight
+            if task_id in self._tasks
+        ]
+        worker.inflight.clear()
+        for task in orphaned:
+            task.attempts += 1
+            if task.attempts >= _MAX_TASK_ATTEMPTS:
+                self._tasks.pop(task.task_id, None)
+                self._fail_job(
+                    task.job,
+                    RuntimeError(
+                        f"service task for program {task.job.key!r} was "
+                        f"retried {task.attempts} times after worker "
+                        "deaths; giving up (does this input crash the "
+                        "worker?)"
+                    ),
+                )
+            else:
+                self._dispatch(task)
+
+    # ---------------------------------------------------------------- results
+    def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                item = self._results.get(timeout=0.2)
+            except (Empty, OSError, ValueError):
+                if self._closed:
+                    return
+                with self._lock:
+                    if self._tasks:
+                        # Results went quiet with work outstanding: check for
+                        # dead workers and re-dispatch their tasks.
+                        for worker in list(self._workers):
+                            if worker.inflight and not worker.process.is_alive():
+                                self._respawn_worker(worker)
+                self._flush_resolutions()
+                continue
+            if item is None:
+                self._flush_resolutions()
+                return
+            with self._lock:
+                self._handle_result(item)
+            self._flush_resolutions()
+
+    def _handle_result(self, item) -> None:
+        """Process one worker report (lock held; resolutions are staged)."""
+        worker_id, kind, task_id, payload = item
+        task = self._tasks.get(task_id)
+        # Clear the inflight slot by the *reported* worker: tasks of an
+        # already-failed job are gone from the registry but their ids must
+        # still leave the live worker's inflight set, or least-loaded
+        # dispatch is skewed away from it forever.
+        reporter = next(
+            (worker for worker in self._workers if worker.index == worker_id), None
+        )
+        if reporter is not None:
+            reporter.inflight.discard(task_id)
+        if task is None or task.job.done:
+            # Late result of a failed/cancelled job.
+            self._tasks.pop(task_id, None)
+            return
+        if kind == "missing":
+            # The worker lost the program (store drift, or a fresh process
+            # after a crash): drop the stale mirror entry so the next
+            # dispatch reinstalls, then retry the task.
+            self._reinstalls += 1
+            if reporter is not None:
+                reporter.store.pop(task.job.key, None)
+            task.attempts += 1
+            if task.attempts >= _MAX_TASK_ATTEMPTS:
+                self._tasks.pop(task_id, None)
+                self._fail_job(
+                    task.job,
+                    RuntimeError(
+                        "service could not install program "
+                        f"{task.job.key!r} after {task.attempts} "
+                        "attempts (is it picklable?)"
+                    ),
+                )
+                return
+            self._dispatch(task)
+            return
+        self._tasks.pop(task_id, None)
+        if kind == "error":
+            name, detail = payload
+            self._fail_job(
+                task.job,
+                RuntimeError(f"service worker failed: {name}\n{detail}"),
+            )
+            return
+        self._complete_task(task, payload)
+
+    def _flush_resolutions(self) -> None:
+        """Resolve staged futures with no lock held.
+
+        Done-callbacks therefore never block the service's bookkeeping —
+        though they still run on the dispatcher (or submitting) thread, so
+        they should stay cheap and must not wait on further service results.
+        """
+        with self._lock:
+            if not self._resolutions:
+                return
+            pending, self._resolutions = self._resolutions, []
+        for future, value, exception in pending:
+            if exception is not None:
+                future.set_exception(exception)
+            else:
+                future.set_result(value)
+
+    def _complete_task(self, task: _Task, payload) -> None:
+        job = task.job
+        if job.out is not None and payload is not None:
+            job.out[:, task.start : task.stop] = payload
+        job.pending.discard(task.task_id)
+        if job.pending:
+            return
+        job.done = True
+        if job.out_shm is not None:
+            result = np.ndarray(
+                (job.n_nodes, job.batch), dtype=np.int8, buffer=job.out_shm.buf
+            ).copy()
+        else:
+            result = job.out
+        self._release_job_resources(job)
+        self._job_slots.release()
+        self._resolutions.append((job.future, result, None))
+
+    def _fail_job(self, job: _Job, exception: BaseException) -> None:
+        if job.done:
+            return
+        job.done = True
+        for task_id in list(job.pending):
+            self._tasks.pop(task_id, None)
+        job.pending.clear()
+        self._release_job_resources(job)
+        self._job_slots.release()
+        self._resolutions.append((job.future, None, exception))
+
+    @staticmethod
+    def _release_job_resources(job: _Job) -> None:
+        for block in (job.in_shm, job.out_shm):
+            if block is not None:
+                try:
+                    block.close()
+                    block.unlink()
+                except (FileNotFoundError, OSError):  # pragma: no cover
+                    pass
+        job.in_shm = None
+        job.out_shm = None
+        job.inputs = None
+        job.out = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"EvaluationService(workers={stats.workers}, jobs={stats.jobs}, "
+            f"installs={stats.installs}, closed={self._closed})"
+        )

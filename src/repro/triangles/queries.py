@@ -63,6 +63,16 @@ class TriangleQuery:
         padded = [self._pad_to_circuit(adjacency) for adjacency in adjacencies]
         return self.trace_circuit.evaluate_batch(padded)
 
+    def submit_batch(self, adjacencies):
+        """Asynchronous :meth:`evaluate_batch`: a future of the answers.
+
+        Pipelines the padded batch through the engine's persistent
+        evaluation service when one is configured (see
+        :meth:`repro.core.trace_circuit.TraceCircuit.submit_batch`).
+        """
+        padded = [self._pad_to_circuit(adjacency) for adjacency in adjacencies]
+        return self.trace_circuit.submit_batch(padded)
+
     def reference(self, adjacency) -> bool:
         """Exact answer used for validation."""
         return triangle_count(adjacency) >= self.tau_triangles

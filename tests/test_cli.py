@@ -201,3 +201,74 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+
+class TestBatchEvalCommand:
+    def export_circuit(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        code, payload = run_cli(
+            ["build-trace", "--n", "2", "--tau", "3", "--d", "1", "--bit-width", "1", "--output", path]
+        )
+        assert code == 0
+        return path, payload["n_inputs"]
+
+    def write_rows(self, tmp_path, name, rows):
+        path = tmp_path / name
+        path.write_text("\n".join(rows) + "\n")
+        return str(path)
+
+    def test_batch_eval_matches_simulate(self, tmp_path):
+        circuit_path, n_inputs = self.export_circuit(tmp_path)
+        rows = ["0" * n_inputs, "1" * n_inputs, "01" * (n_inputs // 2), "10" * (n_inputs // 2)]
+        rows_path = self.write_rows(tmp_path, "a.txt", rows)
+        serial_code, serial = run_cli(["simulate", "--circuit", circuit_path, "--inputs", rows_path])
+        assert serial_code == 0
+        code, payload = run_cli(
+            ["batch-eval", "--circuit", circuit_path, "--inputs", rows_path, "--workers", "2", "--repeat", "2"]
+        )
+        assert code == 0
+        assert payload["jobs_submitted"] == 2
+        assert payload["service"] is not None
+        assert payload["service"]["jobs"] == 2
+        (job,) = payload["jobs"]
+        assert job["outputs"] == serial["outputs"]
+        assert job["energy"] == serial["energy"]
+        # One compile serves every repeat.
+        assert payload["cache"]["misses"] == 1
+
+    def test_batch_eval_many_files_pipelined(self, tmp_path):
+        circuit_path, n_inputs = self.export_circuit(tmp_path)
+        first = self.write_rows(tmp_path, "a.txt", ["0" * n_inputs, "1" * n_inputs])
+        second = self.write_rows(tmp_path, "b.txt", ["01" * (n_inputs // 2), "10" * (n_inputs // 2), "1" * n_inputs])
+        code, payload = run_cli(
+            ["batch-eval", "--circuit", circuit_path, "--inputs", first, second]
+        )
+        assert code == 0
+        assert [job["batch"] for job in payload["jobs"]] == [2, 3]
+        for job, rows_path in zip(payload["jobs"], (first, second)):
+            ref_code, reference = run_cli(["simulate", "--circuit", circuit_path, "--inputs", rows_path])
+            assert ref_code == 0
+            assert job["outputs"] == reference["outputs"]
+            assert job["energy"] == reference["energy"]
+
+    def test_batch_eval_rejects_bad_repeat(self, tmp_path):
+        circuit_path, n_inputs = self.export_circuit(tmp_path)
+        rows_path = self.write_rows(tmp_path, "a.txt", ["0" * n_inputs])
+        with pytest.raises(ValueError):
+            run_cli(
+                ["batch-eval", "--circuit", circuit_path, "--inputs", rows_path, "--repeat", "0"]
+            )
+
+    def test_batch_eval_single_worker_runs_inline(self, tmp_path):
+        circuit_path, n_inputs = self.export_circuit(tmp_path)
+        rows_path = self.write_rows(tmp_path, "a.txt", ["0" * n_inputs, "1" * n_inputs])
+        code, payload = run_cli(
+            ["batch-eval", "--circuit", circuit_path, "--inputs", rows_path, "--workers", "1"]
+        )
+        assert code == 0
+        assert payload["service"] is None  # no resident pool for one worker
+        assert payload["workers"] == 1
+        with pytest.raises(ValueError):
+            run_cli(
+                ["batch-eval", "--circuit", circuit_path, "--inputs", rows_path, "--workers", "0"]
+            )

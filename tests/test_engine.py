@@ -566,3 +566,124 @@ class TestZeroWidthBatches:
         out = trace.evaluate_batch([])
         assert out.shape == (0,)
         assert out.dtype == bool
+
+
+class TestConfigValidation:
+    """Every numeric knob must reject nonsense instead of mis-sharding."""
+
+    def test_defaults_are_valid(self):
+        EngineConfig()
+
+    @pytest.mark.parametrize(
+        "field, bad",
+        [
+            ("cache_size", -1),
+            ("chunk_size", 0),
+            ("chunk_size", -3),
+            ("max_workers", -1),
+            ("parallel_threshold", 0),
+            ("parallel_threshold", -5),
+            ("dense_node_limit", -1),
+            ("dense_density", 0.0),
+            ("dense_density", -0.5),
+            ("dense_density", float("nan")),
+            ("template_min_cover", -0.1),
+            ("template_min_cover", 1.1),
+            ("shared_memory_min_bytes", -1),
+            ("service_queue_depth", 0),
+            ("service_queue_depth", -2),
+            ("service_store_size", 0),
+            ("service_store_size", -1),
+        ],
+    )
+    def test_bad_values_rejected(self, field, bad):
+        with pytest.raises(ValueError):
+            EngineConfig(**{field: bad})
+
+    def test_with_overrides_revalidates(self):
+        config = EngineConfig()
+        with pytest.raises(ValueError):
+            config.with_overrides(parallel_threshold=0)
+        assert config.with_overrides(parallel_threshold=2).parallel_threshold == 2
+
+    def test_boundary_values_accepted(self):
+        config = EngineConfig(
+            parallel_threshold=1,
+            dense_node_limit=0,
+            shared_memory_min_bytes=0,
+            service_queue_depth=1,
+            service_store_size=1,
+        )
+        assert config.service_store_size == 1
+
+
+class TestSchedulerWorkerGuard:
+    def test_uninitialized_worker_raises_runtime_error(self, monkeypatch):
+        # A RuntimeError, not an assert: the guard must survive ``python -O``.
+        from repro.engine import scheduler
+
+        monkeypatch.setattr(scheduler, "_WORKER_PROGRAM", None)
+        with pytest.raises(RuntimeError, match="before initialization"):
+            scheduler._worker_run(np.zeros((2, 1), dtype=np.int8))
+
+
+class TestActivityPlanMemoization:
+    def test_trace_plan_built_once_with_cache_disabled(self, monkeypatch, rng):
+        # Regression: with cache_size=0 the lazily-built ActivityPlan used to
+        # be memoized on a _CacheEntry that was never stored, so every
+        # spike_trace call on a template-compiled circuit rebuilt the plan.
+        from repro.core.naive_circuits import build_naive_matmul_circuit
+        from repro.engine.spiking import ActivityPlan
+
+        circuit = build_naive_matmul_circuit(3, bit_width=1, stages=2).circuit
+        assert circuit.template_blocks  # precondition: template compile path
+
+        calls = []
+        original = ActivityPlan.from_circuit.__func__
+
+        def counting(cls, target):
+            calls.append(target)
+            return original(cls, target)
+
+        monkeypatch.setattr(ActivityPlan, "from_circuit", classmethod(counting))
+        engine = Engine(
+            EngineConfig(backend="sparse", cache_size=0, template_min_cover=0.0)
+        )
+        batch = rng.integers(0, 2, size=(circuit.n_inputs, 3))
+        first = engine.spike_trace(circuit, batch)
+        second = engine.spike_trace(circuit, batch)
+        assert len(calls) == 1  # built lazily, exactly once
+        assert (first.energy == second.energy).all()
+        # The plan is genuinely the lazily-built one (template compiles skip
+        # the global layer pass), and results match a fresh default engine.
+        reference = Engine().spike_trace(circuit, batch)
+        assert (first.energy == reference.energy).all()
+        assert (first.spikes_per_layer == reference.spikes_per_layer).all()
+
+    def test_cached_entries_not_mutated_by_trace(self, rng):
+        # The compile-cache entry must stay exactly as compiled: lazily-built
+        # plans live on the engine (keyed by hash), not on shared entries.
+        from repro.core.naive_circuits import build_naive_matmul_circuit
+
+        circuit = build_naive_matmul_circuit(3, bit_width=1, stages=2).circuit
+        engine = Engine(
+            EngineConfig(backend="sparse", template_min_cover=0.0)
+        )
+        entry = engine._entry(circuit)
+        assert entry.activity is None  # template compile: no global plan
+        batch = rng.integers(0, 2, size=(circuit.n_inputs, 2))
+        engine.spike_trace(circuit, batch)
+        assert entry.activity is None
+        assert circuit.structural_hash() in engine._activity_plans
+
+    def test_clear_cache_drops_memoized_plans(self, rng):
+        from repro.core.naive_circuits import build_naive_matmul_circuit
+
+        circuit = build_naive_matmul_circuit(3, bit_width=1, stages=2).circuit
+        engine = Engine(
+            EngineConfig(backend="sparse", template_min_cover=0.0)
+        )
+        engine.spike_trace(circuit, rng.integers(0, 2, size=(circuit.n_inputs, 2)))
+        assert engine._activity_plans
+        engine.clear_cache()
+        assert not engine._activity_plans

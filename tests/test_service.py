@@ -1,0 +1,464 @@
+"""Concurrency and lifecycle tests for the persistent evaluation service.
+
+The invariant underneath everything: whatever the sharding, transport
+(pickle vs shared memory), interleaving, eviction, or worker crashes, the
+service returns node values bit-identical to serial evaluation — every task
+is ``program.run`` over an independent column range.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.builder import CircuitBuilder
+from repro.core.matmul_circuit import build_matmul_circuit
+from repro.core.trace_circuit import build_trace_circuit
+from repro.engine import (
+    Engine,
+    EngineConfig,
+    EvaluationService,
+    ServiceClosed,
+    as_completed,
+    chain_future,
+)
+from repro.triangles import build_triangle_query
+
+BACKENDS = ("sparse", "dense", "exact")
+
+
+class ExplodingProgram:
+    """Module-level (hence picklable) program that fails inside the worker."""
+
+    backend_name = "boom"
+    n_inputs = 2
+    n_nodes = 3
+    outputs = [2]
+
+    def run(self, inputs):
+        raise ValueError("deliberate failure")
+
+
+class WorkerKillerProgram:
+    """A program whose evaluation takes its worker process down with it."""
+
+    backend_name = "fatal"
+    n_inputs = 2
+    n_nodes = 3
+    outputs = [2]
+
+    def run(self, inputs):
+        import os
+
+        os._exit(17)
+
+
+class UnpicklableProgram:
+    """A program whose install message cannot cross the process boundary."""
+
+    backend_name = "stuck"
+    n_inputs = 2
+    n_nodes = 3
+    outputs = [2]
+
+    def __init__(self):
+        self.blocker = lambda: None  # lambdas cannot be pickled
+
+    def run(self, inputs):  # pragma: no cover - never reaches a worker
+        return np.zeros((self.n_nodes, inputs.shape[1]), dtype=np.int8)
+
+
+def parity_circuit(n_bits, name="parity"):
+    builder = CircuitBuilder(name=f"{name}{n_bits}")
+    inputs = builder.allocate_inputs(n_bits)
+    at_least = [builder.add_gate(inputs, [1] * n_bits, k) for k in range(1, n_bits + 1)]
+    weights = [1 if k % 2 == 1 else -1 for k in range(1, n_bits + 1)]
+    out = builder.add_gate(at_least, weights, 1)
+    builder.set_outputs([out], ["parity"])
+    return builder.build()
+
+
+def slow_reference(circuit, batch):
+    return np.stack(
+        [circuit.evaluate_slow(list(batch[:, j])) for j in range(batch.shape[1])],
+        axis=1,
+    )
+
+
+def service_config(**overrides):
+    base = dict(max_workers=2, chunk_size=4, parallel_threshold=1)
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+@pytest.fixture
+def parity6():
+    return parity_circuit(6)
+
+
+@pytest.fixture
+def compiled(parity6):
+    return Engine().compile(parity6, backend="sparse")
+
+
+class TestSubmission:
+    def test_submit_matches_serial(self, compiled, rng):
+        batch = rng.integers(0, 2, size=(6, 23))
+        expected = compiled.run(batch)
+        with EvaluationService(service_config()) as service:
+            assert (service.submit(compiled, batch).result() == expected).all()
+            # Steady state: same program again, no new installs.
+            before = service.stats().installs
+            assert (service.evaluate(compiled, batch) == expected).all()
+            assert service.stats().installs == before
+
+    def test_install_once_per_worker(self, compiled, rng):
+        batch = rng.integers(0, 2, size=(6, 16))
+        with EvaluationService(service_config()) as service:
+            for _ in range(5):
+                service.evaluate(compiled, batch)
+            stats = service.stats()
+            assert stats.jobs == 5
+            assert stats.installs <= stats.workers
+
+    def test_one_dim_input_promoted(self, compiled):
+        vector = np.array([1, 0, 1, 1, 0, 0])
+        with EvaluationService(service_config()) as service:
+            result = service.evaluate(compiled, vector)
+        assert result.shape == (compiled.n_nodes, 1)
+        assert (result[:, 0] == compiled.run(vector[:, None])[:, 0]).all()
+
+    def test_zero_width_batch(self, compiled):
+        with EvaluationService(service_config()) as service:
+            result = service.evaluate(compiled, np.zeros((6, 0), dtype=np.int64))
+        assert result.shape == (compiled.n_nodes, 0)
+        assert result.dtype == np.int8
+
+    def test_map_and_as_completed(self, compiled, rng):
+        batches = [rng.integers(0, 2, size=(6, 9)) for _ in range(4)]
+        with EvaluationService(service_config()) as service:
+            for batch, result in zip(batches, service.map(compiled, batches)):
+                assert (result == compiled.run(batch)).all()
+            futures = {
+                service.submit(compiled, batch): batch for batch in batches
+            }
+            for future in as_completed(futures):
+                assert (future.result() == compiled.run(futures[future])).all()
+
+    def test_interleaved_circuits_share_one_pool(self, rng):
+        engine = Engine()
+        circuits = [parity_circuit(5), parity_circuit(7, name="q")]
+        programs = [engine.compile(c, backend="sparse") for c in circuits]
+        batches = [rng.integers(0, 2, size=(c.n_inputs, 13)) for c in circuits]
+        with EvaluationService(service_config()) as service:
+            futures = []
+            for round_index in range(4):
+                for program, batch in zip(programs, batches):
+                    futures.append((program, batch, service.submit(program, batch)))
+            for program, batch, future in futures:
+                assert (future.result() == program.run(batch)).all()
+            stats = service.stats()
+            assert stats.jobs == 8
+            # Two distinct programs, each installed at most once per worker.
+            assert stats.installs <= stats.workers * 2
+
+    def test_bit_equality_vs_evaluate_slow_all_backends(self, parity6, rng):
+        batch = rng.integers(0, 2, size=(6, 19))
+        expected = slow_reference(parity6, batch)
+        engine = Engine()
+        with EvaluationService(service_config()) as service:
+            for backend in BACKENDS:
+                program = engine.compile(parity6, backend=backend)
+                node_values = service.evaluate(
+                    program, batch, key=(parity6.structural_hash(), backend)
+                )
+                assert (node_values == expected).all(), backend
+
+
+class TestSharedMemory:
+    def test_shared_memory_path_bit_identical(self, compiled, rng):
+        batch = rng.integers(0, 2, size=(6, 40))
+        config = service_config(shared_memory_min_bytes=1)
+        with EvaluationService(config) as service:
+            result = service.evaluate(compiled, batch)
+            assert service.stats().shm_jobs == 1
+        assert (result == compiled.run(batch)).all()
+
+    def test_pickle_fallback_below_threshold(self, compiled, rng):
+        batch = rng.integers(0, 2, size=(6, 40))
+        config = service_config(shared_memory_min_bytes=1 << 30)
+        with EvaluationService(config) as service:
+            result = service.evaluate(compiled, batch)
+            assert service.stats().shm_jobs == 0
+        assert (result == compiled.run(batch)).all()
+
+
+class TestResilience:
+    def test_eviction_then_reinstall(self, rng):
+        engine = Engine()
+        circuits = [parity_circuit(5), parity_circuit(6, name="other")]
+        programs = [engine.compile(c, backend="sparse") for c in circuits]
+        batches = [rng.integers(0, 2, size=(c.n_inputs, 12)) for c in circuits]
+        config = service_config(service_store_size=1)
+        with EvaluationService(config) as service:
+            for _ in range(3):
+                for program, batch in zip(programs, batches):
+                    assert (service.evaluate(program, batch) == program.run(batch)).all()
+            # A store of one forces alternating installs: strictly more than
+            # the install-once floor of workers * programs.
+            stats = service.stats()
+            assert stats.installs > stats.workers * len(programs)
+
+    def test_missing_program_triggers_reinstall(self, compiled, rng):
+        batch = rng.integers(0, 2, size=(6, 12))
+        with EvaluationService(service_config()) as service:
+            key = ("drifted-hash", "sparse")
+            # Simulate mirror drift: claim every worker already holds the key.
+            for worker in service._workers:
+                worker.store[key] = True
+            assert (service.evaluate(compiled, batch, key=key) == compiled.run(batch)).all()
+            assert service.stats().reinstalls >= 1
+
+    def test_worker_death_respawns_and_reinstalls(self, compiled, rng):
+        batch = rng.integers(0, 2, size=(6, 12))
+        expected = compiled.run(batch)
+        with EvaluationService(service_config()) as service:
+            assert (service.evaluate(compiled, batch) == expected).all()
+            installs = service.stats().installs
+            for worker in list(service._workers):
+                worker.process.kill()
+                worker.process.join(timeout=10)
+            assert (service.evaluate(compiled, batch) == expected).all()
+            stats = service.stats()
+            assert stats.worker_restarts >= 2
+            # Fresh processes have empty stores: the program ships again.
+            assert stats.installs > installs
+
+    def test_worker_error_propagates(self, rng):
+        batch = rng.integers(0, 2, size=(2, 8))
+        with EvaluationService(service_config()) as service:
+            future = service.submit(ExplodingProgram(), batch)
+            with pytest.raises(RuntimeError, match="deliberate failure"):
+                future.result(timeout=30)
+
+    def test_worker_killing_task_fails_after_bounded_respawns(self, rng):
+        # A task that deterministically crashes its worker must exhaust its
+        # attempt budget and fail the job — not respawn workers forever.
+        batch = rng.integers(0, 2, size=(2, 6))
+        with EvaluationService(service_config()) as service:
+            future = service.submit(WorkerKillerProgram(), batch)
+            with pytest.raises(RuntimeError, match="worker deaths"):
+                future.result(timeout=120)
+            assert service.stats().worker_restarts >= 1
+            # The pool stays usable for healthy programs afterwards.
+            program = Engine().compile(parity_circuit(4), backend="sparse")
+            healthy = rng.integers(0, 2, size=(4, 10))
+            assert (service.evaluate(program, healthy) == program.run(healthy)).all()
+
+    def test_unpicklable_program_fails_after_bounded_retries(self, rng):
+        # Install pickling fails asynchronously in the queue feeder thread;
+        # the worker keeps reporting the program missing, and the service
+        # must fail the job after a bounded number of reinstall attempts
+        # instead of cycling forever.
+        batch = rng.integers(0, 2, size=(2, 8))
+        with EvaluationService(service_config()) as service:
+            future = service.submit(UnpicklableProgram(), batch)
+            with pytest.raises(RuntimeError, match="could not install"):
+                future.result(timeout=60)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_rejects_new_work(self, compiled, rng):
+        batch = rng.integers(0, 2, size=(6, 8))
+        service = EvaluationService(service_config())
+        assert (service.evaluate(compiled, batch) == compiled.run(batch)).all()
+        service.close()
+        service.close()
+        assert service.closed
+        with pytest.raises(ServiceClosed):
+            service.submit(compiled, batch)
+
+    def test_close_stops_workers(self, compiled):
+        service = EvaluationService(service_config())
+        processes = [worker.process for worker in service._workers]
+        service.close()
+        assert all(not process.is_alive() for process in processes)
+
+    def test_context_manager_closes(self, compiled):
+        with EvaluationService(service_config()) as service:
+            pass
+        assert service.closed
+
+    def test_chain_future_propagates_errors(self):
+        from concurrent.futures import CancelledError, Future
+
+        inner = Future()
+        outer = chain_future(inner, lambda value: value + 1)
+        inner.set_result(1)
+        assert outer.result(timeout=5) == 2
+
+        inner = Future()
+        outer = chain_future(inner, lambda value: value + 1)
+        inner.set_exception(ValueError("inner failed"))
+        with pytest.raises(ValueError, match="inner failed"):
+            outer.result(timeout=5)
+
+        inner = Future()
+        outer = chain_future(inner, lambda value: 1 / 0)
+        inner.set_result(0)
+        with pytest.raises(ZeroDivisionError):
+            outer.result(timeout=5)
+
+        # A cancelled inner future must resolve the outer one, not strand it.
+        inner = Future()
+        outer = chain_future(inner, lambda value: value)
+        assert inner.cancel()
+        with pytest.raises(CancelledError):
+            outer.result(timeout=5)
+
+    def test_chain_future_with_executor(self):
+        import threading
+        from concurrent.futures import Future
+
+        from repro.engine import transform_executor
+
+        inner = Future()
+        seen = {}
+
+        def transform(value):
+            seen["thread"] = threading.current_thread().name
+            return value * 2
+
+        outer = chain_future(inner, transform, executor=transform_executor())
+        inner.set_result(21)
+        assert outer.result(timeout=10) == 42
+        # The transform ran on the shared executor, not the completing thread.
+        assert seen["thread"].startswith("service-transform")
+
+
+class TestEngineRouting:
+    def test_parallel_engine_matches_serial(self, parity6, rng):
+        batch = rng.integers(0, 2, size=(6, 32))
+        serial = Engine().evaluate(parity6, batch)
+        with Engine(service_config(parallel_threshold=8)) as engine:
+            result = engine.evaluate(parity6, batch)
+            assert engine._service is not None  # the resident pool engaged
+            again = engine.evaluate(parity6, batch)
+        assert (result.node_values == serial.node_values).all()
+        assert (result.energy == serial.energy).all()
+        assert (again.node_values == serial.node_values).all()
+
+    def test_persistent_pool_off_uses_per_call_pool(self, parity6, rng):
+        batch = rng.integers(0, 2, size=(6, 32))
+        serial = Engine().evaluate(parity6, batch)
+        with Engine(service_config(parallel_threshold=8, persistent_pool=False)) as engine:
+            result = engine.evaluate(parity6, batch)
+            assert engine._service is None
+        assert (result.node_values == serial.node_values).all()
+
+    def test_squeeze_and_zero_width_through_parallel_config(self, parity6, rng):
+        with Engine(service_config()) as engine:
+            vector = rng.integers(0, 2, size=6)
+            single = engine.evaluate(parity6, vector)
+            assert single.node_values.ndim == 1
+            assert (
+                single.node_values == Engine().evaluate(parity6, vector).node_values
+            ).all()
+            empty = engine.evaluate(parity6, np.zeros((6, 0), dtype=np.int64))
+            assert empty.node_values.shape == (parity6.n_nodes, 0)
+            assert empty.energy.shape == (0,)
+
+    def test_engine_submit_future(self, parity6, rng):
+        batch = rng.integers(0, 2, size=(6, 24))
+        serial = Engine().evaluate(parity6, batch)
+        with Engine(service_config(parallel_threshold=8)) as engine:
+            futures = [engine.submit(parity6, batch) for _ in range(3)]
+            for future in futures:
+                result = future.result(timeout=60)
+                assert (result.node_values == serial.node_values).all()
+                assert (result.outputs == serial.outputs).all()
+        # Serial engines complete submissions inline.
+        future = Engine().submit(parity6, batch)
+        assert future.done()
+        assert (future.result().node_values == serial.node_values).all()
+
+    def test_spike_trace_through_service(self, parity6, rng):
+        batch = rng.integers(0, 2, size=(6, 32))
+        serial_trace = Engine().spike_trace(parity6, batch)
+        with Engine(service_config(parallel_threshold=8)) as engine:
+            trace = engine.spike_trace(parity6, batch)
+        assert (trace.energy == serial_trace.energy).all()
+        assert (trace.spikes_per_layer == serial_trace.spikes_per_layer).all()
+
+    def test_engine_close_restarts_service_on_demand(self, parity6, rng):
+        batch = rng.integers(0, 2, size=(6, 32))
+        engine = Engine(service_config(parallel_threshold=8))
+        try:
+            engine.evaluate(parity6, batch)
+            first = engine._service
+            assert first is not None
+            engine.close()
+            assert engine._service is None
+            result = engine.evaluate(parity6, batch)
+            assert engine._service is not first
+            assert (
+                result.node_values == Engine().evaluate(parity6, batch).node_values
+            ).all()
+        finally:
+            engine.close()
+
+
+class TestDriverIntegration:
+    def test_trace_submit_batch(self, rng):
+        built = build_trace_circuit(2, 3, bit_width=1, depth_parameter=1)
+        matrices = [rng.integers(0, 2, size=(2, 2)) for _ in range(6)]
+        expected = built.evaluate_batch(matrices)
+        future = built.submit_batch(matrices)
+        assert (future.result(timeout=60) == expected).all()
+        empty = built.submit_batch([])
+        assert empty.result(timeout=5).shape == (0,)
+
+    def test_trace_submit_batch_through_service(self, rng):
+        with Engine(service_config()) as engine:
+            built = build_trace_circuit(
+                2, 3, bit_width=1, depth_parameter=1, engine=engine
+            )
+            matrices = [rng.integers(0, 2, size=(2, 2)) for _ in range(8)]
+            decisions = built.submit_batch(matrices).result(timeout=60)
+            assert engine._service is not None
+        assert decisions.tolist() == [built.reference(m) for m in matrices]
+
+    def test_matmul_evaluate_batch(self, rng):
+        built = build_matmul_circuit(2, bit_width=1)
+        pairs = [
+            (
+                rng.integers(-1, 2, size=(2, 2)),
+                rng.integers(-1, 2, size=(2, 2)),
+            )
+            for _ in range(4)
+        ]
+        products = built.evaluate_batch(pairs)
+        for (a, b), product in zip(pairs, products):
+            assert (product == built.reference(a, b)).all()
+        assert built.evaluate_batch([]) == []
+
+    def test_matmul_submit_batch_through_service(self, rng):
+        with Engine(service_config()) as engine:
+            built = build_matmul_circuit(2, bit_width=1, engine=engine)
+            pairs = [
+                (
+                    rng.integers(-1, 2, size=(2, 2)),
+                    rng.integers(-1, 2, size=(2, 2)),
+                )
+                for _ in range(5)
+            ]
+            products = built.submit_batch(pairs).result(timeout=60)
+        for (a, b), product in zip(pairs, products):
+            assert (product == built.reference(a, b)).all()
+
+    def test_triangle_submit_batch(self, rng):
+        query = build_triangle_query(4, tau_triangles=1, depth_parameter=1)
+        graphs = []
+        for _ in range(4):
+            upper = np.triu(rng.integers(0, 2, size=(4, 4)), k=1)
+            graphs.append(upper + upper.T)
+        answers = query.submit_batch(graphs).result(timeout=60)
+        assert answers.tolist() == [query.reference(g) for g in graphs]
