@@ -1,4 +1,22 @@
-"""Legacy shim so editable installs work without the `wheel` package."""
-from setuptools import setup
+"""Build script; the version is sourced from ``src/repro/_version.py``."""
+import os
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _read_version() -> str:
+    path = os.path.join(os.path.dirname(__file__), "src", "repro", "_version.py")
+    with open(path, "r", encoding="utf-8") as handle:
+        match = re.search(r'^__version__ = "([^"]+)"', handle.read(), re.MULTILINE)
+    if match is None:
+        raise RuntimeError(f"no __version__ in {path}")
+    return match.group(1)
+
+
+setup(
+    name="repro",
+    version=_read_version(),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+)

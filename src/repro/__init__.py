@@ -21,7 +21,7 @@ independently.
 from importlib import import_module
 from typing import Dict
 
-__version__ = "1.0.0"
+from repro._version import __version__
 
 #: Map of lazily re-exported name -> defining submodule.
 _LAZY_EXPORTS: Dict[str, str] = {
@@ -35,6 +35,10 @@ _LAZY_EXPORTS: Dict[str, str] = {
     "EngineConfig": "repro.engine",
     "default_engine": "repro.engine",
     "SpikeTrace": "repro.engine",
+    # observability
+    "MetricsRegistry": "repro.obs",
+    "get_registry": "repro.obs",
+    "enable_telemetry": "repro.obs",
     # fast matrix multiplication substrate
     "BilinearAlgorithm": "repro.fastmm",
     "strassen_2x2": "repro.fastmm",

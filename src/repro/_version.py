@@ -1,0 +1,8 @@
+"""Single source of the package version.
+
+Read by ``setup.py`` (build metadata), ``repro.__init__`` (``__version__``),
+the CLI (``repro --version``) and telemetry snapshots (build identity), so
+every surface reports the same build.
+"""
+
+__version__ = "1.1.0"

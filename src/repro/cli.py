@@ -17,19 +17,23 @@ Examples
     python -m repro.cli build-trace --n 8 --tau 30 --d 3 --output trace8.json
     python -m repro.cli build-matmul --n 4 --bit-width 2 --d 2 --output mm4.json
     python -m repro.cli triangles --edges graph.txt --tau 5
-    python -m repro.cli simulate --circuit trace8.json --inputs rows.txt
+    python -m repro.cli simulate --circuit trace8.json --inputs rows.txt --metrics json
     python -m repro.cli batch-eval --circuit trace8.json --inputs a.txt b.txt --workers 2
     python -m repro.cli energy-trace --circuit trace8.json --samples 32
+    python -m repro.cli stats --circuit trace8.json --samples 8 --format text
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import List, Optional, Sequence
 
 import numpy as np
+
+from repro._version import __version__
 
 __all__ = ["main", "build_parser"]
 
@@ -39,6 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Threshold circuits for matrix multiplication (Parekh et al., SPAA 2018)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -91,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--backend", choices=["auto", "sparse", "dense", "exact"], default="auto")
     simulate.add_argument("--chunk-size", type=int, default=None, help="batch column-block width")
     simulate.add_argument("--workers", type=int, default=None, help="shard chunks over N processes")
+    simulate.add_argument(
+        "--metrics", choices=["text", "json"], default=None,
+        help="enable telemetry and dump the metric snapshot after the run "
+        "(json: embedded in the payload; text: Prometheus format appended)",
+    )
 
     batch_eval = sub.add_parser(
         "batch-eval",
@@ -108,6 +120,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeat", type=int, default=1,
         help="submit every batch this many times (steady-state throughput)",
     )
+    batch_eval.add_argument(
+        "--metrics", choices=["text", "json"], default=None,
+        help="enable telemetry and dump the metric snapshot after the run "
+        "(json: embedded in the payload; text: Prometheus format appended)",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="process telemetry snapshot (optionally exercising a circuit first)",
+    )
+    stats.add_argument("--circuit", default=None, help="circuit JSON to evaluate before the dump")
+    stats.add_argument("--inputs", default=None, help="input rows file (default: random samples)")
+    stats.add_argument("--samples", type=int, default=8, help="random samples when --inputs is omitted")
+    stats.add_argument("--seed", type=int, default=2018, help="seed for random samples")
+    stats.add_argument("--backend", choices=["auto", "sparse", "dense", "exact"], default="auto")
+    stats.add_argument("--format", choices=["json", "text"], default="json")
 
     energy_trace = sub.add_parser(
         "energy-trace", help="spiking-mode per-layer spike counts and energy of a circuit"
@@ -323,16 +351,47 @@ def _make_engine(backend: str, chunk_size=None, workers=None):
     return Engine(config)
 
 
+@contextlib.contextmanager
+def _metrics_session(wanted: bool):
+    """Swap in a fresh enabled registry for one command, then restore.
+
+    The swap keeps ``--metrics`` runs self-contained: the dump covers only
+    this command's work, and in-process callers of :func:`main` (tests)
+    don't inherit an enabled registry after the command returns.
+    """
+    if not wanted:
+        yield None
+        return
+    from repro import obs
+
+    previous = obs.get_registry()
+    registry = obs.MetricsRegistry()
+    obs.set_registry(registry)
+    try:
+        yield registry
+    finally:
+        obs.set_registry(previous)
+
+
+def _emit_metrics(payload: dict, registry, fmt, stream) -> None:
+    """Attach (json) or append (text) the metric dump to the command output."""
+    if registry is not None and fmt == "json":
+        payload["metrics"] = registry.snapshot()
+    _print(payload, stream)
+    if registry is not None and fmt == "text":
+        stream.write(registry.render())
+
+
 def _cmd_simulate(args, stream) -> int:
     from repro.circuits.serialize import load_circuit
 
     circuit = load_circuit(args.circuit)
     batch = _read_input_rows(args.inputs, circuit.n_inputs)
-    engine = _make_engine(args.backend, args.chunk_size, args.workers)
-    program = engine.compile(circuit)
-    result = engine.evaluate(circuit, batch)  # cache hit: no recompile
-    _print(
-        {
+    with _metrics_session(args.metrics is not None) as registry:
+        engine = _make_engine(args.backend, args.chunk_size, args.workers)
+        program = engine.compile(circuit)
+        result = engine.evaluate(circuit, batch)  # cache hit: no recompile
+        payload = {
             "circuit": args.circuit,
             "n_inputs": circuit.n_inputs,
             "gates": circuit.size,
@@ -342,9 +401,8 @@ def _cmd_simulate(args, stream) -> int:
             "outputs": result.outputs.T.tolist(),
             "energy": result.energy.tolist(),
             "cache": engine.cache_info().as_dict(),
-        },
-        stream,
-    )
+        }
+        _emit_metrics(payload, registry, args.metrics, stream)
     return 0
 
 
@@ -371,29 +429,29 @@ def _cmd_batch_eval(args, stream) -> int:
         parallel_threshold=1,
         persistent_pool=True,
     )
-    with Engine(config) as engine:
-        program = engine.compile(circuit)
-        start = time.perf_counter()
-        futures = [
-            engine.submit(circuit, batch)
-            for _ in range(args.repeat)
-            for batch in batches
-        ]
-        results = [future.result() for future in futures]
-        elapsed = time.perf_counter() - start
-        jobs = []
-        for path, result in zip(args.inputs, results[-len(batches):]):
-            jobs.append(
-                {
-                    "inputs": path,
-                    "batch": int(np.atleast_2d(result.outputs).shape[1]),
-                    "outputs": np.atleast_2d(result.outputs).T.tolist(),
-                    "energy": np.atleast_1d(result.energy).tolist(),
-                }
-            )
-        service = engine._service  # surfaced for observability; may be None
-        _print(
-            {
+    with _metrics_session(args.metrics is not None) as registry:
+        with Engine(config) as engine:
+            program = engine.compile(circuit)
+            start = time.perf_counter()
+            futures = [
+                engine.submit(circuit, batch)
+                for _ in range(args.repeat)
+                for batch in batches
+            ]
+            results = [future.result() for future in futures]
+            elapsed = time.perf_counter() - start
+            jobs = []
+            for path, result in zip(args.inputs, results[-len(batches):]):
+                jobs.append(
+                    {
+                        "inputs": path,
+                        "batch": int(np.atleast_2d(result.outputs).shape[1]),
+                        "outputs": np.atleast_2d(result.outputs).T.tolist(),
+                        "energy": np.atleast_1d(result.energy).tolist(),
+                    }
+                )
+            service = engine._service  # surfaced for observability; may be None
+            payload = {
                 "circuit": args.circuit,
                 "n_inputs": circuit.n_inputs,
                 "gates": circuit.size,
@@ -405,9 +463,39 @@ def _cmd_batch_eval(args, stream) -> int:
                 "service": service.stats().as_dict() if service is not None else None,
                 "cache": engine.cache_info().as_dict(),
                 "jobs": jobs,
-            },
-            stream,
-        )
+            }
+            _emit_metrics(payload, registry, args.metrics, stream)
+    return 0
+
+
+def _cmd_stats(args, stream) -> int:
+    from repro import obs
+
+    previous = obs.get_registry()
+    # Reuse an already-enabled process registry (REPRO_TELEMETRY=1) so the
+    # dump includes whatever this process recorded; otherwise start fresh.
+    registry = previous if previous.enabled else obs.MetricsRegistry()
+    obs.set_registry(registry)
+    try:
+        if args.circuit is not None:
+            from repro.circuits.serialize import load_circuit
+
+            circuit = load_circuit(args.circuit)
+            if args.inputs is not None:
+                batch = _read_input_rows(args.inputs, circuit.n_inputs)
+            else:
+                if args.samples < 1:
+                    raise ValueError(f"--samples must be >= 1, got {args.samples}")
+                rng = np.random.default_rng(args.seed)
+                batch = rng.integers(0, 2, size=(circuit.n_inputs, args.samples))
+            engine = _make_engine(args.backend)
+            engine.evaluate(circuit, batch)
+        if args.format == "text":
+            stream.write(registry.render())
+        else:
+            _print(registry.snapshot(), stream)
+    finally:
+        obs.set_registry(previous)
     return 0
 
 
@@ -447,6 +535,7 @@ _COMMANDS = {
     "triangles": _cmd_triangles,
     "simulate": _cmd_simulate,
     "batch-eval": _cmd_batch_eval,
+    "stats": _cmd_stats,
     "energy-trace": _cmd_energy_trace,
 }
 

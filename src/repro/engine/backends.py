@@ -27,6 +27,7 @@ overflow verdict, or forced through the engine config.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Protocol, Tuple, Union, runtime_checkable
 
 import numpy as np
@@ -43,6 +44,7 @@ from repro.circuits.simulator import (
 )
 from repro.circuits.template import TemplateBlock
 from repro.engine.config import EngineConfig
+from repro.obs import get_registry
 
 __all__ = [
     "Backend",
@@ -134,6 +136,17 @@ class _MatrixProgram:
             (self.n_nodes, inputs.shape[1]), dtype=self.values_dtype
         )
         node_values[: self.n_inputs, :] = inputs
+        registry = get_registry()
+        if registry.debug:
+            # Debug-mode telemetry: time every layer GEMM.  Kept off the
+            # default path — the span per layer would dominate tiny layers.
+            gemm = registry.histogram("backend.layer_gemm_s", backend=self.backend_name)
+            for nodes, matrix, thresholds in self.layers:
+                start = time.perf_counter()
+                sums = matrix @ node_values
+                node_values[nodes, :] = sums >= thresholds[:, None]
+                gemm.observe(time.perf_counter() - start)
+            return node_values.astype(np.int8)
         for nodes, matrix, thresholds in self.layers:
             sums = matrix @ node_values
             node_values[nodes, :] = sums >= thresholds[:, None]
@@ -368,6 +381,13 @@ class _TemplateProgram:
         batch = inputs.shape[1]
         node_values = np.zeros((self.n_nodes, batch), dtype=self.values_dtype)
         node_values[: self.n_inputs, :] = inputs
+        registry = get_registry()
+        # Debug-mode telemetry only: per-template-layer GEMM timings.
+        gemm = (
+            registry.histogram("backend.layer_gemm_s", backend=self.backend_name)
+            if registry.debug
+            else None
+        )
         for kind, payload in self.segments:
             if kind == "tpl":
                 base, k, params, n_params, n_gates, layers = payload
@@ -382,8 +402,11 @@ class _TemplateProgram:
                         n_params, k * batch
                     )
                 for v_rows, matrix, thresholds in layers:
+                    start = time.perf_counter() if gemm is not None else 0.0
                     sums = matrix @ local
                     local[v_rows] = sums >= thresholds[:, None]
+                    if gemm is not None:
+                        gemm.observe(time.perf_counter() - start)
                 # Gate j of copy i lives at node base + i * n_gates + j.
                 node_values[base : base + k * n_gates] = (
                     local[n_params:]

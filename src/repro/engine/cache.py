@@ -23,9 +23,18 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional, Tuple
 
+from repro.obs import get_registry
+
 __all__ = ["CacheInfo", "CompileCache"]
 
 CacheKey = Tuple[str, str]  # (structural hash, backend name)
+
+
+def _backend_of(key: Hashable) -> str:
+    """The backend label of a cache key (engine keys are (hash, backend))."""
+    if isinstance(key, tuple) and len(key) == 2:
+        return str(key[1])
+    return "unknown"
 
 
 @dataclass(frozen=True)
@@ -62,12 +71,17 @@ class CompileCache:
 
     def get(self, key: Hashable) -> Optional[object]:
         """Return the cached program for ``key`` (refreshing recency) or None."""
+        registry = get_registry()
         entry = self._entries.get(key)
         if entry is None:
             self._misses += 1
+            if registry.enabled:
+                registry.counter("cache.misses", backend=_backend_of(key)).inc()
             return None
         self._entries.move_to_end(key)
         self._hits += 1
+        if registry.enabled:
+            registry.counter("cache.hits", backend=_backend_of(key)).inc()
         return entry
 
     def put(self, key: Hashable, value: object) -> None:
@@ -77,9 +91,14 @@ class CompileCache:
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = value
+        registry = get_registry()
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted_key, _ = self._entries.popitem(last=False)
             self._evictions += 1
+            if registry.enabled:
+                registry.counter(
+                    "cache.evictions", backend=_backend_of(evicted_key)
+                ).inc()
 
     def clear(self) -> None:
         """Drop every entry (counters keep accumulating)."""

@@ -77,6 +77,15 @@ class EngineConfig:
     service_store_size:
         Capacity of each service worker's LRU program store (distinct
         ``(structural_hash, backend)`` programs held resident per worker).
+    telemetry:
+        When True, constructing an :class:`~repro.engine.engine.Engine`
+        activates the **process-wide** metrics registry (``repro.obs``):
+        compile/evaluate spans, cache and scheduler counters, and per-worker
+        service metrics are recorded and exportable via
+        ``repro.obs.get_registry().snapshot()`` / ``.render()``.  False (the
+        default) leaves the registry alone — a shared no-op unless
+        ``REPRO_TELEMETRY=1`` or ``repro.obs.enable()`` turned it on —
+        so the disabled path costs nothing on hot loops.
     """
 
     backend: str = "auto"
@@ -92,6 +101,7 @@ class EngineConfig:
     shared_memory_min_bytes: int = 1 << 20
     service_queue_depth: int = 16
     service_store_size: int = 16
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_NAMES:

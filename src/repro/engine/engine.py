@@ -25,6 +25,7 @@ callers that never mention the engine still share one compile cache.
 
 from __future__ import annotations
 
+import time
 import weakref
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -49,6 +50,8 @@ from repro.engine.cache import CacheInfo, CompileCache
 from repro.engine.config import BACKEND_NAMES, EngineConfig
 from repro.engine.scheduler import evaluate_batched, narrowed_chunk_size
 from repro.engine.spiking import ActivityPlan, SpikeTrace, compute_spike_trace
+from repro.obs import enable as enable_telemetry
+from repro.obs import get_registry
 
 __all__ = ["Engine", "default_engine", "set_default_engine"]
 
@@ -79,6 +82,10 @@ class Engine:
 
     def __init__(self, config: Optional[EngineConfig] = None) -> None:
         self.config = config if config is not None else EngineConfig()
+        if self.config.telemetry:
+            # Process-wide by design: metrics are one registry per process
+            # (idempotent — a second engine joins the live registry).
+            enable_telemetry()
         self._cache = CompileCache(self.config.cache_size)
         # Remembered auto-selection verdicts (hash -> concrete backend name),
         # so an auto lookup costs one cache probe and one LRU slot, not two.
@@ -124,6 +131,8 @@ class Engine:
         # compiles are bit-identical and share the (hash, backend) cache
         # slot, so a template compile can satisfy later CSR-built rebuilds
         # of the same circuit and vice versa.
+        registry = get_registry()
+        compile_start = time.perf_counter() if registry.enabled else 0.0
         template_plan = template_plan_for(circuit, self.config)
         plan = None
         if template_plan is None:
@@ -155,6 +164,12 @@ class Engine:
             None if used_plan is None else ActivityPlan.from_layer_plan(used_plan)
         )
         self.compile_calls += 1
+        if registry.enabled:
+            registry.histogram(
+                "engine.compile_s",
+                backend=resolved,
+                path="template" if used_plan is None else "csr",
+            ).observe(time.perf_counter() - compile_start)
         entry = _CacheEntry(
             program=program, activity=activity, key=(key_hash, resolved)
         )
@@ -202,14 +217,19 @@ class Engine:
 
     def _node_values(self, entry: _CacheEntry, inputs: np.ndarray) -> np.ndarray:
         """Batched node values via the service or the per-call scheduler."""
+        registry = get_registry()
         if self._service_eligible(inputs.shape[1]):
-            return self._service_for().evaluate(
-                entry.program,
-                inputs,
-                key=entry.key,
-                chunk_size=narrowed_chunk_size(inputs.shape[1], self.config),
-            )
-        return evaluate_batched(entry.program, inputs, self.config)
+            with registry.span(
+                "engine.evaluate_s", route="service", backend=entry.key[1]
+            ):
+                return self._service_for().evaluate(
+                    entry.program,
+                    inputs,
+                    key=entry.key,
+                    chunk_size=narrowed_chunk_size(inputs.shape[1], self.config),
+                )
+        with registry.span("engine.evaluate_s", route="local", backend=entry.key[1]):
+            return evaluate_batched(entry.program, inputs, self.config)
 
     def close(self) -> None:
         """Shut down the resident evaluation service, if one was started.
@@ -260,6 +280,11 @@ class Engine:
             inputs = inputs[:, None]
         check_batch_inputs(circuit, inputs)
         entry = self._entry(circuit, backend)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("engine.eval_columns", backend=entry.key[1]).inc(
+                inputs.shape[1]
+            )
         node_values = self._node_values(entry, inputs)
         return self._to_result(circuit, node_values, squeeze)
 
@@ -286,13 +311,19 @@ class Engine:
             inputs = inputs[:, None]
         check_batch_inputs(circuit, inputs)
         entry = self._entry(circuit, backend)
-        if self._service_eligible(inputs.shape[1]):
-            inner = self._service_for().submit(
-                entry.program,
-                inputs,
-                key=entry.key,
-                chunk_size=narrowed_chunk_size(inputs.shape[1], self.config),
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("engine.eval_columns", backend=entry.key[1]).inc(
+                inputs.shape[1]
             )
+        if self._service_eligible(inputs.shape[1]):
+            with registry.span("engine.submit_s", route="service"):
+                inner = self._service_for().submit(
+                    entry.program,
+                    inputs,
+                    key=entry.key,
+                    chunk_size=narrowed_chunk_size(inputs.shape[1], self.config),
+                )
             # The result transform gathers output rows and reduces the full
             # node matrix for energy — too heavy for the dispatcher thread
             # that completes service futures, so it runs on the shared
@@ -329,8 +360,13 @@ class Engine:
         """
         if entry.activity is not None:
             return entry.activity
+        registry = get_registry()
         key_hash = entry.key[0]
         plan = self._activity_plans.get(key_hash)
+        if registry.enabled:
+            registry.counter(
+                "engine.plan_memo." + ("misses" if plan is None else "hits")
+            ).inc()
         if plan is None:
             plan = ActivityPlan.from_circuit(circuit)
             # Plans are cheap to rebuild; keep the map bounded so a
@@ -357,6 +393,11 @@ class Engine:
         return compute_spike_trace(activity, node_values)
 
     # ------------------------------------------------------------------ cache
+    @property
+    def metrics(self):
+        """The live metrics registry (the process-global one; see repro.obs)."""
+        return get_registry()
+
     def cache_info(self) -> CacheInfo:
         """Hit/miss/eviction counters of the compile cache."""
         return self._cache.info()

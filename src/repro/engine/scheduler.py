@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.engine.backends import CompiledProgram
 from repro.engine.config import EngineConfig
+from repro.obs import get_registry
 
 __all__ = ["evaluate_batched", "iter_column_chunks", "narrowed_chunk_size"]
 
@@ -84,6 +85,7 @@ def evaluate_batched(
     callers never have to derive a chunk size from the worker count.
     """
     config = config if config is not None else EngineConfig()
+    registry = get_registry()
     batch = inputs.shape[1]
     if batch == 0:
         # Zero-width batches short-circuit: nothing to chunk or shard.
@@ -93,26 +95,41 @@ def evaluate_batched(
     if parallel_ok:
         chunk_size = narrowed_chunk_size(batch, config)
     if batch <= chunk_size:
+        if registry.enabled:
+            registry.counter("scheduler.chunks", mode="serial").inc()
+            with registry.span("scheduler.chunk_s"):
+                return program.run(inputs)
         return program.run(inputs)
 
     ranges = list(iter_column_chunks(batch, chunk_size))
     use_pool = parallel_ok and len(ranges) > 1
     node_values = np.empty((program.n_nodes, batch), dtype=np.int8)
     if use_pool:
+        if registry.enabled:
+            registry.counter("scheduler.chunks", mode="pool").inc(len(ranges))
+            registry.counter("scheduler.pool_spawns").inc()
         processes = min(config.max_workers, len(ranges))
-        with multiprocessing.Pool(
-            processes, initializer=_worker_init, initargs=(program,)
-        ) as pool:
-            # Chunk views are generated lazily and results written in place
-            # as they stream back, so the parent never materializes a second
-            # copy of the whole batch (``pool.map`` over a chunk list did).
-            chunk_views = (inputs[:, start:stop] for start, stop in ranges)
-            for (start, stop), part in zip(
-                ranges, pool.imap(_worker_run, chunk_views)
-            ):
-                node_values[:, start:stop] = part
+        with registry.span("scheduler.pool_s"):
+            with multiprocessing.Pool(
+                processes, initializer=_worker_init, initargs=(program,)
+            ) as pool:
+                # Chunk views are generated lazily and results written in
+                # place as they stream back, so the parent never materializes
+                # a second copy of the whole batch (``pool.map`` over a chunk
+                # list did).
+                chunk_views = (inputs[:, start:stop] for start, stop in ranges)
+                for (start, stop), part in zip(
+                    ranges, pool.imap(_worker_run, chunk_views)
+                ):
+                    node_values[:, start:stop] = part
         return node_values
 
+    if registry.enabled:
+        registry.counter("scheduler.chunks", mode="serial").inc(len(ranges))
+        for start, stop in ranges:
+            with registry.span("scheduler.chunk_s"):
+                node_values[:, start:stop] = program.run(inputs[:, start:stop])
+        return node_values
     for start, stop in ranges:
         node_values[:, start:stop] = program.run(inputs[:, start:stop])
     return node_values

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 import traceback
 import weakref
 from collections import OrderedDict
@@ -50,6 +51,7 @@ import numpy as np
 
 from repro.engine.config import EngineConfig
 from repro.engine.scheduler import iter_column_chunks
+from repro.obs import MetricsRegistry, get_registry, set_registry
 
 __all__ = [
     "EvaluationService",
@@ -67,7 +69,14 @@ class ServiceClosed(RuntimeError):
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """Counters describing service behaviour since construction."""
+    """Counters describing service behaviour since construction.
+
+    A *view* over the service's metrics registry: the same numbers are
+    available as ``service.*`` counter series in telemetry snapshots.  The
+    snapshot is taken atomically under the dispatcher lock, so the fields
+    are mutually consistent (``shm_jobs <= jobs``, etc.) even while jobs are
+    being submitted and completed concurrently.
+    """
 
     workers: int
     jobs: int
@@ -194,7 +203,31 @@ def _execute_task(program, payload) -> Optional[np.ndarray]:
     return None
 
 
-def _service_worker_main(worker_id, requests, results, store_capacity) -> None:
+def _payload_bytes(payload) -> int:
+    """Transport bytes one task moves (inputs read plus outputs written)."""
+    if payload[0] == "pickle":
+        return int(payload[1].nbytes) * 2  # chunk over the pipe, result back
+    # ("shm", in_name, in_shape, in_dtype, out_name, out_shape, start, stop)
+    _, _, in_shape, in_dtype, _, out_shape, start, stop = payload
+    width = stop - start
+    in_bytes = in_shape[0] * width * np.dtype(in_dtype).itemsize
+    out_bytes = out_shape[0] * width  # int8 output columns written in place
+    return int(in_bytes + out_bytes)
+
+
+def _drain_delta(registry: Optional[MetricsRegistry]) -> Optional[dict]:
+    """This worker's metric delta since the last report (None when disabled)."""
+    if registry is None:
+        return None
+    delta = registry.drain()
+    if delta["counters"] or delta["gauges"] or delta["histograms"]:
+        return delta
+    return None
+
+
+def _service_worker_main(
+    worker_id, requests, results, store_capacity, telemetry=False
+) -> None:
     """Loop of one resident worker: install programs, run tasks, report back.
 
     The local program store is a twin of the parent-side mirror: both evict
@@ -203,7 +236,19 @@ def _service_worker_main(worker_id, requests, results, store_capacity) -> None:
     the two stay in lockstep.  A run for a key the store no longer holds
     (mirror drift, or a fresh process after a crash) is answered with a
     ``missing`` report so the parent reinstalls and re-dispatches.
+
+    With ``telemetry`` on, the worker keeps its own lightweight registry
+    (installs, store evictions, task latency, queue wait, transport bytes)
+    and piggybacks the drained delta on every result message; the parent
+    merges deltas tagged with this worker's id.  A delta rides exactly one
+    message, so parent-side aggregates are monotone and a killed worker
+    loses at most the few observations since its last report.
     """
+    registry = MetricsRegistry() if telemetry else None
+    if registry is not None:
+        # Fresh registry for this process (the forked copy of the parent's
+        # would re-report parent totals); debug-mode backend spans land here.
+        set_registry(registry)
     store: "OrderedDict[object, object]" = OrderedDict()
     while True:
         message = requests.get()
@@ -214,21 +259,53 @@ def _service_worker_main(worker_id, requests, results, store_capacity) -> None:
             _, key, program = message
             store[key] = program
             store.move_to_end(key)
+            if registry is not None:
+                registry.counter("worker.installs").inc()
             while len(store) > store_capacity:
                 store.popitem(last=False)
+                if registry is not None:
+                    registry.counter("worker.store_evictions").inc()
             continue
-        # ("run", task_id, key, payload)
-        _, task_id, key, payload = message
+        # ("run", task_id, key, payload, dispatched_at)
+        _, task_id, key, payload, dispatched_at = message
         program = store.get(key)
         if program is None:
-            results.put((worker_id, "missing", task_id, None))
+            results.put(
+                (worker_id, "missing", task_id, None, _drain_delta(registry))
+            )
             continue
         store.move_to_end(key)
         try:
-            results.put((worker_id, "done", task_id, _execute_task(program, payload)))
+            if registry is not None:
+                if dispatched_at is not None:
+                    # Wall clock, not perf_counter: the dispatch stamp was
+                    # taken in another process (same host, same clock).
+                    registry.histogram("worker.queue_wait_s").observe(
+                        max(0.0, time.time() - dispatched_at)
+                    )
+                registry.counter("worker.tasks").inc()
+                registry.counter(
+                    "worker.shm_bytes" if payload[0] == "shm" else "worker.pickle_bytes"
+                ).inc(_payload_bytes(payload))
+                start = time.perf_counter()
+                chunk = _execute_task(program, payload)
+                registry.histogram("worker.task_s").observe(
+                    time.perf_counter() - start
+                )
+            else:
+                chunk = _execute_task(program, payload)
+            results.put((worker_id, "done", task_id, chunk, _drain_delta(registry)))
         except BaseException as exc:
             detail = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
-            results.put((worker_id, "error", task_id, (repr(exc), detail)))
+            results.put(
+                (
+                    worker_id,
+                    "error",
+                    task_id,
+                    (repr(exc), detail),
+                    _drain_delta(registry),
+                )
+            )
 
 
 # ----------------------------------------------------------------- parent side
@@ -287,6 +364,8 @@ class _Job:
         "in_shm",
         "out_shm",
         "done",
+        "started_at",
+        "counted",
     )
 
     def __init__(self, future, program, key, inputs, n_nodes, batch) -> None:
@@ -303,6 +382,8 @@ class _Job:
         self.in_shm: Optional[SharedMemory] = None
         self.out_shm: Optional[SharedMemory] = None
         self.done = False
+        self.started_at: Optional[float] = None  # submit stamp (telemetry only)
+        self.counted = False  # included in the outstanding-jobs gauge
 
 
 class EvaluationService:
@@ -320,10 +401,19 @@ class EvaluationService:
     context:
         Optional ``multiprocessing`` context; defaults to the platform
         default (fork on Linux, matching the per-call scheduler pool).
+    registry:
+        Optional metrics registry the service records into.  By default the
+        process-global registry is used when telemetry is enabled; when it is
+        not, the service keeps a private always-on registry so
+        :meth:`stats` works regardless (its handful of counter updates per
+        job cost the same as the plain ints they replaced).  Worker-side
+        telemetry (per-task latency, queue wait, transport bytes, piggyback
+        deltas) only activates when process-global telemetry is on at
+        service construction.
     """
 
     def __init__(
-        self, config: Optional[EngineConfig] = None, *, context=None
+        self, config: Optional[EngineConfig] = None, *, context=None, registry=None
     ) -> None:
         self.config = config if config is not None else EngineConfig()
         self._ctx = context if context is not None else get_context()
@@ -340,16 +430,35 @@ class EvaluationService:
         self._anon_ids = itertools.count()
         self._closing = False
         self._closed = False
-        self._jobs_submitted = 0
-        self._tasks_dispatched = 0
-        self._installs = 0
-        self._reinstalls = 0
-        self._shm_jobs = 0
-        self._worker_restarts = 0
+        global_registry = get_registry()
+        if registry is not None:
+            self._metrics = registry
+        elif global_registry.enabled:
+            self._metrics = global_registry
+        else:
+            self._metrics = MetricsRegistry()
+        #: Whether workers carry registries and piggyback deltas (decided at
+        #: construction — worker processes are spawned with this flag).
+        self._telemetry = bool(getattr(self._metrics, "enabled", False)) and (
+            registry is not None or global_registry.enabled
+        )
+        metrics = self._metrics
+        self._c_jobs = metrics.counter("service.jobs")
+        self._c_tasks = metrics.counter("service.tasks")
+        self._c_installs = metrics.counter("service.installs")
+        self._c_reinstalls = metrics.counter("service.reinstalls")
+        self._c_shm_jobs = metrics.counter("service.shm_jobs")
+        self._c_restarts = metrics.counter("service.worker_restarts")
+        self._c_shm_bytes = metrics.counter("service.shm_bytes")
+        self._c_pickle_bytes = metrics.counter("service.pickle_bytes")
+        self._g_queue_depth = metrics.gauge("service.queue_depth")
+        self._g_workers = metrics.gauge("service.workers")
+        self._outstanding = 0
         n_workers = max(1, self.config.max_workers)
         self._workers: List[_Worker] = [
             self._spawn_worker(index) for index in range(n_workers)
         ]
+        self._g_workers.set(n_workers)
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop,
             name="evaluation-service-dispatcher",
@@ -362,7 +471,13 @@ class EvaluationService:
         requests = self._ctx.Queue()
         process = self._ctx.Process(
             target=_service_worker_main,
-            args=(index, requests, self._results, self.config.service_store_size),
+            args=(
+                index,
+                requests,
+                self._results,
+                self.config.service_store_size,
+                self._telemetry,
+            ),
             name=f"evaluation-service-worker-{index}",
             daemon=True,
         )
@@ -423,17 +538,27 @@ class EvaluationService:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def metrics(self):
+        """The registry backing this service's counters (see repro.obs)."""
+        return self._metrics
+
     def stats(self) -> ServiceStats:
-        """Snapshot of the service counters."""
+        """Atomic snapshot of the service counters (a view over the registry).
+
+        Taken under the dispatcher lock — the same lock every counter update
+        is performed under — so the fields cannot tear against a concurrent
+        ``submit`` (e.g. ``jobs`` incremented but ``shm_jobs`` not yet).
+        """
         with self._lock:
             return ServiceStats(
                 workers=len(self._workers),
-                jobs=self._jobs_submitted,
-                tasks=self._tasks_dispatched,
-                installs=self._installs,
-                reinstalls=self._reinstalls,
-                shm_jobs=self._shm_jobs,
-                worker_restarts=self._worker_restarts,
+                jobs=self._c_jobs.value,
+                tasks=self._c_tasks.value,
+                installs=self._c_installs.value,
+                reinstalls=self._c_reinstalls.value,
+                shm_jobs=self._c_shm_jobs.value,
+                worker_restarts=self._c_restarts.value,
             )
 
     # ------------------------------------------------------------ submission
@@ -503,9 +628,19 @@ class EvaluationService:
             with self._lock:
                 if self._closing or self._closed:
                     raise ServiceClosed("cannot submit to a closed service")
-                self._jobs_submitted += 1
+                self._c_jobs.inc()
                 if job.in_shm is not None:
-                    self._shm_jobs += 1
+                    self._c_shm_jobs.inc()
+                    self._c_shm_bytes.inc(
+                        int(inputs.nbytes) + job.n_nodes * batch
+                    )
+                else:
+                    self._c_pickle_bytes.inc(int(inputs.nbytes))
+                if self._telemetry:
+                    job.started_at = time.perf_counter()
+                job.counted = True
+                self._outstanding += 1
+                self._g_queue_depth.set(self._outstanding)
                 for start, stop in ranges:
                     task = _Task(next(self._task_ids), job, start, stop)
                     job.pending.add(task.task_id)
@@ -565,9 +700,15 @@ class EvaluationService:
         worker = min(self._workers, key=lambda w: (len(w.inflight), w.index))
         self._install_if_needed(worker, task.job)
         worker.inflight.add(task.task_id)
-        self._tasks_dispatched += 1
+        self._c_tasks.inc()
         worker.requests.put(
-            ("run", task.task_id, task.job.key, self._payload_for(task))
+            (
+                "run",
+                task.task_id,
+                task.job.key,
+                self._payload_for(task),
+                time.time() if self._telemetry else None,
+            )
         )
 
     def _payload_for(self, task: _Task) -> tuple:
@@ -589,7 +730,7 @@ class EvaluationService:
         """Mirror-checked install: ship the program once per worker per key."""
         if job.key not in worker.store:
             worker.requests.put(("install", job.key, job.program))
-            self._installs += 1
+            self._c_installs.inc()
         worker.store[job.key] = True
         worker.store.move_to_end(job.key)
         while len(worker.store) > self.config.service_store_size:
@@ -602,7 +743,7 @@ class EvaluationService:
         deterministically kills its worker (OOM, native crash) fails its job
         after :data:`_MAX_TASK_ATTEMPTS` instead of respawning forever.
         """
-        self._worker_restarts += 1
+        self._c_restarts.inc()
         worker.process.join(timeout=0)
         worker.requests.close()
         replacement = self._spawn_worker(worker.index)
@@ -655,7 +796,11 @@ class EvaluationService:
 
     def _handle_result(self, item) -> None:
         """Process one worker report (lock held; resolutions are staged)."""
-        worker_id, kind, task_id, payload = item
+        worker_id, kind, task_id, payload, delta = item
+        if delta is not None:
+            # Piggybacked worker metrics: merged exactly once per message,
+            # tagged with the reporting worker's id.
+            self._metrics.merge(delta, extra_labels={"worker_id": str(worker_id)})
         task = self._tasks.get(task_id)
         # Clear the inflight slot by the *reported* worker: tasks of an
         # already-failed job are gone from the registry but their ids must
@@ -674,7 +819,7 @@ class EvaluationService:
             # The worker lost the program (store drift, or a fresh process
             # after a crash): drop the stale mirror entry so the next
             # dispatch reinstalls, then retry the task.
-            self._reinstalls += 1
+            self._c_reinstalls.inc()
             if reporter is not None:
                 reporter.store.pop(task.job.key, None)
             task.attempts += 1
@@ -732,6 +877,11 @@ class EvaluationService:
             ).copy()
         else:
             result = job.out
+        if job.started_at is not None:
+            self._metrics.histogram("service.job_s").observe(
+                time.perf_counter() - job.started_at
+            )
+        self._job_closed(job)
         self._release_job_resources(job)
         self._job_slots.release()
         self._resolutions.append((job.future, result, None))
@@ -743,9 +893,17 @@ class EvaluationService:
         for task_id in list(job.pending):
             self._tasks.pop(task_id, None)
         job.pending.clear()
+        self._job_closed(job)
         self._release_job_resources(job)
         self._job_slots.release()
         self._resolutions.append((job.future, None, exception))
+
+    def _job_closed(self, job: _Job) -> None:
+        """Maintain the outstanding-jobs gauge (lock held)."""
+        if job.counted:
+            job.counted = False
+            self._outstanding -= 1
+            self._g_queue_depth.set(self._outstanding)
 
     @staticmethod
     def _release_job_resources(job: _Job) -> None:

@@ -1,0 +1,41 @@
+"""Observability: the process-wide telemetry subsystem (``repro.obs``).
+
+One :class:`MetricsRegistry` per process (see :func:`get_registry`) holds
+named counters, gauges and histograms with label support; ``span`` records
+wall time; ``render()`` / ``snapshot()`` export Prometheus text and JSON.
+Telemetry is a no-op by default — activate with ``REPRO_TELEMETRY=1``,
+:func:`enable`, or ``EngineConfig(telemetry=True)``.  See the README's
+"Observability" section for the registry model and the metric inventory.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Span,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+)
+
+#: Readable alias for the top-level ``repro.enable_telemetry`` re-export.
+enable_telemetry = enable
+
+__all__ = [
+    "enable_telemetry",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Span",
+    "disable",
+    "enable",
+    "get_registry",
+    "set_registry",
+]

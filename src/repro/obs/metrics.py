@@ -1,0 +1,623 @@
+"""Process-wide metrics: named instruments, timing spans, and exporters.
+
+The registry model is deliberately small:
+
+* A :class:`MetricsRegistry` owns named instruments — :class:`Counter`
+  (monotone totals), :class:`Gauge` (last-written values) and
+  :class:`Histogram` (bucketed distributions with a bounded sample ring for
+  percentiles) — each keyed by ``(name, sorted label items)``, so
+  ``registry.counter("cache.hits", backend="sparse")`` and the same name
+  under a different backend are independent series.
+* ``registry.span(name, **labels)`` returns a context manager (usable as a
+  decorator too) that records wall time into the histogram of that name.
+* Exporters: :meth:`MetricsRegistry.render` emits Prometheus text format and
+  :meth:`MetricsRegistry.snapshot` a JSON-ready dict (embedded in BENCH
+  files, CLI ``--metrics`` output, and the future ``/stats`` endpoint).
+* Worker aggregation: :meth:`MetricsRegistry.drain` atomically returns and
+  resets the registry's contents as a picklable *delta*;
+  :meth:`MetricsRegistry.merge` folds a delta into another registry, with
+  optional extra labels (the evaluation service tags ``worker_id``).  A
+  delta rides exactly one message and is merged exactly once, so parent-side
+  totals stay monotone across worker kills and re-dispatches.
+
+Telemetry is **off by default**: the process-global registry returned by
+:func:`get_registry` is a shared :class:`NullRegistry` whose instruments and
+spans are allocation-free singletons, so instrumented hot paths cost one
+attribute check when disabled.  ``REPRO_TELEMETRY=1`` in the environment (at
+import), :func:`enable` (e.g. via ``EngineConfig(telemetry=True)``), or
+:func:`set_registry` activate a real registry.  ``REPRO_TELEMETRY_DEBUG=1``
+additionally turns on the expensive per-layer backend spans
+(``registry.debug``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import functools
+import os
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._version import __version__
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Span",
+    "disable",
+    "enable",
+    "get_registry",
+    "set_registry",
+]
+
+#: Default histogram bucket upper bounds, tuned for wall-time seconds — the
+#: dominant histogram use (spans).  Callers measuring something else pass
+#: explicit ``buckets=`` to :meth:`MetricsRegistry.histogram`.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 1.0, 2.5, 10.0, 60.0,
+)
+
+#: Bound on the per-histogram sample ring backing percentile queries: the
+#: newest samples overwrite the oldest, so percentiles reflect recent
+#: behaviour and memory stays O(1) per series however long the process runs.
+_SAMPLE_RING = 2048
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: dict) -> LabelItems:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _series_key(name: str, labels: LabelItems) -> str:
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+# ------------------------------------------------------------------ instruments
+class Counter:
+    """A monotone total.  ``inc`` only; negative increments are rejected."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.RLock) -> None:
+        self._lock = lock
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A last-written value (queue depth, worker count, ...)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.RLock) -> None:
+        self._lock = lock
+        self.value = 0
+
+    def set(self, value) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount=1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount=1) -> None:
+        with self._lock:
+            self.value -= amount
+
+
+class Histogram:
+    """Bucketed distribution plus a bounded ring of recent raw samples.
+
+    Buckets (cumulative in the Prometheus export) come from fixed upper
+    bounds chosen at creation; percentiles are computed from the sample ring
+    — exact while fewer than :data:`_SAMPLE_RING` observations have been
+    made, a sliding-window estimate afterwards.
+    """
+
+    __slots__ = (
+        "_lock", "bounds", "bucket_counts", "count", "total",
+        "min", "max", "_samples", "_ring_next",
+    )
+
+    def __init__(
+        self, lock: threading.RLock, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram bounds must be strictly increasing: {bounds}")
+        self._lock = lock
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # final slot: +Inf
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._ring_next = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._observe_locked(value)
+
+    def _observe_locked(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        if len(self._samples) < _SAMPLE_RING:
+            self._samples.append(value)
+        else:
+            self._samples[self._ring_next] = value
+            self._ring_next = (self._ring_next + 1) % _SAMPLE_RING
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The q-th percentile (0..100) of the sample ring; None when empty.
+
+        Linear interpolation between closest ranks: a single sample is every
+        percentile of itself, and q=0 / q=100 are the ring min / max.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if not self._samples:
+                return None
+            data = sorted(self._samples)
+        position = (len(data) - 1) * (q / 100.0)
+        low = int(position)
+        high = min(low + 1, len(data) - 1)
+        fraction = position - low
+        return data[low] + (data[high] - data[low]) * fraction
+
+    @property
+    def mean(self) -> Optional[float]:
+        with self._lock:
+            return self.total / self.count if self.count else None
+
+    # ------------------------------------------------- delta (worker) protocol
+    def _state_locked(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "samples": list(self._samples),
+        }
+
+    def _reset_locked(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._samples = []
+        self._ring_next = 0
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a drained delta into this histogram (same-bounds fast path)."""
+        with self._lock:
+            self.count += state["count"]
+            self.total += state["total"]
+            for extreme, better in (("min", min), ("max", max)):
+                other = state[extreme]
+                if other is not None:
+                    mine = getattr(self, extreme)
+                    setattr(
+                        self, extreme, other if mine is None else better(mine, other)
+                    )
+            if list(self.bounds) == state["bounds"]:
+                for index, n in enumerate(state["buckets"]):
+                    self.bucket_counts[index] += n
+            else:  # mismatched layouts: re-bucket from the samples we have
+                for value in state["samples"]:
+                    self.bucket_counts[
+                        bisect.bisect_left(self.bounds, value)
+                    ] += 1
+            for value in state["samples"]:
+                if len(self._samples) < _SAMPLE_RING:
+                    self._samples.append(value)
+                else:
+                    self._samples[self._ring_next] = value
+                    self._ring_next = (self._ring_next + 1) % _SAMPLE_RING
+
+
+class Span:
+    """Times a block (``with``) or a function (decorator) into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+    def __call__(self, func):
+        histogram = self._histogram
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                histogram.observe(time.perf_counter() - start)
+
+        return wrapper
+
+
+# ------------------------------------------------------------------- registry
+class MetricsRegistry:
+    """Thread-safe home of every instrument, with exporters and delta merge."""
+
+    enabled = True
+
+    def __init__(self, debug: Optional[bool] = None) -> None:
+        self._lock = threading.RLock()
+        self._counters: Dict[Tuple[str, LabelItems], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
+        #: Expensive instrumentation switch (per-layer backend spans).
+        self.debug = (
+            debug
+            if debug is not None
+            else os.environ.get("REPRO_TELEMETRY_DEBUG") == "1"
+        )
+
+    # ------------------------------------------------------------- instruments
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_items(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(key, Counter(self._lock))
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_items(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(key, Gauge(self._lock))
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS, **labels
+    ) -> Histogram:
+        key = (name, _label_items(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    key, Histogram(self._lock, buckets)
+                )
+        return instrument
+
+    def span(self, name: str, **labels) -> Span:
+        """A fresh timing span over ``histogram(name, **labels)``."""
+        return Span(self.histogram(name, **labels))
+
+    # ------------------------------------------------------------------ reads
+    def value(self, name: str, **labels) -> int:
+        """Current value of one counter series (0 if never incremented)."""
+        instrument = self._counters.get((name, _label_items(labels)))
+        return instrument.value if instrument is not None else 0
+
+    def total(self, name: str) -> int:
+        """Sum of a counter across every label set (e.g. over workers)."""
+        with self._lock:
+            return sum(
+                counter.value
+                for (counter_name, _), counter in self._counters.items()
+                if counter_name == name
+            )
+
+    def series(self, name: str) -> Dict[str, int]:
+        """Counter values of ``name`` keyed by rendered label set."""
+        with self._lock:
+            return {
+                _series_key(name, labels): counter.value
+                for (counter_name, labels), counter in self._counters.items()
+                if counter_name == name
+            }
+
+    # ------------------------------------------------------------- aggregation
+    def drain(self) -> dict:
+        """Atomically return-and-reset counters/histograms (gauges: report only).
+
+        The returned delta is a plain picklable dict; merging it elsewhere
+        via :meth:`merge` transfers exactly the activity since the previous
+        drain, which is what lets service workers piggyback their metrics on
+        result messages without double counting.
+        """
+        with self._lock:
+            counters = []
+            for (name, labels), counter in self._counters.items():
+                if counter.value:
+                    counters.append((name, labels, counter.value))
+                    counter.value = 0
+            gauges = [
+                (name, labels, gauge.value)
+                for (name, labels), gauge in self._gauges.items()
+            ]
+            histograms = []
+            for (name, labels), histogram in self._histograms.items():
+                if histogram.count:
+                    histograms.append((name, labels, histogram._state_locked()))
+                    histogram._reset_locked()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge(self, delta: Optional[dict], extra_labels: Optional[dict] = None) -> None:
+        """Fold a :meth:`drain` delta in, tagging every series with extra labels.
+
+        ``None`` (the piggyback slot of a result message with nothing to
+        report) is a no-op.
+        """
+        if not delta:
+            return
+        extra = dict(extra_labels) if extra_labels else {}
+        for name, labels, value in delta.get("counters", ()):
+            self.counter(name, **{**dict(labels), **extra}).inc(value)
+        for name, labels, value in delta.get("gauges", ()):
+            self.gauge(name, **{**dict(labels), **extra}).set(value)
+        for name, labels, state in delta.get("histograms", ()):
+            self.histogram(
+                name, buckets=state["bounds"], **{**dict(labels), **extra}
+            ).merge_state(state)
+
+    # -------------------------------------------------------------- exporters
+    def snapshot(self) -> dict:
+        """A JSON-ready snapshot: every series, histogram summary statistics."""
+        with self._lock:
+            counters = {
+                _series_key(name, labels): counter.value
+                for (name, labels), counter in sorted(self._counters.items())
+            }
+            gauges = {
+                _series_key(name, labels): gauge.value
+                for (name, labels), gauge in sorted(self._gauges.items())
+            }
+            histograms = {}
+            for (name, labels), histogram in sorted(self._histograms.items()):
+                histograms[_series_key(name, labels)] = {
+                    "count": histogram.count,
+                    "sum": histogram.total,
+                    "min": histogram.min,
+                    "max": histogram.max,
+                    "mean": histogram.mean,
+                    "p50": histogram.percentile(50),
+                    "p90": histogram.percentile(90),
+                    "p99": histogram.percentile(99),
+                }
+        return {
+            "version": __version__,
+            "telemetry": True,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def render(self) -> str:
+        """Prometheus text exposition of every series."""
+        lines: List[str] = [
+            "# TYPE repro_build_info gauge",
+            f'repro_build_info{{version="{__version__}"}} 1',
+        ]
+        with self._lock:
+            counter_items = sorted(self._counters.items())
+            gauge_items = sorted(self._gauges.items())
+            histogram_items = sorted(self._histograms.items())
+        seen_types = set()
+
+        def _declare(metric: str, kind: str) -> None:
+            if metric not in seen_types:
+                seen_types.add(metric)
+                lines.append(f"# TYPE {metric} {kind}")
+
+        for (name, labels), counter in counter_items:
+            metric = f"repro_{_sanitize(name)}_total"
+            _declare(metric, "counter")
+            lines.append(f"{metric}{_label_text(labels)} {counter.value}")
+        for (name, labels), gauge in gauge_items:
+            metric = f"repro_{_sanitize(name)}"
+            _declare(metric, "gauge")
+            lines.append(f"{metric}{_label_text(labels)} {gauge.value}")
+        for (name, labels), histogram in histogram_items:
+            metric = f"repro_{_sanitize(name)}"
+            _declare(metric, "histogram")
+            cumulative = 0
+            for bound, count in zip(histogram.bounds, histogram.bucket_counts):
+                cumulative += count
+                lines.append(
+                    f"{metric}_bucket{_label_text(labels, le=repr(bound))} {cumulative}"
+                )
+            lines.append(
+                f'{metric}_bucket{_label_text(labels, le="+Inf")} {histogram.count}'
+            )
+            lines.append(f"{metric}_sum{_label_text(labels)} {histogram.total}")
+            lines.append(f"{metric}_count{_label_text(labels)} {histogram.count}")
+        return "\n".join(lines) + "\n"
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+
+
+def _label_text(labels: LabelItems, **extra: str) -> str:
+    pairs = [(k, v) for k, v in labels] + sorted(extra.items())
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+
+# --------------------------------------------------------------- the null path
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def __call__(self, func):
+        return func
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = 0
+
+    def set(self, value) -> None:
+        return None
+
+    def inc(self, amount=1) -> None:
+        return None
+
+    def dec(self, amount=1) -> None:
+        return None
+
+
+class _NullHistogram:
+    __slots__ = ()
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    mean = None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def percentile(self, q: float) -> None:
+        return None
+
+    def merge_state(self, state: dict) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """The disabled default: shared no-op singletons, no allocation per span."""
+
+    enabled = False
+    debug = False
+
+    def counter(self, name: str, **labels) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS, **labels) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def span(self, name: str, **labels) -> _NullSpan:
+        return _NULL_SPAN
+
+    def value(self, name: str, **labels) -> int:
+        return 0
+
+    def total(self, name: str) -> int:
+        return 0
+
+    def series(self, name: str) -> dict:
+        return {}
+
+    def drain(self) -> dict:
+        return {"counters": [], "gauges": [], "histograms": []}
+
+    def merge(self, delta: dict, extra_labels: Optional[dict] = None) -> None:
+        return None
+
+    def snapshot(self) -> dict:
+        return {
+            "version": __version__,
+            "telemetry": False,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def render(self) -> str:
+        return (
+            "# TYPE repro_build_info gauge\n"
+            f'repro_build_info{{version="{__version__}"}} 1\n'
+        )
+
+
+_NULL_REGISTRY = NullRegistry()
+_REGISTRY_LOCK = threading.Lock()
+_REGISTRY = (
+    MetricsRegistry() if os.environ.get("REPRO_TELEMETRY") == "1" else _NULL_REGISTRY
+)
+
+
+def get_registry():
+    """The process-global registry (a shared no-op unless telemetry is on)."""
+    return _REGISTRY
+
+
+def set_registry(registry):
+    """Install a registry (or the null registry via None); returns the old one."""
+    global _REGISTRY
+    with _REGISTRY_LOCK:
+        previous = _REGISTRY
+        _REGISTRY = registry if registry is not None else _NULL_REGISTRY
+    return previous
+
+
+def enable(reset: bool = False) -> MetricsRegistry:
+    """Activate process-global telemetry; returns the live registry.
+
+    Idempotent: an already-enabled registry is kept (so a second engine does
+    not wipe the first one's series) unless ``reset=True`` forces a fresh
+    registry.
+    """
+    global _REGISTRY
+    with _REGISTRY_LOCK:
+        if reset or not _REGISTRY.enabled:
+            _REGISTRY = MetricsRegistry()
+        return _REGISTRY
+
+
+def disable():
+    """Deactivate process-global telemetry; returns the replaced registry."""
+    return set_registry(None)

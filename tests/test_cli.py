@@ -272,3 +272,138 @@ class TestBatchEvalCommand:
             run_cli(
                 ["batch-eval", "--circuit", circuit_path, "--inputs", rows_path, "--workers", "0"]
             )
+
+
+class TestVersion:
+    def test_version_flag_exits_zero(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_package_version_matches_single_source(self):
+        import repro
+        from repro._version import __version__
+
+        assert repro.__version__ == __version__
+
+
+class TestMetricsFlags:
+    def export_circuit(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        code, payload = run_cli(
+            ["build-trace", "--n", "2", "--tau", "3", "--d", "1", "--bit-width", "1", "--output", path]
+        )
+        assert code == 0
+        return path, payload["n_inputs"]
+
+    def write_rows(self, tmp_path, rows):
+        path = tmp_path / "rows.txt"
+        path.write_text("\n".join(rows) + "\n")
+        return str(path)
+
+    def test_simulate_metrics_json_embeds_snapshot(self, tmp_path):
+        circuit_path, n_inputs = self.export_circuit(tmp_path)
+        rows_path = self.write_rows(tmp_path, ["0" * n_inputs, "1" * n_inputs])
+        code, payload = run_cli(
+            ["simulate", "--circuit", circuit_path, "--inputs", rows_path, "--metrics", "json"]
+        )
+        assert code == 0
+        metrics = payload["metrics"]
+        for key in ("version", "telemetry", "counters", "gauges", "histograms"):
+            assert key in metrics
+        assert metrics["telemetry"] is True
+        # The default engine's compile cache is process-wide, so whether this
+        # lands as a hit or a miss depends on test order — either way the
+        # lookup is counted and the evaluation timed.
+        assert any(key.startswith("cache.") for key in metrics["counters"])
+        assert any(key.startswith("engine.eval_columns") for key in metrics["counters"])
+        assert any(key.startswith("engine.evaluate_s") for key in metrics["histograms"])
+
+    def test_simulate_metrics_text_appends_prometheus(self, tmp_path):
+        circuit_path, n_inputs = self.export_circuit(tmp_path)
+        rows_path = self.write_rows(tmp_path, ["0" * n_inputs])
+        stream = io.StringIO()
+        code = main(
+            ["simulate", "--circuit", circuit_path, "--inputs", rows_path, "--metrics", "text"],
+            stream=stream,
+        )
+        assert code == 0
+        text = stream.getvalue()
+        json_part, _, metrics_part = text.partition("# TYPE repro_build_info gauge")
+        json.loads(json_part)  # the payload is still valid JSON on its own
+        assert metrics_part
+        assert "repro_engine_eval_columns_total" in metrics_part
+
+    def test_metrics_session_does_not_leak(self, tmp_path):
+        from repro.obs import get_registry
+
+        circuit_path, n_inputs = self.export_circuit(tmp_path)
+        rows_path = self.write_rows(tmp_path, ["0" * n_inputs])
+        code, _ = run_cli(
+            ["simulate", "--circuit", circuit_path, "--inputs", rows_path, "--metrics", "json"]
+        )
+        assert code == 0
+        assert not get_registry().enabled
+
+    def test_batch_eval_metrics_include_worker_series(self, tmp_path):
+        circuit_path, n_inputs = self.export_circuit(tmp_path)
+        rows = ["0" * n_inputs, "1" * n_inputs, "01" * (n_inputs // 2)]
+        rows_path = self.write_rows(tmp_path, rows)
+        code, payload = run_cli(
+            [
+                "batch-eval", "--circuit", circuit_path, "--inputs", rows_path,
+                "--workers", "2", "--repeat", "3", "--metrics", "json",
+            ]
+        )
+        assert code == 0
+        counters = payload["metrics"]["counters"]
+        assert any(key.startswith("worker.tasks{") for key in counters)
+        assert any(key.startswith("service.jobs") for key in counters)
+        worker_tasks = sum(
+            value for key, value in counters.items() if key.startswith("worker.tasks{")
+        )
+        assert worker_tasks == payload["service"]["tasks"]
+
+
+class TestStatsCommand:
+    def export_circuit(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        code, payload = run_cli(
+            ["build-trace", "--n", "2", "--tau", "3", "--d", "1", "--bit-width", "1", "--output", path]
+        )
+        assert code == 0
+        return path
+
+    def test_stats_bare_snapshot(self):
+        code, payload = run_cli(["stats"])
+        assert code == 0
+        assert payload["telemetry"] is True
+        assert payload["counters"] == {}
+
+    def test_stats_exercises_circuit(self, tmp_path):
+        circuit_path = self.export_circuit(tmp_path)
+        code, payload = run_cli(
+            ["stats", "--circuit", circuit_path, "--samples", "4"]
+        )
+        assert code == 0
+        assert any(key.startswith("engine.eval_columns") for key in payload["counters"])
+
+    def test_stats_text_format(self, tmp_path):
+        circuit_path = self.export_circuit(tmp_path)
+        stream = io.StringIO()
+        code = main(
+            ["stats", "--circuit", circuit_path, "--samples", "2", "--format", "text"],
+            stream=stream,
+        )
+        assert code == 0
+        text = stream.getvalue()
+        assert text.startswith("# TYPE repro_build_info gauge")
+        assert "repro_engine_eval_columns_total" in text
+
+    def test_stats_rejects_bad_samples(self, tmp_path):
+        circuit_path = self.export_circuit(tmp_path)
+        with pytest.raises(ValueError):
+            run_cli(["stats", "--circuit", circuit_path, "--samples", "0"])

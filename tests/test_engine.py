@@ -687,3 +687,66 @@ class TestActivityPlanMemoization:
         assert engine._activity_plans
         engine.clear_cache()
         assert not engine._activity_plans
+
+
+class TestTelemetry:
+    """EngineConfig.telemetry wires the engine into the process registry."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_registry(self):
+        from repro import obs
+
+        yield
+        obs.disable()
+
+    def test_config_enables_process_telemetry(self, rng):
+        from repro import obs
+
+        circuit = parity_circuit(4)
+        engine = Engine(EngineConfig(backend="sparse", telemetry=True))
+        assert engine.metrics.enabled
+        assert engine.metrics is obs.get_registry()
+        batch = rng.integers(0, 2, size=(4, 8))
+        engine.evaluate(circuit, batch)
+        snap = engine.metrics.snapshot()
+        assert snap["counters"].get("cache.misses{backend=sparse}") == 1
+        assert snap["counters"].get("engine.eval_columns{backend=sparse}") == 8
+        compile_series = [
+            key for key in snap["histograms"] if key.startswith("engine.compile_s")
+        ]
+        assert compile_series
+        assert snap["histograms"][compile_series[0]]["count"] == 1
+
+    def test_second_engine_does_not_reset_registry(self, rng):
+        engine = Engine(EngineConfig(backend="sparse", telemetry=True))
+        engine.metrics.counter("sentinel").inc()
+        other = Engine(EngineConfig(backend="dense", telemetry=True))
+        assert other.metrics is engine.metrics
+        assert other.metrics.value("sentinel") == 1
+
+    def test_plan_memo_counters(self, rng):
+        # Template-streaming compiles build the activity plan lazily (CSR
+        # entries carry it), so force the template path to exercise the memo.
+        from repro.core.naive_circuits import build_naive_matmul_circuit
+
+        circuit = build_naive_matmul_circuit(3, bit_width=1, stages=2).circuit
+        engine = Engine(
+            EngineConfig(backend="sparse", telemetry=True, template_min_cover=0.0)
+        )
+        batch = rng.integers(0, 2, size=(circuit.n_inputs, 2))
+        # Cached entries are never mutated by a trace, so the second call
+        # re-enters the memo and hits.
+        engine.spike_trace(circuit, batch)
+        engine.spike_trace(circuit, batch)
+        registry = engine.metrics
+        assert registry.value("engine.plan_memo.misses") >= 1
+        assert registry.value("engine.plan_memo.hits") >= 1
+
+    def test_telemetry_off_keeps_null_registry(self, rng):
+        from repro.obs import get_registry
+
+        circuit = parity_circuit(4)
+        engine = Engine(EngineConfig(backend="sparse"))
+        engine.evaluate(circuit, rng.integers(0, 2, size=(4, 4)))
+        assert not engine.metrics.enabled
+        assert get_registry().snapshot()["counters"] == {}

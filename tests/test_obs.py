@@ -1,0 +1,378 @@
+"""Tests for the telemetry subsystem (``repro.obs``).
+
+Covers the instrument primitives (counter / gauge / histogram with label
+series), span timing, the drain/merge delta protocol the evaluation service
+piggybacks on result messages, percentile edge cases, both exporters, and
+the null-registry fast path that keeps disabled telemetry allocation-free.
+"""
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro import obs
+from repro._version import __version__
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        c = registry.counter("jobs")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("jobs").inc(-1)
+
+    def test_same_name_same_labels_is_same_instrument(self, registry):
+        assert registry.counter("x", a="1") is registry.counter("x", a="1")
+        assert registry.counter("x", a="1") is not registry.counter("x", a="2")
+
+    def test_label_order_does_not_matter(self, registry):
+        assert registry.counter("x", a="1", b="2") is registry.counter("x", b="2", a="1")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(7)
+        g.inc(2)
+        g.dec(4)
+        assert g.value == 5
+
+    def test_gauge_can_go_negative(self, registry):
+        g = registry.gauge("delta")
+        g.dec(3)
+        assert g.value == -3
+
+
+class TestHistogram:
+    def test_count_total_mean(self, registry):
+        h = registry.histogram("lat")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(6.0)
+        assert h.mean == pytest.approx(2.0)
+
+    def test_percentile_empty_is_none(self, registry):
+        h = registry.histogram("lat")
+        assert h.percentile(50) is None
+        assert h.mean is None
+
+    def test_percentile_single_sample_is_itself(self, registry):
+        h = registry.histogram("lat")
+        h.observe(0.25)
+        for q in (0, 50, 99, 100):
+            assert h.percentile(q) == pytest.approx(0.25)
+
+    def test_percentile_interpolates(self, registry):
+        h = registry.histogram("lat")
+        for v in (0.0, 1.0):
+            h.observe(v)
+        assert h.percentile(50) == pytest.approx(0.5)
+        assert h.percentile(0) == pytest.approx(0.0)
+        assert h.percentile(100) == pytest.approx(1.0)
+
+    def test_percentile_rejects_out_of_range(self, registry):
+        h = registry.histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(150)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+
+    def test_percentiles_monotone_on_many_samples(self, registry):
+        h = registry.histogram("lat")
+        for i in range(100):
+            h.observe(i / 100.0)
+        p50, p90, p99 = h.percentile(50), h.percentile(90), h.percentile(99)
+        assert p50 <= p90 <= p99
+        assert p50 == pytest.approx(0.495, abs=0.02)
+
+    def test_sample_ring_bounds_memory(self, registry):
+        from repro.obs.metrics import _SAMPLE_RING
+
+        h = registry.histogram("lat")
+        for i in range(_SAMPLE_RING + 500):
+            h.observe(float(i))
+        # Count keeps the true total; the ring holds only the newest window.
+        assert h.count == _SAMPLE_RING + 500
+        assert h.percentile(0) >= 0.0  # still answerable
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+
+class TestSpan:
+    def test_span_records_into_histogram(self, registry):
+        with registry.span("work", phase="a"):
+            pass
+        h = registry.histogram("work", phase="a")
+        assert h.count == 1
+        assert h.total >= 0.0
+
+    def test_span_records_on_exception(self, registry):
+        with pytest.raises(RuntimeError):
+            with registry.span("work"):
+                raise RuntimeError("boom")
+        assert registry.histogram("work").count == 1
+
+    def test_span_as_decorator(self, registry):
+        @registry.span("decorated")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert add.__name__ == "add"
+        assert registry.histogram("decorated").count == 1
+
+
+# ---------------------------------------------------------------------------
+# Drain / merge delta protocol
+# ---------------------------------------------------------------------------
+
+
+class TestDrainMerge:
+    def test_drain_returns_and_resets(self, registry):
+        registry.counter("tasks").inc(3)
+        registry.histogram("lat").observe(0.5)
+        delta = registry.drain()
+        assert ("tasks", (), 3) in delta["counters"]
+        assert registry.counter("tasks").value == 0
+        assert registry.histogram("lat").count == 0
+        # A second drain is empty: nothing double-reports.
+        again = registry.drain()
+        assert not again["counters"] and not again["histograms"]
+
+    def test_delta_is_picklable(self, registry):
+        registry.counter("tasks", kind="run").inc()
+        registry.histogram("lat").observe(0.1)
+        delta = registry.drain()
+        assert pickle.loads(pickle.dumps(delta)) == delta
+
+    def test_merge_applies_extra_labels(self, registry):
+        worker = MetricsRegistry()
+        worker.counter("tasks").inc(2)
+        worker.histogram("lat").observe(0.25)
+        registry.merge(worker.drain(), extra_labels={"worker_id": "3"})
+        assert registry.counter("tasks", worker_id="3").value == 2
+        h = registry.histogram("lat", worker_id="3")
+        assert h.count == 1
+        assert h.total == pytest.approx(0.25)
+
+    def test_merge_is_additive_and_monotone(self, registry):
+        worker = MetricsRegistry()
+        totals = 0
+        for round_ in range(5):
+            worker.counter("tasks").inc(round_ + 1)
+            registry.merge(worker.drain(), extra_labels={"worker_id": "0"})
+            totals += round_ + 1
+            assert registry.counter("tasks", worker_id="0").value == totals
+
+    def test_merge_none_delta_is_noop(self, registry):
+        registry.merge(None)
+        assert registry.snapshot()["counters"] == {}
+
+    def test_merge_histogram_preserves_percentiles(self, registry):
+        worker = MetricsRegistry()
+        for v in (0.1, 0.2, 0.3):
+            worker.histogram("lat").observe(v)
+        registry.merge(worker.drain())
+        h = registry.histogram("lat")
+        assert h.count == 3
+        assert h.percentile(100) == pytest.approx(0.3)
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+class TestExporters:
+    def test_snapshot_shape(self, registry):
+        registry.counter("jobs", backend="sparse").inc(2)
+        registry.gauge("depth").set(1)
+        registry.histogram("lat").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["version"] == __version__
+        assert snap["telemetry"] is True
+        assert snap["counters"]["jobs{backend=sparse}"] == 2
+        assert snap["gauges"]["depth"] == 1
+        hist = snap["histograms"]["lat"]
+        for key in ("count", "sum", "min", "max", "mean", "p50", "p90", "p99"):
+            assert key in hist
+        assert hist["count"] == 1
+        # Everything must be JSON-serializable as-is.
+        json.dumps(snap)
+
+    def test_render_prometheus_text(self, registry):
+        registry.counter("cache.hits", backend="dense").inc(4)
+        registry.gauge("queue.depth").set(2)
+        registry.histogram("task_s", buckets=(0.1, 1.0)).observe(0.05)
+        text = registry.render()
+        assert f'repro_build_info{{version="{__version__}"}} 1' in text
+        assert 'repro_cache_hits_total{backend="dense"} 4' in text
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert "repro_queue_depth 2" in text
+        assert 'repro_task_s_bucket{le="0.1"} 1' in text
+        assert 'repro_task_s_bucket{le="+Inf"} 1' in text
+        assert "repro_task_s_count 1" in text
+
+    def test_render_bucket_counts_are_cumulative(self, registry):
+        h = registry.histogram("t", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = registry.render()
+        assert 'repro_t_bucket{le="0.1"} 1' in text
+        assert 'repro_t_bucket{le="1.0"} 2' in text
+        assert 'repro_t_bucket{le="10.0"} 3' in text
+        assert 'repro_t_bucket{le="+Inf"} 3' in text
+
+
+# ---------------------------------------------------------------------------
+# Null registry / process-global lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestNullRegistry:
+    def test_disabled_and_shared_singletons(self):
+        null = NullRegistry()
+        assert null.enabled is False
+        # No per-call allocation: every lookup returns the same no-op object.
+        assert null.counter("a") is null.counter("b", x="y")
+        assert null.span("a") is null.span("b")
+        assert null.histogram("a") is null.histogram("b")
+        assert null.gauge("a") is null.gauge("b")
+
+    def test_null_instruments_are_inert(self):
+        null = NullRegistry()
+        null.counter("c").inc(5)
+        null.gauge("g").set(3)
+        null.histogram("h").observe(1.0)
+        with null.span("s"):
+            pass
+        snap = null.snapshot()
+        assert snap["telemetry"] is False
+        assert snap["counters"] == {}
+
+    def test_null_span_decorator_passthrough(self):
+        null = NullRegistry()
+
+        @null.span("s")
+        def f(x):
+            return x * 2
+
+        assert f(21) == 42
+
+
+class TestLifecycle:
+    def test_default_is_null(self):
+        assert get_registry().enabled is False
+
+    def test_enable_disable_roundtrip(self):
+        try:
+            reg = obs.enable()
+            assert get_registry() is reg
+            assert reg.enabled
+            # Idempotent: a second enable keeps the same registry.
+            assert obs.enable() is reg
+            reg.counter("x").inc()
+            fresh = obs.enable(reset=True)
+            assert fresh is not reg
+            assert fresh.counter("x").value == 0
+        finally:
+            obs.disable()
+        assert get_registry().enabled is False
+
+    def test_set_registry_none_restores_null(self):
+        reg = MetricsRegistry()
+        set_registry(reg)
+        try:
+            assert get_registry() is reg
+        finally:
+            set_registry(None)
+        assert get_registry().enabled is False
+
+    def test_enable_telemetry_alias(self):
+        assert obs.enable_telemetry is obs.enable
+
+
+# ---------------------------------------------------------------------------
+# Concurrency
+# ---------------------------------------------------------------------------
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_lose_updates(self, registry):
+        c = registry.counter("n")
+        n_threads, per_thread = 8, 2000
+
+        def work():
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * per_thread
+
+    def test_drain_under_concurrent_observes_conserves_total(self, registry):
+        """Everything observed lands in exactly one drain — none lost, none twice."""
+        c = registry.counter("n")
+        stop = threading.Event()
+        drained = []
+
+        def producer():
+            for _ in range(5000):
+                c.inc()
+            stop.set()
+
+        def drainer():
+            while not stop.is_set():
+                drained.append(registry.drain())
+            drained.append(registry.drain())
+
+        threads = [threading.Thread(target=producer), threading.Thread(target=drainer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(
+            value
+            for delta in drained
+            for (name, labels, value) in delta["counters"]
+            if name == "n"
+        )
+        total += c.value  # anything observed after the final drain
+        assert total == 5000
+
+
+def test_default_buckets_are_sorted_and_positive():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert all(b > 0 for b in DEFAULT_BUCKETS)

@@ -462,3 +462,153 @@ class TestDriverIntegration:
             graphs.append(upper + upper.T)
         answers = query.submit_batch(graphs).result(timeout=60)
         assert answers.tolist() == [query.reference(g) for g in graphs]
+
+
+@pytest.fixture
+def telemetry():
+    """Fresh process-global registry for the test, restored to null after."""
+    from repro import obs
+
+    registry = obs.enable(reset=True)
+    yield registry
+    obs.disable()
+
+
+class TestStatsConsistency:
+    def test_stats_atomic_under_concurrent_submit(self, compiled, rng):
+        """Hammering stats() during submission never sees a torn update.
+
+        Every job's counters are incremented together under the dispatcher
+        lock, and stats() reads under the same lock — so invariants that
+        hold after each submit must hold in every observed snapshot, not
+        just the final one.
+        """
+        import threading
+
+        # Wide batches cross shared_memory_min_bytes, so each job bumps
+        # jobs AND shm_jobs in one locked block — the torn read this guards
+        # against is seeing the second without the first.
+        import time
+
+        config = service_config(shared_memory_min_bytes=1)
+        batch = rng.integers(0, 2, size=(6, 64))
+        n_jobs = 20
+        snapshots = []
+        stop = threading.Event()
+        with EvaluationService(config) as service:
+
+            def hammer():
+                # Throttled: an unbounded tight loop starves the dispatcher
+                # (and this list) on single-core boxes without adding rigor.
+                while not stop.is_set():
+                    snapshots.append(service.stats())
+                    time.sleep(0.001)
+
+            reader = threading.Thread(target=hammer)
+            reader.start()
+            try:
+                futures = [service.submit(compiled, batch) for _ in range(n_jobs)]
+                for future in futures:
+                    future.result(timeout=60)
+            finally:
+                stop.set()
+                reader.join(timeout=10)
+            snapshots.append(service.stats())
+        assert snapshots
+        previous_jobs = 0
+        for stats in snapshots:
+            assert 0 <= stats.shm_jobs <= stats.jobs <= n_jobs
+            assert stats.tasks >= 0 and stats.installs >= 0
+            # jobs is monotone across successive reads from one thread.
+            assert stats.jobs >= previous_jobs
+            previous_jobs = stats.jobs
+        assert snapshots[-1].jobs == n_jobs
+        assert snapshots[-1].shm_jobs == n_jobs
+
+
+class TestMetricPiggyback:
+    def test_worker_tasks_sum_to_dispatched_chunks(self, compiled, rng, telemetry):
+        """Without failures, merged worker deltas account for every chunk."""
+        batch = rng.integers(0, 2, size=(6, 23))
+        with EvaluationService(service_config()) as service:
+            for _ in range(4):
+                service.evaluate(compiled, batch)
+            stats = service.stats()
+            # Every future resolved, so every result message (and its delta)
+            # has been merged: per-worker totals equal the dispatch count.
+            assert telemetry.total("worker.tasks") == stats.tasks
+            assert telemetry.total("worker.installs") == stats.installs
+            series = telemetry.series("worker.tasks")
+            assert all("worker_id=" in key for key in series)
+            assert sum(series.values()) == stats.tasks
+
+    def test_counts_monotone_across_kill_and_respawn(self, compiled, rng, telemetry):
+        batch = rng.integers(0, 2, size=(6, 12))
+        with EvaluationService(service_config()) as service:
+            service.evaluate(compiled, batch)
+            tasks_before = telemetry.total("worker.tasks")
+            installs_before = telemetry.total("worker.installs")
+            assert tasks_before > 0
+            for worker in list(service._workers):
+                worker.process.kill()
+                worker.process.join(timeout=10)
+            service.evaluate(compiled, batch)
+            # Respawned workers start fresh registries: parent totals only
+            # grow (a dead worker loses at most its unflushed delta, never
+            # re-reports what was already merged).
+            assert telemetry.total("worker.tasks") >= tasks_before
+            assert telemetry.total("worker.installs") > installs_before
+            assert telemetry.total("worker.tasks") == service.stats().tasks
+
+    def test_no_double_count_on_redispatch(self, compiled, rng, telemetry):
+        """A task re-dispatched after a 'missing program' runs (and counts) once."""
+        batch = rng.integers(0, 2, size=(6, 12))
+        with EvaluationService(service_config()) as service:
+            key = ("drifted-hash", "sparse")
+            for worker in service._workers:
+                worker.store[key] = True  # mirror drift: worker lacks the program
+            expected = compiled.run(batch)
+            assert (service.evaluate(compiled, batch, key=key) == expected).all()
+            stats = service.stats()
+            assert stats.reinstalls >= 1
+            # The missing attempt never ran the program, so executed-task
+            # totals stay strictly below dispatches and match chunk count.
+            n_chunks = -(-batch.shape[1] // service_config().chunk_size)
+            assert telemetry.total("worker.tasks") == n_chunks
+            assert stats.tasks > n_chunks  # the re-dispatches
+
+    def test_queue_and_latency_histograms_populated(self, compiled, rng, telemetry):
+        batch = rng.integers(0, 2, size=(6, 16))
+        with EvaluationService(service_config()) as service:
+            service.evaluate(compiled, batch)
+        snap = telemetry.snapshot()
+        histograms = snap["histograms"]
+        assert any(key.startswith("worker.task_s") for key in histograms)
+        assert any(key.startswith("worker.queue_wait_s") for key in histograms)
+        assert any(key.startswith("service.job_s") for key in histograms)
+        for key, summary in histograms.items():
+            if key.startswith(("worker.", "service.")):
+                assert summary["count"] >= 1
+                assert summary["p50"] is not None
+
+    def test_transport_bytes_recorded(self, compiled, rng, telemetry):
+        shm_config = service_config(shared_memory_min_bytes=1)
+        batch = rng.integers(0, 2, size=(6, 32))
+        with EvaluationService(shm_config) as service:
+            service.evaluate(compiled, batch)
+            assert service.stats().shm_jobs >= 1
+        assert telemetry.total("worker.shm_bytes") > 0
+        assert telemetry.total("worker.pickle_bytes") == 0
+
+    def test_disabled_telemetry_still_has_stats(self, compiled, rng):
+        from repro.obs import get_registry
+
+        assert not get_registry().enabled
+        batch = rng.integers(0, 2, size=(6, 12))
+        with EvaluationService(service_config()) as service:
+            service.evaluate(compiled, batch)
+            stats = service.stats()
+            assert stats.jobs == 1
+            assert stats.tasks >= 1
+        # ...without leaking anything into the process-global registry.
+        assert get_registry().snapshot()["counters"] == {}
