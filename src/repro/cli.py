@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -136,6 +137,29 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--seed", type=int, default=2018, help="seed for random samples")
     stats.add_argument("--backend", choices=["auto", "sparse", "dense", "exact"], default="auto")
     stats.add_argument("--format", choices=["json", "text"], default="json")
+
+    soak = sub.add_parser(
+        "soak",
+        help="run the invariant soak harness against a resident evaluation service",
+    )
+    soak.add_argument(
+        "--seconds", type=float, default=None,
+        help="submission window length (default: SOAK_SECONDS env or 10)",
+    )
+    soak.add_argument("--workers", type=int, default=2, help="resident worker processes")
+    soak.add_argument("--seed", type=int, default=2018, help="input generation seed")
+    soak.add_argument(
+        "--faults", default=None, metavar="JSON",
+        help="inject a FaultPlan given as its JSON dict form",
+    )
+    soak.add_argument(
+        "--aggressive", action="store_true",
+        help="inject the kitchen-sink aggressive_plan() (ignored if --faults given)",
+    )
+    soak.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job deadline in seconds (DeadlineExceeded becomes an allowed failure)",
+    )
 
     energy_trace = sub.add_parser(
         "energy-trace", help="spiking-mode per-layer spike counts and energy of a circuit"
@@ -525,6 +549,30 @@ def _cmd_energy_trace(args, stream) -> int:
     return 0
 
 
+def _cmd_soak(args, stream) -> int:
+    from repro.engine.faults import FaultPlan, aggressive_plan
+    from repro.engine.soak import default_soak_config, run_soak
+
+    seconds = args.seconds
+    if seconds is None:
+        seconds = float(os.environ.get("SOAK_SECONDS", "10"))
+    plan = None
+    if args.faults is not None:
+        plan = FaultPlan.from_json(args.faults)
+    elif args.aggressive:
+        plan = aggressive_plan()
+    report = run_soak(
+        seconds,
+        config=default_soak_config(max_workers=args.workers),
+        fault_plan=plan,
+        seed=args.seed,
+        job_timeout=args.timeout,
+    )
+    problems = report.problems()
+    _print({**report.as_dict(), "problems": problems, "ok": not problems}, stream)
+    return 0 if not problems else 1
+
+
 _COMMANDS = {
     "algorithms": _cmd_algorithms,
     "info": _cmd_info,
@@ -536,6 +584,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "batch-eval": _cmd_batch_eval,
     "stats": _cmd_stats,
+    "soak": _cmd_soak,
     "energy-trace": _cmd_energy_trace,
 }
 

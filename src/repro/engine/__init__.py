@@ -12,7 +12,12 @@ This subpackage owns everything between "a ThresholdCircuit exists" and
   evaluation (per-call pool);
 * :mod:`repro.engine.service` — the resident :class:`EvaluationService`:
   a persistent worker pool with install-once programs, shared-memory
-  batch transport, and a futures-based submission API;
+  batch transport, a futures-based submission API, and a hardening
+  ladder (deadlines, bounded retry, stall detection, degradation);
+* :mod:`repro.engine.faults` — :class:`FaultPlan` injection points for
+  tests and soak runs, plus :class:`DeadlineExceeded`;
+* :mod:`repro.engine.soak` — the invariant soak harness hammering a
+  resident service under a live fault plan;
 * :mod:`repro.engine.spiking` — the spiking-mode activity/energy evaluator;
 * :mod:`repro.engine.engine` — the :class:`Engine` facade tying it together.
 
@@ -36,10 +41,17 @@ from repro.engine.backends import (
 from repro.engine.cache import CacheInfo, CompileCache
 from repro.engine.config import BACKEND_NAMES, EngineConfig
 from repro.engine.engine import Engine, default_engine, set_default_engine
+from repro.engine.faults import (
+    DeadlineExceeded,
+    FaultPlan,
+    aggressive_plan,
+    fault_plan_from_env,
+)
 from repro.engine.scheduler import (
     evaluate_batched,
     iter_column_chunks,
     narrowed_chunk_size,
+    run_serial,
 )
 from repro.engine.service import (
     EvaluationService,
@@ -59,15 +71,18 @@ __all__ = [
     "CacheInfo",
     "CompileCache",
     "CompiledProgram",
+    "DeadlineExceeded",
     "DenseBackend",
     "Engine",
     "EngineConfig",
     "EvaluationService",
     "ExactBackend",
+    "FaultPlan",
     "ServiceClosed",
     "ServiceStats",
     "SparseBackend",
     "SpikeTrace",
+    "aggressive_plan",
     "as_completed",
     "backend_registry",
     "chain_future",
@@ -75,9 +90,11 @@ __all__ = [
     "compute_spike_trace",
     "default_engine",
     "evaluate_batched",
+    "fault_plan_from_env",
     "get_backend",
     "iter_column_chunks",
     "narrowed_chunk_size",
+    "run_serial",
     "select_backend_name",
     "set_default_engine",
     "transform_executor",

@@ -11,7 +11,9 @@ overridden per :class:`~repro.engine.engine.Engine`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
+
+from .faults import FaultPlan
 
 __all__ = ["BACKEND_NAMES", "EngineConfig"]
 
@@ -77,6 +79,32 @@ class EngineConfig:
     service_store_size:
         Capacity of each service worker's LRU program store (distinct
         ``(structural_hash, backend)`` programs held resident per worker).
+    service_task_attempts:
+        Maximum times one task may be attempted (first dispatch + retries
+        after worker deaths, lost results, or shm attach failures) before
+        its job fails.
+    service_retry_backoff_s:
+        Base delay before re-dispatching a failed task attempt; doubles per
+        attempt (exponential backoff).  0 retries immediately.
+    service_respawn_budget:
+        How many times each worker slot may be respawned after a death or
+        stall kill.  A slot over budget is retired; when every slot is
+        retired the service degrades to in-process serial execution instead
+        of failing jobs (see ``stats().degraded``).
+    service_heartbeat_s:
+        Interval at which service workers post heartbeat messages.  0
+        disables heartbeats (and with them stall detection — only worker
+        *death* is then detected).
+    service_stall_timeout_s:
+        A worker whose current task has run at least this long without a
+        fresh heartbeat is presumed wedged: it is killed and respawned and
+        the task retried.  Also bounds lost-result detection (a healthy,
+        idle worker whose dispatched task is this old gets the task
+        re-dispatched).  0 disables stall detection.
+    fault_plan:
+        Optional :class:`~repro.engine.faults.FaultPlan` injected into this
+        service's workers and dispatcher.  **Tests and soak runs only** —
+        never set in production configuration.
     telemetry:
         When True, constructing an :class:`~repro.engine.engine.Engine`
         activates the **process-wide** metrics registry (``repro.obs``):
@@ -101,6 +129,12 @@ class EngineConfig:
     shared_memory_min_bytes: int = 1 << 20
     service_queue_depth: int = 16
     service_store_size: int = 16
+    service_task_attempts: int = 5
+    service_retry_backoff_s: float = 0.05
+    service_respawn_budget: int = 8
+    service_heartbeat_s: float = 0.5
+    service_stall_timeout_s: float = 30.0
+    fault_plan: Optional[FaultPlan] = None
     telemetry: bool = False
 
     def __post_init__(self) -> None:
@@ -142,6 +176,32 @@ class EngineConfig:
         if self.service_store_size < 1:
             raise ValueError(
                 f"service_store_size must be >= 1, got {self.service_store_size}"
+            )
+        if self.service_task_attempts < 1:
+            raise ValueError(
+                f"service_task_attempts must be >= 1, got {self.service_task_attempts}"
+            )
+        if self.service_retry_backoff_s < 0:
+            raise ValueError(
+                "service_retry_backoff_s must be >= 0, "
+                f"got {self.service_retry_backoff_s}"
+            )
+        if self.service_respawn_budget < 0:
+            raise ValueError(
+                f"service_respawn_budget must be >= 0, got {self.service_respawn_budget}"
+            )
+        if self.service_heartbeat_s < 0:
+            raise ValueError(
+                f"service_heartbeat_s must be >= 0, got {self.service_heartbeat_s}"
+            )
+        if self.service_stall_timeout_s < 0:
+            raise ValueError(
+                "service_stall_timeout_s must be >= 0, "
+                f"got {self.service_stall_timeout_s}"
+            )
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise TypeError(
+                f"fault_plan must be a FaultPlan or None, got {type(self.fault_plan).__name__}"
             )
 
     def with_overrides(self, **changes) -> "EngineConfig":

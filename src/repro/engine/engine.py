@@ -293,6 +293,7 @@ class Engine:
         circuit: ThresholdCircuit,
         inputs: np.ndarray,
         backend: Optional[str] = None,
+        timeout: Optional[float] = None,
     ) -> "Future[SimulationResult]":
         """Pipelined :meth:`evaluate`: a future of the simulation result.
 
@@ -302,6 +303,12 @@ class Engine:
         pool.  Everything else — serial configs, narrow batches — evaluates
         inline and returns an already-completed future, so callers can use
         one submission code path unconditionally.
+
+        ``timeout`` (seconds) sets a per-job deadline on the service path:
+        the future fails with :class:`~repro.engine.faults.DeadlineExceeded`
+        once it passes, however wedged the pool might be.  Inline
+        evaluations complete before ``submit`` returns, so a deadline has
+        nothing to bound there and is ignored.
         """
         from repro.engine.service import chain_future, transform_executor
 
@@ -323,6 +330,7 @@ class Engine:
                     inputs,
                     key=entry.key,
                     chunk_size=narrowed_chunk_size(inputs.shape[1], self.config),
+                    timeout=timeout,
                 )
             # The result transform gathers output rows and reduces the full
             # node matrix for energy — too heavy for the dispatcher thread

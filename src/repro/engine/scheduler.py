@@ -24,15 +24,22 @@ which the engine routes to when ``EngineConfig.persistent_pool`` is set.
 from __future__ import annotations
 
 import multiprocessing
+from time import monotonic
 from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
 from repro.engine.backends import CompiledProgram
 from repro.engine.config import EngineConfig
+from repro.engine.faults import DeadlineExceeded
 from repro.obs import get_registry
 
-__all__ = ["evaluate_batched", "iter_column_chunks", "narrowed_chunk_size"]
+__all__ = [
+    "evaluate_batched",
+    "iter_column_chunks",
+    "narrowed_chunk_size",
+    "run_serial",
+]
 
 
 def iter_column_chunks(width: int, chunk_size: int) -> Iterator[Tuple[int, int]]:
@@ -51,6 +58,52 @@ def narrowed_chunk_size(batch: int, config: EngineConfig) -> int:
     shard a blocking batch identically.
     """
     return min(config.chunk_size, max(1, -(-batch // max(1, config.max_workers))))
+
+
+def run_serial(
+    program: CompiledProgram,
+    inputs: np.ndarray,
+    *,
+    chunk_size: int,
+    out: Optional[np.ndarray] = None,
+    deadline: Optional[float] = None,
+) -> np.ndarray:
+    """Evaluate serially in chunks, optionally into ``out``, with a deadline.
+
+    The single in-process evaluation path shared by :func:`evaluate_batched`
+    and the service's degraded mode.  ``deadline`` is a
+    ``time.monotonic()`` instant checked between chunks (the granularity at
+    which a pure-python caller can be interrupted at all);
+    :class:`DeadlineExceeded` is raised once it has passed.  When ``out`` is
+    None and the batch fits a single chunk the program's own result array is
+    returned without an extra copy.
+    """
+    registry = get_registry()
+    batch = inputs.shape[1]
+    if deadline is not None and monotonic() > deadline:
+        raise DeadlineExceeded(f"deadline passed before evaluating batch of {batch}")
+    if out is None and batch <= chunk_size:
+        if registry.enabled:
+            registry.counter("scheduler.chunks", mode="serial").inc()
+            with registry.span("scheduler.chunk_s"):
+                return program.run(inputs)
+        return program.run(inputs)
+    if out is None:
+        out = np.empty((program.n_nodes, batch), dtype=np.int8)
+    ranges = list(iter_column_chunks(batch, chunk_size)) if batch else []
+    if registry.enabled:
+        registry.counter("scheduler.chunks", mode="serial").inc(len(ranges))
+    for start, stop in ranges:
+        if deadline is not None and monotonic() > deadline:
+            raise DeadlineExceeded(
+                f"deadline passed after {start} of {batch} columns"
+            )
+        if registry.enabled:
+            with registry.span("scheduler.chunk_s"):
+                out[:, start:stop] = program.run(inputs[:, start:stop])
+        else:
+            out[:, start:stop] = program.run(inputs[:, start:stop])
+    return out
 
 
 # Worker-side state: the compiled program is installed once per worker by the
@@ -95,41 +148,27 @@ def evaluate_batched(
     if parallel_ok:
         chunk_size = narrowed_chunk_size(batch, config)
     if batch <= chunk_size:
-        if registry.enabled:
-            registry.counter("scheduler.chunks", mode="serial").inc()
-            with registry.span("scheduler.chunk_s"):
-                return program.run(inputs)
-        return program.run(inputs)
+        return run_serial(program, inputs, chunk_size=chunk_size)
 
     ranges = list(iter_column_chunks(batch, chunk_size))
-    use_pool = parallel_ok and len(ranges) > 1
+    if not (parallel_ok and len(ranges) > 1):
+        return run_serial(program, inputs, chunk_size=chunk_size)
     node_values = np.empty((program.n_nodes, batch), dtype=np.int8)
-    if use_pool:
-        if registry.enabled:
-            registry.counter("scheduler.chunks", mode="pool").inc(len(ranges))
-            registry.counter("scheduler.pool_spawns").inc()
-        processes = min(config.max_workers, len(ranges))
-        with registry.span("scheduler.pool_s"):
-            with multiprocessing.Pool(
-                processes, initializer=_worker_init, initargs=(program,)
-            ) as pool:
-                # Chunk views are generated lazily and results written in
-                # place as they stream back, so the parent never materializes
-                # a second copy of the whole batch (``pool.map`` over a chunk
-                # list did).
-                chunk_views = (inputs[:, start:stop] for start, stop in ranges)
-                for (start, stop), part in zip(
-                    ranges, pool.imap(_worker_run, chunk_views)
-                ):
-                    node_values[:, start:stop] = part
-        return node_values
-
     if registry.enabled:
-        registry.counter("scheduler.chunks", mode="serial").inc(len(ranges))
-        for start, stop in ranges:
-            with registry.span("scheduler.chunk_s"):
-                node_values[:, start:stop] = program.run(inputs[:, start:stop])
-        return node_values
-    for start, stop in ranges:
-        node_values[:, start:stop] = program.run(inputs[:, start:stop])
+        registry.counter("scheduler.chunks", mode="pool").inc(len(ranges))
+        registry.counter("scheduler.pool_spawns").inc()
+    processes = min(config.max_workers, len(ranges))
+    with registry.span("scheduler.pool_s"):
+        with multiprocessing.Pool(
+            processes, initializer=_worker_init, initargs=(program,)
+        ) as pool:
+            # Chunk views are generated lazily and results written in
+            # place as they stream back, so the parent never materializes
+            # a second copy of the whole batch (``pool.map`` over a chunk
+            # list did).
+            chunk_views = (inputs[:, start:stop] for start, stop in ranges)
+            for (start, stop), part in zip(
+                ranges, pool.imap(_worker_run, chunk_views)
+            ):
+                node_values[:, start:stop] = part
     return node_values

@@ -27,14 +27,44 @@ queries against it — so this module keeps the workers *resident*:
   jobs, stops every worker, and releases the queues and any shared-memory
   blocks; a closed service rejects new submissions with :class:`ServiceClosed`.
 
+Failure handling forms a ladder rather than a single recovery path:
+
+* **Retry with backoff.**  A task attempt lost to a worker death, a lost
+  result message, or a shared-memory attach failure is re-dispatched after
+  an exponential backoff (``service_retry_backoff_s`` doubling per attempt),
+  up to ``service_task_attempts`` total attempts before the job fails.
+* **Stall detection.**  Workers post heartbeats (``service_heartbeat_s``)
+  carrying the task they are currently executing; a worker wedged inside one
+  task for longer than ``service_stall_timeout_s`` is killed and respawned —
+  death detection alone never notices a hung-but-alive process.  The same
+  clock recovers *lost results*: a worker heartbeating as idle while the
+  parent still counts a long-dispatched task against it gets that task
+  re-dispatched (a duplicate execution writes identical bytes to disjoint
+  columns, so late twins are harmless).
+* **Per-job deadlines.**  ``submit(..., timeout=...)`` fails the job's
+  future with :class:`~repro.engine.faults.DeadlineExceeded` once the
+  deadline passes, whatever state its tasks are in.
+* **Degradation, not collapse.**  Each worker slot may be respawned at most
+  ``service_respawn_budget`` times; a slot over budget is retired, and when
+  the last slot retires the service *degrades*: outstanding and future jobs
+  run serially in-process (``stats().degraded``, ``service.degraded_jobs``)
+  instead of hanging callers or failing the engine.
+
+Every injection point of :class:`~repro.engine.faults.FaultPlan` targets one
+rung of that ladder; ``tests/soak_harness.py`` runs the whole ladder under a
+live plan and asserts the results still match serial evaluation bit for bit.
+
 The service never changes results: every task is ``program.run`` over a
 column range, which is columnwise independent, so outputs are bit-identical
-to serial evaluation whatever the sharding, transport, or interleaving.
+to serial evaluation whatever the sharding, transport, interleaving, or
+injected faults.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
+import os
 import threading
 import time
 import traceback
@@ -45,12 +75,13 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 from multiprocessing.shared_memory import SharedMemory
 from queue import Empty
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 import numpy as np
 
 from repro.engine.config import EngineConfig
-from repro.engine.scheduler import iter_column_chunks
+from repro.engine.faults import DeadlineExceeded, FaultPlan, fault_plan_from_env
+from repro.engine.scheduler import iter_column_chunks, run_serial
 from repro.obs import MetricsRegistry, get_registry, set_registry
 
 __all__ = [
@@ -85,6 +116,14 @@ class ServiceStats:
     reinstalls: int
     shm_jobs: int
     worker_restarts: int
+    retries: int = 0
+    stall_kills: int = 0
+    deadline_failures: int = 0
+    protocol_errors: int = 0
+    shm_fallbacks: int = 0
+    retired_workers: int = 0
+    degraded_jobs: int = 0
+    degraded: bool = False
 
     def as_dict(self) -> dict:
         return {
@@ -95,6 +134,14 @@ class ServiceStats:
             "reinstalls": self.reinstalls,
             "shm_jobs": self.shm_jobs,
             "worker_restarts": self.worker_restarts,
+            "retries": self.retries,
+            "stall_kills": self.stall_kills,
+            "deadline_failures": self.deadline_failures,
+            "protocol_errors": self.protocol_errors,
+            "shm_fallbacks": self.shm_fallbacks,
+            "retired_workers": self.retired_workers,
+            "degraded_jobs": self.degraded_jobs,
+            "degraded": self.degraded,
         }
 
 
@@ -156,14 +203,99 @@ def transform_executor() -> ThreadPoolExecutor:
 
 
 # ----------------------------------------------------------------- worker side
-def _attach_block(name: str) -> SharedMemory:
+class _ShmAttachError(RuntimeError):
+    """A shared-memory attach failed (segment gone, or an injected fault).
+
+    Reported to the parent as a ``shm_error`` rather than a plain ``error``:
+    the *task* is retryable — and after repeated attach failures the parent
+    falls the whole job back to pickle transport — whereas a plain error
+    fails the job.
+    """
+
+
+class _WorkerFaultState:
+    """Worker-process-local application of a :class:`FaultPlan`.
+
+    Tracks this process's executed-task ordinal (1-based; tasks whose
+    program is missing don't count, matching the executed-tasks telemetry)
+    and the remaining budget of the count-limited faults.  Lives only in
+    test/soak worker processes — production workers carry ``None``.
+    """
+
+    __slots__ = ("plan", "registry", "executed", "installs_seen", "shm_failures_left")
+
+    def __init__(self, plan: FaultPlan, registry) -> None:
+        self.plan = plan
+        self.registry = registry
+        self.executed = 0
+        self.installs_seen = 0
+        self.shm_failures_left = plan.shm_attach_failures
+
+    def _hit(self, kind: str) -> None:
+        if self.registry is not None:
+            self.registry.counter("faults.injected", kind=kind).inc()
+
+    def drop_install(self) -> bool:
+        self.installs_seen += 1
+        if self.installs_seen <= self.plan.install_failures:
+            self._hit("install")
+            return True
+        return False
+
+    def begin_task(self) -> None:
+        """Advance the executed ordinal and fire kill-before / stall faults."""
+        self.executed += 1
+        if self.plan.kill_before_task == self.executed:
+            self._hit("kill_before")
+            os._exit(3)
+        if self.plan.stall_task == self.executed:
+            self._hit("stall")
+            time.sleep(self.plan.stall_seconds)
+
+    def kill_after(self) -> None:
+        if self.plan.kill_after_task == self.executed:
+            self._hit("kill_after")
+            os._exit(3)
+
+    def take_shm_failure(self) -> bool:
+        if self.shm_failures_left > 0:
+            self.shm_failures_left -= 1
+            self._hit("shm_attach")
+            return True
+        return False
+
+    def drop_result(self) -> bool:
+        if self.executed in self.plan.drop_result_tasks:
+            self._hit("drop_result")
+            return True
+        return False
+
+    def corrupt_result(self) -> bool:
+        if self.executed in self.plan.corrupt_result_tasks:
+            self._hit("corrupt_result")
+            return True
+        return False
+
+    def delay_result(self) -> None:
+        if self.plan.delay_result_s > 0:
+            time.sleep(self.plan.delay_result_s)
+
+
+def _attach_block(name: str, fault_state: Optional[_WorkerFaultState] = None) -> SharedMemory:
     """Attach to a parent-owned shared-memory block without claiming it.
 
     On Python < 3.13 attaching registers the segment with the resource
     tracker as if this process owned it, which makes worker exits unlink (or
     warn about) blocks the parent still manages; unregister defensively.
     """
-    block = SharedMemory(name=name)
+    if fault_state is not None and fault_state.take_shm_failure():
+        raise _ShmAttachError(f"injected shared-memory attach failure for {name!r}")
+    try:
+        block = SharedMemory(name=name)
+    except FileNotFoundError as exc:
+        # The parent unlinked the block (job failed elsewhere, or fell back
+        # to pickle transport mid-flight): retryable, not a job failure.
+        raise _ShmAttachError(f"shared-memory block {name!r} is gone") from exc
     try:  # pragma: no cover - depends on interpreter version details
         from multiprocessing import resource_tracker
 
@@ -173,7 +305,9 @@ def _attach_block(name: str) -> SharedMemory:
     return block
 
 
-def _execute_task(program, payload) -> Optional[np.ndarray]:
+def _execute_task(
+    program, payload, fault_state: Optional[_WorkerFaultState] = None
+) -> Optional[np.ndarray]:
     """Run one task payload; returns the chunk for pickle transport, else None."""
     kind = payload[0]
     if kind == "pickle":
@@ -187,8 +321,8 @@ def _execute_task(program, payload) -> Optional[np.ndarray]:
         # between the two attaches (sibling task failed the job), the first
         # mapping must still be closed — a leaked mapping in a resident
         # worker pins the freed segment's memory for the worker's lifetime.
-        in_block = _attach_block(in_name)
-        out_block = _attach_block(out_name)
+        in_block = _attach_block(in_name, fault_state)
+        out_block = _attach_block(out_name, fault_state)
         inputs = np.ndarray(in_shape, dtype=np.dtype(in_dtype), buffer=in_block.buf)
         outputs = np.ndarray(out_shape, dtype=np.int8, buffer=out_block.buf)
         outputs[:, start:stop] = program.run(inputs[:, start:stop])
@@ -201,6 +335,22 @@ def _execute_task(program, payload) -> Optional[np.ndarray]:
         if out_block is not None:
             out_block.close()
     return None
+
+
+def _discard_queue(queue) -> None:
+    """Tear down a queue whose reader may be gone, without risking a hang.
+
+    ``Queue.close()`` alone leaves the feeder thread obligated to flush
+    buffered items into the pipe; if the consumer died (killed worker, timed
+    out dispatcher) that flush never completes and interpreter exit blocks on
+    ``join_thread``.  Cancelling first says the buffered data may be dropped —
+    by teardown time nobody will read it anyway.
+    """
+    try:
+        queue.cancel_join_thread()
+        queue.close()
+    except (ValueError, OSError):  # pragma: no cover - already closed
+        pass
 
 
 def _payload_bytes(payload) -> int:
@@ -226,7 +376,13 @@ def _drain_delta(registry: Optional[MetricsRegistry]) -> Optional[dict]:
 
 
 def _service_worker_main(
-    worker_id, requests, results, store_capacity, telemetry=False
+    worker_id,
+    requests,
+    results,
+    store_capacity,
+    telemetry=False,
+    heartbeat_s=0.0,
+    fault_plan=None,
 ) -> None:
     """Loop of one resident worker: install programs, run tasks, report back.
 
@@ -237,26 +393,53 @@ def _service_worker_main(
     (mirror drift, or a fresh process after a crash) is answered with a
     ``missing`` report so the parent reinstalls and re-dispatches.
 
+    With ``heartbeat_s > 0`` a daemon thread posts
+    ``(worker_id, "heartbeat", pid, current_task_id, None)`` at that
+    interval; the pid lets the parent discard stale beats queued by a dead
+    predecessor of the same slot, and the current task id is what makes a
+    wedged-inside-a-task worker distinguishable from a merely busy one.
+
     With ``telemetry`` on, the worker keeps its own lightweight registry
     (installs, store evictions, task latency, queue wait, transport bytes)
     and piggybacks the drained delta on every result message; the parent
     merges deltas tagged with this worker's id.  A delta rides exactly one
     message, so parent-side aggregates are monotone and a killed worker
     loses at most the few observations since its last report.
+
+    ``fault_plan`` (tests/soak only) threads a :class:`FaultPlan` through
+    the loop via :class:`_WorkerFaultState`; production workers receive None
+    and pay a single ``is None`` check per message.
     """
     registry = MetricsRegistry() if telemetry else None
     if registry is not None:
         # Fresh registry for this process (the forked copy of the parent's
         # would re-report parent totals); debug-mode backend spans land here.
         set_registry(registry)
+    faults = _WorkerFaultState(fault_plan, registry) if fault_plan is not None else None
     store: "OrderedDict[object, object]" = OrderedDict()
+    current = [None]  # task id being executed, shared with the heartbeat thread
+    stop_beating = threading.Event()
+    if heartbeat_s > 0:
+        pid = os.getpid()
+
+        def _beat() -> None:
+            while not stop_beating.wait(heartbeat_s):
+                try:
+                    results.put((worker_id, "heartbeat", pid, current[0], None))
+                except Exception:  # pragma: no cover - queue torn down at exit
+                    return
+
+        threading.Thread(target=_beat, name="service-heartbeat", daemon=True).start()
     while True:
         message = requests.get()
         kind = message[0]
         if kind == "stop":
+            stop_beating.set()
             break
         if kind == "install":
             _, key, program = message
+            if faults is not None and faults.drop_install():
+                continue
             store[key] = program
             store.move_to_end(key)
             if registry is not None:
@@ -275,7 +458,10 @@ def _service_worker_main(
             )
             continue
         store.move_to_end(key)
+        current[0] = task_id
         try:
+            if faults is not None:
+                faults.begin_task()
             if registry is not None:
                 if dispatched_at is not None:
                     # Wall clock, not perf_counter: the dispatch stamp was
@@ -288,13 +474,25 @@ def _service_worker_main(
                     "worker.shm_bytes" if payload[0] == "shm" else "worker.pickle_bytes"
                 ).inc(_payload_bytes(payload))
                 start = time.perf_counter()
-                chunk = _execute_task(program, payload)
+                chunk = _execute_task(program, payload, faults)
                 registry.histogram("worker.task_s").observe(
                     time.perf_counter() - start
                 )
             else:
-                chunk = _execute_task(program, payload)
+                chunk = _execute_task(program, payload, faults)
+            if faults is not None:
+                faults.kill_after()
+                faults.delay_result()
+                if faults.drop_result():
+                    continue
+                if faults.corrupt_result():
+                    results.put(("corrupt-message",))
+                    continue
             results.put((worker_id, "done", task_id, chunk, _drain_delta(registry)))
+        except _ShmAttachError as exc:
+            results.put(
+                (worker_id, "shm_error", task_id, repr(exc), _drain_delta(registry))
+            )
         except BaseException as exc:
             detail = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
             results.put(
@@ -306,13 +504,15 @@ def _service_worker_main(
                     _drain_delta(registry),
                 )
             )
+        finally:
+            current[0] = None
 
 
 # ----------------------------------------------------------------- parent side
 class _Worker:
     """Parent-side handle of one resident worker process."""
 
-    __slots__ = ("index", "process", "requests", "store", "inflight")
+    __slots__ = ("index", "process", "requests", "store", "inflight", "last_beat_at", "running")
 
     def __init__(self, index, process, requests) -> None:
         self.index = index
@@ -322,13 +522,22 @@ class _Worker:
         self.store: "OrderedDict[object, bool]" = OrderedDict()
         #: Task ids currently dispatched to this worker.
         self.inflight: set = set()
+        #: Monotonic stamp of the last heartbeat whose pid matched this
+        #: process (None before the first beat, or with heartbeats off).
+        self.last_beat_at: Optional[float] = None
+        #: ``(task_id, first_seen_at)`` the worker last reported executing —
+        #: ``first_seen_at`` is the parent-side stamp of the first beat
+        #: naming that task, the clock stall detection runs against.
+        self.running: Optional[tuple] = None
 
 
-#: Bound on retries per task, counting both missing-program reports (e.g. a
-#: program that cannot be pickled into the worker, which only surfaces
-#: asynchronously in the queue's feeder thread) and re-dispatches after a
-#: worker death: a task that deterministically kills its worker (OOM,
-#: native segfault) must fail the job instead of respawning forever.
+#: Default bound on attempts per task (see
+#: ``EngineConfig.service_task_attempts``, which overrides it), counting
+#: missing-program reports (e.g. a program that cannot be pickled into the
+#: worker, which only surfaces asynchronously in the queue's feeder thread),
+#: re-dispatches after worker deaths, lost results, and shm attach failures:
+#: a task that deterministically kills its worker (OOM, native segfault)
+#: must fail the job instead of respawning forever.
 _MAX_TASK_ATTEMPTS = 5
 
 
@@ -336,8 +545,10 @@ class _Task:
     # No back-reference to the dispatched worker: result handling must
     # attribute reports to the *reporting* worker id (a task may have been
     # re-dispatched meanwhile), and a stored handle would pin dead _Worker
-    # objects alive for the task's lifetime.
-    __slots__ = ("task_id", "job", "start", "stop", "attempts")
+    # objects alive for the task's lifetime.  ``last_worker`` is the bare
+    # index, kept so a retry prefers a *different* worker (a task whose
+    # worker wedges would otherwise chase the same injected stall forever).
+    __slots__ = ("task_id", "job", "start", "stop", "attempts", "dispatched_at", "last_worker")
 
     def __init__(self, task_id, job, start, stop) -> None:
         self.task_id = task_id
@@ -345,6 +556,8 @@ class _Task:
         self.start = start
         self.stop = stop
         self.attempts = 0
+        self.dispatched_at: Optional[float] = None
+        self.last_worker: Optional[int] = None
 
 
 class _Job:
@@ -366,6 +579,8 @@ class _Job:
         "done",
         "started_at",
         "counted",
+        "deadline",
+        "degraded",
     )
 
     def __init__(self, future, program, key, inputs, n_nodes, batch) -> None:
@@ -384,6 +599,8 @@ class _Job:
         self.done = False
         self.started_at: Optional[float] = None  # submit stamp (telemetry only)
         self.counted = False  # included in the outstanding-jobs gauge
+        self.deadline: Optional[float] = None  # monotonic; None = no deadline
+        self.degraded = False  # any part ran via in-process serial fallback
 
 
 class EvaluationService:
@@ -430,6 +647,29 @@ class EvaluationService:
         self._anon_ids = itertools.count()
         self._closing = False
         self._closed = False
+        # Hardening state: scheduled retries (min-heap on due time), jobs
+        # carrying deadlines, per-slot respawn counts, the serial backlog
+        # degraded mode drains, and the fault plan (config first, then the
+        # REPRO_FAULTS test hook).
+        self._fault_plan: Optional[FaultPlan] = (
+            self.config.fault_plan
+            if self.config.fault_plan is not None
+            else fault_plan_from_env()
+        )
+        self._max_attempts = self.config.service_task_attempts
+        self._retry_backoff_s = self.config.service_retry_backoff_s
+        self._respawn_budget = self.config.service_respawn_budget
+        self._heartbeat_s = self.config.service_heartbeat_s
+        self._stall_timeout_s = self.config.service_stall_timeout_s
+        self._retries: List[tuple] = []
+        self._retry_seq = itertools.count()
+        self._serial_backlog: List[_Task] = []
+        self._deadline_jobs: Set[_Job] = set()
+        self._slot_respawns: Dict[int, int] = {}
+        self._degraded = False
+        self._dispatch_count = 0
+        self._next_tick = 0.0
+        self._tick_interval = min(0.2, self._heartbeat_s) if self._heartbeat_s > 0 else 0.2
         global_registry = get_registry()
         if registry is not None:
             self._metrics = registry
@@ -451,6 +691,14 @@ class EvaluationService:
         self._c_restarts = metrics.counter("service.worker_restarts")
         self._c_shm_bytes = metrics.counter("service.shm_bytes")
         self._c_pickle_bytes = metrics.counter("service.pickle_bytes")
+        self._c_retries = metrics.counter("service.retries")
+        self._c_stall_kills = metrics.counter("service.stall_kills")
+        self._c_deadline_failures = metrics.counter("service.deadline_failures")
+        self._c_protocol_errors = metrics.counter("service.protocol_errors")
+        self._c_shm_fallbacks = metrics.counter("service.shm_fallbacks")
+        self._c_retired = metrics.counter("service.retired_workers")
+        self._c_degraded_jobs = metrics.counter("service.degraded_jobs")
+        self._g_degraded = metrics.gauge("service.degraded")
         self._g_queue_depth = metrics.gauge("service.queue_depth")
         self._g_workers = metrics.gauge("service.workers")
         self._outstanding = 0
@@ -469,6 +717,7 @@ class EvaluationService:
     # ------------------------------------------------------------- lifecycle
     def _spawn_worker(self, index: int) -> _Worker:
         requests = self._ctx.Queue()
+        plan = self._fault_plan
         process = self._ctx.Process(
             target=_service_worker_main,
             args=(
@@ -477,6 +726,8 @@ class EvaluationService:
                 self._results,
                 self.config.service_store_size,
                 self._telemetry,
+                self._heartbeat_s,
+                plan if plan is not None and plan.applies_to(index) else None,
             ),
             name=f"evaluation-service-worker-{index}",
             daemon=True,
@@ -494,9 +745,14 @@ class EvaluationService:
         """Stop accepting work, stop every worker, release all resources.
 
         ``wait=True`` (default) drains outstanding jobs first; ``wait=False``
-        fails their futures with :class:`ServiceClosed` and terminates the
-        workers immediately.  Idempotent.
+        fails their futures immediately.  Either way every in-flight future
+        resolves — jobs the drain window didn't cover fail with a
+        :class:`ServiceClosed` cause — and ``timeout`` bounds the *whole*
+        shutdown (drain + dispatcher join + worker joins), not each step: a
+        wedged worker is terminated, then killed, rather than waited on
+        indefinitely.  Idempotent.
         """
+        deadline = time.monotonic() + timeout
         with self._lock:
             if self._closed:
                 return
@@ -506,8 +762,11 @@ class EvaluationService:
             )
         if wait:
             for job in outstanding:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
                 try:
-                    job.future.exception(timeout=timeout)
+                    job.future.exception(timeout=remaining)
                 except Exception:
                     pass
         with self._lock:
@@ -515,8 +774,14 @@ class EvaluationService:
                 return
             self._closed = True
             for task in list(self._tasks.values()):
-                self._fail_job(task.job, ServiceClosed("service closed"))
+                self._fail_job(
+                    task.job,
+                    ServiceClosed("service closed with the job still in flight"),
+                )
             self._tasks.clear()
+            self._retries.clear()
+            self._serial_backlog.clear()
+            self._deadline_jobs.clear()
             workers = list(self._workers)
         self._flush_resolutions()
         for worker in workers:
@@ -525,14 +790,23 @@ class EvaluationService:
             except (ValueError, OSError):  # pragma: no cover - queue torn down
                 pass
         self._results.put(None)  # wake + stop the dispatcher
-        self._dispatcher.join(timeout=timeout)
+        self._dispatcher.join(timeout=max(0.1, deadline - time.monotonic()))
         for worker in workers:
-            worker.process.join(timeout=timeout)
-            if worker.process.is_alive():  # pragma: no cover - stuck worker
+            # First a bounded cooperative join, then force: a worker wedged
+            # inside a task (or with a full request queue) must not turn
+            # close() into an indefinite hang.
+            worker.process.join(timeout=max(0.0, min(1.0, deadline - time.monotonic())))
+            if worker.process.is_alive():
                 worker.process.terminate()
+                worker.process.join(timeout=0.5)
+            if worker.process.is_alive():  # pragma: no cover - ignores SIGTERM
+                worker.process.kill()
                 worker.process.join(timeout=1.0)
-            worker.requests.close()
-        self._results.close()
+            _discard_queue(worker.requests)
+        # The dispatcher (daemon) may still be mid-loop if the join above
+        # timed out; discarding rather than flushing the results queue keeps
+        # interpreter exit from waiting on its feeder thread.
+        _discard_queue(self._results)
 
     @property
     def closed(self) -> bool:
@@ -559,6 +833,14 @@ class EvaluationService:
                 reinstalls=self._c_reinstalls.value,
                 shm_jobs=self._c_shm_jobs.value,
                 worker_restarts=self._c_restarts.value,
+                retries=self._c_retries.value,
+                stall_kills=self._c_stall_kills.value,
+                deadline_failures=self._c_deadline_failures.value,
+                protocol_errors=self._c_protocol_errors.value,
+                shm_fallbacks=self._c_shm_fallbacks.value,
+                retired_workers=self._c_retired.value,
+                degraded_jobs=self._c_degraded_jobs.value,
+                degraded=self._degraded,
             )
 
     # ------------------------------------------------------------ submission
@@ -577,7 +859,9 @@ class EvaluationService:
         except TypeError:  # unweakrefable program object
             return ("anon", next(self._anon_ids))
 
-    def submit(self, program, inputs, *, key=None, chunk_size=None) -> Future:
+    def submit(
+        self, program, inputs, *, key=None, chunk_size=None, timeout=None
+    ) -> Future:
         """Schedule one batched evaluation; returns a future of node values.
 
         ``inputs`` is a ``(n_inputs, batch)`` block (a 1-D vector is promoted
@@ -586,6 +870,11 @@ class EvaluationService:
         ``(structural_hash, backend)`` — so repeated submissions reuse the
         per-worker installs; omitted keys are derived per program object.
         Blocks while ``service_queue_depth`` jobs are already outstanding.
+
+        ``timeout`` (seconds) is a per-job deadline: once it passes, the
+        future fails with :class:`~repro.engine.faults.DeadlineExceeded`
+        whatever state the job's tasks are in — retries, a wedged worker, or
+        degraded serial execution never turn into an unbounded wait.
 
         Jobs are split into column tasks of ``chunk_size`` (default: the
         config's) — and *not* narrowed to the worker count: a pipelined
@@ -599,6 +888,8 @@ class EvaluationService:
             inputs = inputs[:, None]
         if inputs.ndim != 2:
             raise ValueError(f"inputs must be 1-D or 2-D, got shape {inputs.shape}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0 or None, got {timeout}")
         if self._closing or self._closed:
             raise ServiceClosed("cannot submit to a closed service")
         future: Future = Future()
@@ -613,9 +904,13 @@ class EvaluationService:
 
         if chunk_size is None:
             chunk_size = self.config.chunk_size
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        if self._degraded:
+            return self._submit_degraded(future, program, inputs, chunk_size, deadline)
         ranges = list(iter_column_chunks(batch, chunk_size))
         self._job_slots.acquire()
         job = _Job(future, program, key, inputs, program.n_nodes, batch)
+        job.deadline = deadline
         try:
             use_shm = inputs.nbytes >= self.config.shared_memory_min_bytes
             if use_shm:
@@ -641,6 +936,8 @@ class EvaluationService:
                 job.counted = True
                 self._outstanding += 1
                 self._g_queue_depth.set(self._outstanding)
+                if job.deadline is not None:
+                    self._deadline_jobs.add(job)
                 for start, stop in ranges:
                     task = _Task(next(self._task_ids), job, start, stop)
                     job.pending.add(task.task_id)
@@ -660,9 +957,37 @@ class EvaluationService:
         self._flush_resolutions()
         return future
 
-    def evaluate(self, program, inputs, *, key=None, chunk_size=None) -> np.ndarray:
+    def _submit_degraded(self, future, program, inputs, chunk_size, deadline) -> Future:
+        """Serial in-process fallback once the pool is gone (degraded mode).
+
+        Runs on the submitting thread — by the time the service degrades
+        there is no pool left to pipeline over, so inline execution loses
+        nothing and keeps the futures API intact for callers.
+        """
+        with self._lock:
+            self._c_jobs.inc()
+            self._c_degraded_jobs.inc()
+        try:
+            result = run_serial(
+                program, inputs, chunk_size=chunk_size, deadline=deadline
+            )
+        except BaseException as exc:
+            if isinstance(exc, DeadlineExceeded):
+                self._c_deadline_failures.inc()
+            future.set_exception(
+                exc if isinstance(exc, Exception) else RuntimeError(repr(exc))
+            )
+        else:
+            future.set_result(result)
+        return future
+
+    def evaluate(
+        self, program, inputs, *, key=None, chunk_size=None, timeout=None
+    ) -> np.ndarray:
         """Blocking :meth:`submit`: the ``(n_nodes, batch)`` node values."""
-        return self.submit(program, inputs, key=key, chunk_size=chunk_size).result()
+        return self.submit(
+            program, inputs, key=key, chunk_size=chunk_size, timeout=timeout
+        ).result()
 
     def map(
         self, program, batches: Iterable, *, key=None, chunk_size=None
@@ -693,14 +1018,39 @@ class EvaluationService:
 
     # -------------------------------------------------------------- dispatch
     def _dispatch(self, task: _Task) -> None:
-        """Send one task to the least-loaded live worker (lock held)."""
-        for worker in self._workers:
+        """Send one task to the least-loaded live worker (lock held).
+
+        With no live workers left (every slot retired) the task goes to the
+        serial backlog the dispatcher drains in-process instead.  Retries
+        prefer a worker other than the one that last held the task, so a
+        task whose worker wedges or loses results isn't re-dispatched into
+        the same failure.
+        """
+        for worker in list(self._workers):
             if not worker.process.is_alive():
                 self._respawn_worker(worker)
-        worker = min(self._workers, key=lambda w: (len(w.inflight), w.index))
+        if task.job.done or task.task_id not in self._tasks:
+            # The respawn sweep can fail this very task's job (a sibling
+            # orphan exhausting its attempts releases the job's buffers).
+            return
+        if not self._workers:
+            self._serial_backlog.append(task)
+            return
+        worker = min(
+            self._workers,
+            key=lambda w: (len(w.inflight), w.index == task.last_worker, w.index),
+        )
         self._install_if_needed(worker, task.job)
         worker.inflight.add(task.task_id)
         self._c_tasks.inc()
+        task.dispatched_at = time.monotonic()
+        task.last_worker = worker.index
+        self._dispatch_count += 1
+        plan = self._fault_plan
+        if plan is not None and self._dispatch_count in plan.drop_dispatch_tasks:
+            # Injected dispatch loss: all the bookkeeping, no request — the
+            # lost-result clock must notice and re-dispatch.
+            return
         worker.requests.put(
             (
                 "run",
@@ -710,6 +1060,30 @@ class EvaluationService:
                 time.time() if self._telemetry else None,
             )
         )
+
+    def _retry_later(self, task: _Task) -> None:
+        """Schedule a re-dispatch after exponential backoff (lock held)."""
+        self._c_retries.inc()
+        delay = self._retry_backoff_s * (2 ** max(0, task.attempts - 1))
+        heapq.heappush(
+            self._retries, (time.monotonic() + delay, next(self._retry_seq), task)
+        )
+
+    def _task_attempt_failed(self, task: _Task, reason: str) -> None:
+        """Count one lost attempt; retry with backoff or fail the job (lock held)."""
+        task.attempts += 1
+        if task.attempts >= self._max_attempts:
+            self._tasks.pop(task.task_id, None)
+            self._fail_job(
+                task.job,
+                RuntimeError(
+                    f"service task for program {task.job.key!r} was "
+                    f"retried {task.attempts} times after {reason}; "
+                    "giving up (does this input crash the worker?)"
+                ),
+            )
+            return
+        self._retry_later(task)
 
     def _payload_for(self, task: _Task) -> tuple:
         job = task.job
@@ -737,66 +1111,273 @@ class EvaluationService:
             worker.store.popitem(last=False)
 
     def _respawn_worker(self, worker: _Worker) -> None:
-        """Replace a dead worker and re-dispatch whatever it was running.
+        """Replace a dead worker — or retire its slot — and retry its tasks.
 
         Re-dispatches count against the task's attempt budget so a task that
         deterministically kills its worker (OOM, native crash) fails its job
-        after :data:`_MAX_TASK_ATTEMPTS` instead of respawning forever.
+        after ``service_task_attempts`` instead of respawning forever.  Each
+        slot may only be respawned ``service_respawn_budget`` times; a slot
+        over budget is retired, and retiring the last slot flips the service
+        into degraded (in-process serial) mode.
         """
-        self._c_restarts.inc()
         worker.process.join(timeout=0)
-        worker.requests.close()
-        replacement = self._spawn_worker(worker.index)
-        self._workers[self._workers.index(worker)] = replacement
+        _discard_queue(worker.requests)
         orphaned = [
             self._tasks[task_id]
             for task_id in worker.inflight
             if task_id in self._tasks
         ]
         worker.inflight.clear()
+        slot = self._workers.index(worker)
+        if self._closing or self._closed:
+            # Shutdown in progress: never spawn into a closing service, and
+            # close() will fail the orphans' jobs itself.
+            self._workers.pop(slot)
+            self._g_workers.set(len(self._workers))
+            return
+        respawns = self._slot_respawns.get(worker.index, 0) + 1
+        self._slot_respawns[worker.index] = respawns
+        if respawns > self._respawn_budget:
+            self._workers.pop(slot)
+            self._c_retired.inc()
+            self._g_workers.set(len(self._workers))
+            if not self._workers:
+                self._enter_degraded()
+        else:
+            self._c_restarts.inc()
+            self._workers[slot] = self._spawn_worker(worker.index)
         for task in orphaned:
-            task.attempts += 1
-            if task.attempts >= _MAX_TASK_ATTEMPTS:
-                self._tasks.pop(task.task_id, None)
-                self._fail_job(
-                    task.job,
-                    RuntimeError(
-                        f"service task for program {task.job.key!r} was "
-                        f"retried {task.attempts} times after worker "
-                        "deaths; giving up (does this input crash the "
-                        "worker?)"
-                    ),
+            if self._degraded:
+                # _enter_degraded already moved every live task (these
+                # included) onto the serial backlog.
+                break
+            self._task_attempt_failed(task, "worker deaths")
+
+    # ------------------------------------------------------------ degradation
+    def _enter_degraded(self) -> None:
+        """Flip to in-process serial execution (lock held).
+
+        Called when the last worker slot is retired: every live task moves
+        onto the serial backlog (ordered by task id, so columns of one job
+        complete in order) and the dispatcher thread drains it; future
+        submissions run inline.  The service stays *correct* — same
+        programs, same column ranges, bit-identical outputs — it just stops
+        being parallel.
+        """
+        if self._degraded:
+            return
+        self._degraded = True
+        self._g_degraded.set(1)
+        # Pending retries would re-dispatch into an empty pool; fold them in.
+        backlogged = {task.task_id for task in self._serial_backlog}
+        for _, _, task in self._retries:
+            backlogged.add(task.task_id)
+            self._serial_backlog.append(task)
+        self._retries.clear()
+        for task in sorted(self._tasks.values(), key=lambda t: t.task_id):
+            if task.task_id not in backlogged:
+                self._serial_backlog.append(task)
+
+    def _convert_job_to_pickle(self, job: _Job) -> None:
+        """Move a shared-memory job onto pickle transport (lock held).
+
+        Copies the staged inputs and any already-written output columns out
+        of the blocks, then closes and unlinks both — exactly once; tasks
+        still holding shm payloads hit :class:`_ShmAttachError` on their next
+        attach and retry with pickle payloads, and results of tasks already
+        *past* attach are recognized (shm-shaped report against a
+        pickle-mode job) and re-run rather than trusted.
+        """
+        if job.in_shm is None:
+            return
+        in_block, out_block = job.in_shm, job.out_shm
+        job.inputs = np.ndarray(
+            job.in_shape, dtype=np.dtype(job.in_dtype), buffer=in_block.buf
+        ).copy()
+        job.out = np.ndarray(
+            (job.n_nodes, job.batch), dtype=np.int8, buffer=out_block.buf
+        ).copy()
+        job.in_shm = None
+        job.out_shm = None
+        for block in (in_block, out_block):
+            try:
+                block.close()
+                block.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+        self._c_shm_fallbacks.inc()
+
+    def _drain_serial_backlog(self) -> None:
+        """Run backlogged tasks in-process (dispatcher thread, lock dropped per task).
+
+        Each task is executed *outside* the lock — programs can run for
+        milliseconds to seconds, and submissions must not block meanwhile —
+        with completion and failure applied back under it.
+        """
+        while True:
+            with self._lock:
+                if not self._serial_backlog or self._closed:
+                    return
+                task = self._serial_backlog.pop(0)
+                if task.task_id not in self._tasks or task.job.done:
+                    continue
+                job = task.job
+                self._convert_job_to_pickle(job)
+                if not job.degraded:
+                    job.degraded = True
+                    self._c_degraded_jobs.inc()
+                program = job.program
+                chunk = job.inputs[:, task.start : task.stop]
+                deadline = job.deadline
+            try:
+                part = run_serial(
+                    program, chunk, chunk_size=self.config.chunk_size, deadline=deadline
                 )
+            except BaseException as exc:
+                with self._lock:
+                    self._tasks.pop(task.task_id, None)
+                    if isinstance(exc, DeadlineExceeded):
+                        self._c_deadline_failures.inc()
+                    self._fail_job(
+                        job,
+                        exc if isinstance(exc, Exception) else RuntimeError(repr(exc)),
+                    )
             else:
-                self._dispatch(task)
+                with self._lock:
+                    if task.task_id in self._tasks and not job.done:
+                        self._tasks.pop(task.task_id)
+                        self._complete_task(task, part)
+            self._flush_resolutions()
 
     # ---------------------------------------------------------------- results
     def _dispatch_loop(self) -> None:
         while True:
+            wait = 0.2
+            with self._lock:
+                if self._retries:
+                    # Wake for the next due retry instead of sleeping past it.
+                    wait = min(wait, max(0.01, self._retries[0][0] - time.monotonic()))
             try:
-                item = self._results.get(timeout=0.2)
+                item = self._results.get(timeout=wait)
             except (Empty, OSError, ValueError):
                 if self._closed:
                     return
-                with self._lock:
-                    if self._tasks:
-                        # Results went quiet with work outstanding: check for
-                        # dead workers and re-dispatch their tasks.
-                        for worker in list(self._workers):
-                            if worker.inflight and not worker.process.is_alive():
-                                self._respawn_worker(worker)
-                self._flush_resolutions()
-                continue
+                item = False  # timeout tick; None is the shutdown sentinel
             if item is None:
                 self._flush_resolutions()
                 return
-            with self._lock:
-                self._handle_result(item)
+            if item is not False:
+                with self._lock:
+                    try:
+                        self._handle_result(item)
+                    except Exception:
+                        # A malformed/corrupted result message (truncated
+                        # tuple, unpicklable payload, bad delta) must never
+                        # kill this thread — a dead dispatcher wedges the
+                        # whole service with every future forever pending.
+                        # The task it belonged to is recovered by the
+                        # lost-result clock.
+                        self._c_protocol_errors.inc()
+            now = time.monotonic()
+            if item is False or now >= self._next_tick:
+                with self._lock:
+                    self._on_tick(now)
+                self._next_tick = now + self._tick_interval
             self._flush_resolutions()
+            self._drain_serial_backlog()
+
+    def _on_tick(self, now: float) -> None:
+        """Time-based bookkeeping (lock held): retries, deadlines, health.
+
+        Runs on every quiet period and at least every ``_tick_interval``
+        under load — a saturated result queue must not starve deadline
+        enforcement or stall detection.
+        """
+        while self._retries and self._retries[0][0] <= now:
+            _, _, task = heapq.heappop(self._retries)
+            if task.task_id not in self._tasks or task.job.done:
+                continue
+            if self._degraded:
+                self._serial_backlog.append(task)
+            else:
+                self._dispatch(task)
+        for job in list(self._deadline_jobs):
+            if job.done:
+                self._deadline_jobs.discard(job)
+            elif now > job.deadline:
+                self._deadline_jobs.discard(job)
+                self._c_deadline_failures.inc()
+                self._fail_job(
+                    job,
+                    DeadlineExceeded(
+                        f"service job for program {job.key!r} missed its deadline"
+                    ),
+                )
+        self._check_workers(now)
+
+    def _check_workers(self, now: float) -> None:
+        """Detect dead, wedged, and result-losing workers (lock held)."""
+        for worker in list(self._workers):
+            if not worker.process.is_alive():
+                self._respawn_worker(worker)
+                continue
+            if self._stall_timeout_s <= 0 or self._heartbeat_s <= 0:
+                continue
+            if worker.running is not None:
+                task_id, first_seen = worker.running
+                if now - first_seen > self._stall_timeout_s:
+                    # Alive but wedged inside one task: death detection will
+                    # never fire, so kill it ourselves and let the respawn
+                    # path retry its tasks.
+                    self._c_stall_kills.inc()
+                    try:
+                        worker.process.kill()
+                    except Exception:  # pragma: no cover - already gone
+                        pass
+                    worker.process.join(timeout=1.0)
+                    self._respawn_worker(worker)
+                    continue
+            if worker.inflight and worker.last_beat_at is not None:
+                for task_id in list(worker.inflight):
+                    task = self._tasks.get(task_id)
+                    if task is None:
+                        worker.inflight.discard(task_id)
+                        continue
+                    if task.dispatched_at is None:
+                        continue
+                    if worker.running is not None and worker.running[0] == task_id:
+                        continue
+                    # The worker has heartbeat since well after the dispatch
+                    # yet reports itself past (or never on) this old task:
+                    # the request or the result went missing.  Worst case it
+                    # is merely queued behind slow siblings and runs twice —
+                    # duplicate executions write identical bytes to disjoint
+                    # columns, so retrying is always safe.
+                    if (
+                        now - task.dispatched_at > self._stall_timeout_s
+                        and worker.last_beat_at > task.dispatched_at + self._heartbeat_s
+                    ):
+                        worker.inflight.discard(task_id)
+                        self._task_attempt_failed(task, "a lost result message")
 
     def _handle_result(self, item) -> None:
         """Process one worker report (lock held; resolutions are staged)."""
         worker_id, kind, task_id, payload, delta = item
+        reporter = next(
+            (worker for worker in self._workers if worker.index == worker_id), None
+        )
+        if kind == "heartbeat":
+            # (worker_id, "heartbeat", pid, current_task_id, None): ignore
+            # beats from a dead predecessor of the slot (its pid differs).
+            if reporter is not None and reporter.process.pid == task_id:
+                now = time.monotonic()
+                reporter.last_beat_at = now
+                current = payload
+                if current is None:
+                    reporter.running = None
+                elif reporter.running is None or reporter.running[0] != current:
+                    reporter.running = (current, now)
+            return
         if delta is not None:
             # Piggybacked worker metrics: merged exactly once per message,
             # tagged with the reporting worker's id.
@@ -806,24 +1387,24 @@ class EvaluationService:
         # already-failed job are gone from the registry but their ids must
         # still leave the live worker's inflight set, or least-loaded
         # dispatch is skewed away from it forever.
-        reporter = next(
-            (worker for worker in self._workers if worker.index == worker_id), None
-        )
         if reporter is not None:
             reporter.inflight.discard(task_id)
+            if reporter.running is not None and reporter.running[0] == task_id:
+                reporter.running = None
         if task is None or task.job.done:
-            # Late result of a failed/cancelled job.
+            # Late result of a failed/cancelled/retried job.
             self._tasks.pop(task_id, None)
             return
         if kind == "missing":
-            # The worker lost the program (store drift, or a fresh process
-            # after a crash): drop the stale mirror entry so the next
-            # dispatch reinstalls, then retry the task.
+            # The worker lost the program (store drift, a fresh process
+            # after a crash, or an injected install drop): drop the stale
+            # mirror entry so the next dispatch reinstalls, then retry the
+            # task immediately — the reinstall rides the same queue.
             self._c_reinstalls.inc()
             if reporter is not None:
                 reporter.store.pop(task.job.key, None)
             task.attempts += 1
-            if task.attempts >= _MAX_TASK_ATTEMPTS:
+            if task.attempts >= self._max_attempts:
                 self._tasks.pop(task_id, None)
                 self._fail_job(
                     task.job,
@@ -835,6 +1416,21 @@ class EvaluationService:
                 )
                 return
             self._dispatch(task)
+            return
+        if kind == "shm_error":
+            # Shared-memory attach failed (block gone, /dev/shm hiccup, or
+            # injected).  First failure: plain retry — it may be transient.
+            # Repeated failure: move the whole job onto pickle transport
+            # before retrying, so the job cannot starve on a broken segment.
+            if task.attempts >= 1:
+                self._convert_job_to_pickle(task.job)
+            self._task_attempt_failed(task, "shared-memory attach failures")
+            return
+        if kind == "done" and payload is None and task.job.in_shm is None:
+            # A shm-transport result for a job that has since fallen back to
+            # pickle: the columns went into an unlinked block nobody will
+            # read.  Re-run rather than silently accept missing data.
+            self._task_attempt_failed(task, "a stale shared-memory write")
             return
         self._tasks.pop(task_id, None)
         if kind == "error":

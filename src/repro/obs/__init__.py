@@ -16,6 +16,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
     Span,
+    counter_regressions,
     disable,
     enable,
     get_registry,
@@ -34,6 +35,7 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "Span",
+    "counter_regressions",
     "disable",
     "enable",
     "get_registry",

@@ -49,6 +49,7 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "Span",
+    "counter_regressions",
     "disable",
     "enable",
     "get_registry",
@@ -621,3 +622,24 @@ def enable(reset: bool = False) -> MetricsRegistry:
 def disable():
     """Deactivate process-global telemetry; returns the replaced registry."""
     return set_registry(None)
+
+
+def counter_regressions(before: dict, after: dict) -> List[str]:
+    """Counter series that went *backwards* between two snapshots.
+
+    Counters are monotone by contract — a series whose value shrinks between
+    two :meth:`MetricsRegistry.snapshot` calls means lost or double-reset
+    state (e.g. a worker delta merged twice, or a registry silently
+    replaced).  The soak harness snapshots periodically and asserts this
+    returns empty.  A series absent from ``after`` is also a regression:
+    registries never drop series.
+    """
+    regressions: List[str] = []
+    after_counters = after.get("counters", {})
+    for key, value in before.get("counters", {}).items():
+        current = after_counters.get(key)
+        if current is None:
+            regressions.append(f"{key}: series vanished (was {value})")
+        elif current < value:
+            regressions.append(f"{key}: {value} -> {current}")
+    return regressions

@@ -2,10 +2,19 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.fastmm import naive_algorithm, strassen_2x2, winograd_2x2
+
+# CI runs with pinned seeds (HYPOTHESIS_PROFILE=ci): failures reproduce
+# across reruns instead of flaking, and print_blob gives the repro recipe.
+settings.register_profile("ci", derandomize=True, print_blob=True)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 
 @pytest.fixture

@@ -1,0 +1,53 @@
+"""Runnable wrapper around :mod:`repro.engine.soak` (see docs/INVARIANTS.md).
+
+Three ways in:
+
+* ``python tests/soak_harness.py [seconds]`` — manual run, aggressive plan,
+  report printed as JSON, non-zero exit on any contract violation.
+* ``SOAK_SECONDS=120 python tests/soak_harness.py`` — long-form soak; the
+  CLI flag wins over the environment variable when both are given.
+* imported by ``tests/test_soak.py`` for the pytest short mode.
+
+``repro soak`` (the CLI subcommand) is the packaged equivalent; this file
+exists so the soak can run straight from a checkout without installing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.engine.faults import aggressive_plan
+from repro.engine.soak import SoakReport, run_soak
+
+DEFAULT_SECONDS = 10.0
+
+
+def soak_seconds(default: float = DEFAULT_SECONDS) -> float:
+    """Soak window length from ``SOAK_SECONDS`` (falls back to ``default``)."""
+    raw = os.environ.get("SOAK_SECONDS")
+    if raw is None:
+        return default
+    seconds = float(raw)
+    if seconds <= 0:
+        raise ValueError(f"SOAK_SECONDS must be > 0, got {raw!r}")
+    return seconds
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    seconds = float(argv[0]) if argv else soak_seconds()
+    report: SoakReport = run_soak(seconds, fault_plan=aggressive_plan())
+    problems = report.problems()
+    json.dump(
+        {**report.as_dict(), "problems": problems, "ok": not problems},
+        sys.stdout,
+        indent=2,
+    )
+    sys.stdout.write("\n")
+    return 0 if not problems else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

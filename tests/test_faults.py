@@ -1,0 +1,397 @@
+"""Fault injection against the evaluation service (INV-6 in docs/INVARIANTS.md).
+
+Every test here follows the same shape: activate a :class:`FaultPlan`
+through ``EngineConfig(fault_plan=...)``, push real work through a resident
+service, and require *bit-identical* results plus the expected recovery
+counters — faults may cost retries, respawns, transport downgrades, or
+degradation, never bytes.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    DeadlineExceeded,
+    Engine,
+    EngineConfig,
+    EvaluationService,
+    FaultPlan,
+    ServiceClosed,
+    aggressive_plan,
+    fault_plan_from_env,
+    run_serial,
+)
+from repro.engine.faults import FAULTS_ENV_VAR
+
+from test_service import parity_circuit, service_config
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2018)
+
+
+@pytest.fixture
+def compiled():
+    return Engine().compile(parity_circuit(6), backend="sparse")
+
+
+def fast_recovery_config(**overrides):
+    """Service knobs turned down so recovery is observable within a test."""
+    base = dict(
+        service_heartbeat_s=0.05,
+        service_stall_timeout_s=0.4,
+        service_retry_backoff_s=0.01,
+        service_task_attempts=25,
+    )
+    base.update(overrides)
+    return service_config(**base)
+
+
+class TestFaultPlan:
+    def test_ordinals_must_be_positive(self):
+        with pytest.raises(ValueError, match="kill_before_task"):
+            FaultPlan(kill_before_task=0)
+        with pytest.raises(ValueError, match="drop_result_tasks"):
+            FaultPlan(drop_result_tasks=(3, -1))
+
+    def test_durations_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="stall_seconds"):
+            FaultPlan(stall_seconds=-0.5)
+        with pytest.raises(ValueError, match="delay_result_s"):
+            FaultPlan(delay_result_s=-1.0)
+
+    def test_lists_coerced_to_tuples(self):
+        plan = FaultPlan(drop_result_tasks=[1, 2], workers=[0])
+        assert plan.drop_result_tasks == (1, 2)
+        assert plan.workers == (0,)
+
+    def test_applies_to(self):
+        assert FaultPlan(kill_before_task=1).applies_to(5)
+        scoped = FaultPlan(kill_before_task=1, workers=(0, 2))
+        assert scoped.applies_to(0)
+        assert not scoped.applies_to(1)
+
+    def test_dict_and_json_round_trip(self):
+        plan = aggressive_plan()
+        assert FaultPlan.from_dict(plan.as_dict()) == plan
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultPlan.from_dict({"explode_on_tuesdays": True})
+
+    def test_env_round_trip(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        assert fault_plan_from_env() is None
+        plan = FaultPlan(install_failures=1, shm_attach_failures=2)
+        monkeypatch.setenv(FAULTS_ENV_VAR, plan.to_json())
+        assert fault_plan_from_env() == plan
+
+    def test_config_rejects_non_plan(self):
+        with pytest.raises(TypeError, match="fault_plan"):
+            EngineConfig(fault_plan={"kill_before_task": 3})
+
+
+class TestWorkerKills:
+    def test_kill_before_task_recovers_bit_identically(self, compiled, rng):
+        config = fast_recovery_config(fault_plan=FaultPlan(kill_before_task=3))
+        batch = rng.integers(0, 2, size=(6, 40))
+        with EvaluationService(config) as service:
+            result = service.evaluate(compiled, batch)
+            stats = service.stats()
+        assert np.array_equal(result, compiled.run(batch))
+        assert stats.worker_restarts >= 1
+
+    def test_kill_after_task_recovers_bit_identically(self, compiled, rng):
+        # The worker computes the chunk, then dies before reporting — the
+        # duplicate execution after re-dispatch must be invisible.
+        config = fast_recovery_config(fault_plan=FaultPlan(kill_after_task=2))
+        batch = rng.integers(0, 2, size=(6, 32))
+        with EvaluationService(config) as service:
+            result = service.evaluate(compiled, batch)
+            stats = service.stats()
+        assert np.array_equal(result, compiled.run(batch))
+        assert stats.worker_restarts >= 1
+        assert stats.retries >= 1
+
+    def test_shm_job_survives_worker_kill_without_leaking(self, compiled, rng):
+        # In-flight shared-memory job across a worker death: the re-dispatched
+        # task re-attaches (or falls back), and the blocks are unlinked once.
+        config = fast_recovery_config(
+            shared_memory_min_bytes=64,
+            fault_plan=FaultPlan(kill_after_task=1, workers=(0,)),
+        )
+        batch = rng.integers(0, 2, size=(6, 64))
+        before = set(_shm_blocks())
+        with EvaluationService(config) as service:
+            result = service.evaluate(compiled, batch)
+            stats = service.stats()
+        assert np.array_equal(result, compiled.run(batch))
+        assert stats.shm_jobs >= 1
+        assert stats.worker_restarts >= 1
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            leaked = set(_shm_blocks()) - before
+            if not leaked:
+                break
+            time.sleep(0.05)
+        assert not leaked, f"leaked shared-memory blocks: {sorted(leaked)}"
+
+
+class TestLostAndCorruptedMessages:
+    def test_dropped_results_are_redispatched(self, compiled, rng):
+        config = fast_recovery_config(fault_plan=FaultPlan(drop_result_tasks=(1,)))
+        batch = rng.integers(0, 2, size=(6, 24))
+        with EvaluationService(config) as service:
+            result = service.evaluate(compiled, batch)
+            stats = service.stats()
+        assert np.array_equal(result, compiled.run(batch))
+        assert stats.retries >= 1
+
+    def test_corrupt_result_message_does_not_kill_dispatcher(self, compiled, rng):
+        # Regression: a malformed result message used to raise inside the
+        # dispatcher thread and silently wedge the whole service; now it is
+        # counted, the task is re-dispatched, and later jobs still complete.
+        config = fast_recovery_config(fault_plan=FaultPlan(corrupt_result_tasks=(1,)))
+        batch = rng.integers(0, 2, size=(6, 24))
+        with EvaluationService(config) as service:
+            first = service.evaluate(compiled, batch)
+            second = service.evaluate(compiled, batch)
+            stats = service.stats()
+        expected = compiled.run(batch)
+        assert np.array_equal(first, expected)
+        assert np.array_equal(second, expected)
+        assert stats.protocol_errors >= 1
+
+    def test_dropped_dispatch_is_retried(self, compiled, rng):
+        config = fast_recovery_config(fault_plan=FaultPlan(drop_dispatch_tasks=(1,)))
+        batch = rng.integers(0, 2, size=(6, 24))
+        with EvaluationService(config) as service:
+            result = service.evaluate(compiled, batch)
+            stats = service.stats()
+        assert np.array_equal(result, compiled.run(batch))
+        assert stats.retries >= 1
+
+    def test_delayed_results_change_nothing(self, compiled, rng):
+        config = fast_recovery_config(fault_plan=FaultPlan(delay_result_s=0.02))
+        batch = rng.integers(0, 2, size=(6, 16))
+        with EvaluationService(config) as service:
+            result = service.evaluate(compiled, batch)
+        assert np.array_equal(result, compiled.run(batch))
+
+
+class TestStallsAndDeadlines:
+    def test_stalled_worker_is_killed_and_job_completes(self, compiled, rng):
+        # Worker 0 wedges inside its first task; only heartbeat-based stall
+        # detection can see that (the process is alive), and the dispatch
+        # penalty then routes the retry to the healthy worker.
+        config = fast_recovery_config(
+            fault_plan=FaultPlan(stall_task=1, stall_seconds=30.0, workers=(0,)),
+        )
+        batch = rng.integers(0, 2, size=(6, 8))
+        with EvaluationService(config) as service:
+            result = service.evaluate(compiled, batch)
+            stats = service.stats()
+        assert np.array_equal(result, compiled.run(batch))
+        assert stats.stall_kills >= 1
+
+    def test_sub_threshold_stall_is_just_slow(self, compiled, rng):
+        config = fast_recovery_config(
+            service_stall_timeout_s=5.0,
+            fault_plan=FaultPlan(stall_task=1, stall_seconds=0.1),
+        )
+        batch = rng.integers(0, 2, size=(6, 8))
+        with EvaluationService(config) as service:
+            result = service.evaluate(compiled, batch)
+            stats = service.stats()
+        assert np.array_equal(result, compiled.run(batch))
+        assert stats.stall_kills == 0
+        assert stats.worker_restarts == 0
+
+    def test_job_deadline_raises_deadline_exceeded(self, compiled, rng):
+        config = fast_recovery_config(
+            fault_plan=FaultPlan(stall_task=1, stall_seconds=30.0)
+        )
+        batch = rng.integers(0, 2, size=(6, 16))
+        with EvaluationService(config) as service:
+            with pytest.raises(DeadlineExceeded, match="missed its deadline"):
+                service.evaluate(compiled, batch, timeout=0.3)
+            stats = service.stats()
+        assert stats.deadline_failures >= 1
+
+    def test_deadline_noop_when_job_is_fast(self, compiled, rng):
+        batch = rng.integers(0, 2, size=(6, 12))
+        with EvaluationService(fast_recovery_config()) as service:
+            result = service.evaluate(compiled, batch, timeout=30.0)
+        assert np.array_equal(result, compiled.run(batch))
+
+    def test_submit_rejects_non_positive_timeout(self, compiled, rng):
+        batch = rng.integers(0, 2, size=(6, 4))
+        with EvaluationService(fast_recovery_config()) as service:
+            with pytest.raises(ValueError, match="timeout"):
+                service.submit(compiled, batch, timeout=0.0)
+
+    def test_run_serial_honors_deadline(self, compiled, rng):
+        batch = rng.integers(0, 2, size=(6, 64))
+        with pytest.raises(DeadlineExceeded):
+            run_serial(compiled, batch, chunk_size=4, deadline=time.monotonic() - 1.0)
+        result = run_serial(compiled, batch, chunk_size=4, deadline=time.monotonic() + 60.0)
+        assert np.array_equal(result, compiled.run(batch))
+
+
+class TestTransportAndInstallFaults:
+    def test_shm_attach_failures_fall_back_to_pickle(self, compiled, rng):
+        # One worker whose every attach fails: the first failure of a task is
+        # retried as-is (may be transient), its second failure converts the
+        # whole job to pickle transport, which then completes.  (With spare
+        # workers and a small failure budget, distinct tasks would each fail
+        # once and plain retries would absorb everything.)
+        config = fast_recovery_config(
+            max_workers=1,
+            shared_memory_min_bytes=64,
+            fault_plan=FaultPlan(shm_attach_failures=100),
+        )
+        batch = rng.integers(0, 2, size=(6, 64))
+        with EvaluationService(config) as service:
+            result = service.evaluate(compiled, batch)
+            stats = service.stats()
+        assert np.array_equal(result, compiled.run(batch))
+        assert stats.shm_jobs >= 1
+        assert stats.shm_fallbacks >= 1
+
+    def test_dropped_install_triggers_reinstall(self, compiled, rng):
+        config = fast_recovery_config(fault_plan=FaultPlan(install_failures=1))
+        batch = rng.integers(0, 2, size=(6, 24))
+        with EvaluationService(config) as service:
+            result = service.evaluate(compiled, batch)
+            stats = service.stats()
+        assert np.array_equal(result, compiled.run(batch))
+        assert stats.reinstalls >= 1
+
+    def test_plan_activates_from_environment(self, compiled, rng, monkeypatch):
+        plan = FaultPlan(install_failures=1)
+        monkeypatch.setenv(FAULTS_ENV_VAR, plan.to_json())
+        batch = rng.integers(0, 2, size=(6, 24))
+        with EvaluationService(fast_recovery_config()) as service:
+            result = service.evaluate(compiled, batch)
+            stats = service.stats()
+        assert np.array_equal(result, compiled.run(batch))
+        assert stats.reinstalls >= 1
+
+
+class TestDegradation:
+    def test_degraded_mode_still_bit_identical(self, compiled, rng):
+        # Every worker dies before executing anything and the respawn budget
+        # is zero, so both slots retire immediately and the service must fall
+        # back to in-process serial execution — same bytes, zero workers.
+        config = fast_recovery_config(
+            service_respawn_budget=0,
+            fault_plan=FaultPlan(kill_before_task=1),
+        )
+        batch = rng.integers(0, 2, size=(6, 24))
+        with EvaluationService(config) as service:
+            result = service.evaluate(compiled, batch)
+            stats = service.stats()
+            # Submissions after degradation short-circuit to the serial path.
+            again = service.evaluate(compiled, batch)
+            final = service.stats()
+        expected = compiled.run(batch)
+        assert np.array_equal(result, expected)
+        assert np.array_equal(again, expected)
+        assert stats.degraded
+        assert stats.workers == 0
+        assert stats.retired_workers == 2
+        assert final.degraded_jobs >= 2
+
+    def test_degraded_shm_job_converts_and_unlinks(self, compiled, rng):
+        before = set(_shm_blocks())
+        config = fast_recovery_config(
+            service_respawn_budget=0,
+            shared_memory_min_bytes=64,
+            fault_plan=FaultPlan(kill_before_task=1),
+        )
+        batch = rng.integers(0, 2, size=(6, 64))
+        with EvaluationService(config) as service:
+            result = service.evaluate(compiled, batch)
+        assert np.array_equal(result, compiled.run(batch))
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            leaked = set(_shm_blocks()) - before
+            if not leaked:
+                break
+            time.sleep(0.05)
+        assert not leaked, f"leaked shared-memory blocks: {sorted(leaked)}"
+
+    def test_respawn_budget_bounds_restarts(self, compiled, rng):
+        config = fast_recovery_config(
+            service_respawn_budget=1,
+            fault_plan=FaultPlan(kill_before_task=1),
+        )
+        batch = rng.integers(0, 2, size=(6, 16))
+        with EvaluationService(config) as service:
+            result = service.evaluate(compiled, batch)
+            stats = service.stats()
+        assert np.array_equal(result, compiled.run(batch))
+        # Each of the two slots restarts at most once before retiring.
+        assert stats.worker_restarts <= 2
+        assert stats.retired_workers == 2
+
+
+class TestBoundedClose:
+    def test_close_returns_promptly_with_wedged_worker(self, compiled, rng):
+        # Stall detection is disabled, so the wedged worker would sleep for
+        # 60s — close(timeout=...) must terminate it instead of waiting.
+        config = fast_recovery_config(
+            service_stall_timeout_s=0.0,
+            fault_plan=FaultPlan(stall_task=1, stall_seconds=60.0),
+        )
+        service = EvaluationService(config)
+        batch = rng.integers(0, 2, size=(6, 16))
+        future = service.submit(compiled, batch)
+        time.sleep(0.3)  # let tasks reach the workers and wedge
+        start = time.monotonic()
+        service.close(wait=False, timeout=2.0)
+        elapsed = time.monotonic() - start
+        assert elapsed < 8.0
+        with pytest.raises(ServiceClosed, match="in flight"):
+            future.result(timeout=1.0)
+
+    def test_close_wait_honors_timeout(self, compiled, rng):
+        config = fast_recovery_config(
+            service_stall_timeout_s=0.0,
+            fault_plan=FaultPlan(stall_task=1, stall_seconds=60.0),
+        )
+        service = EvaluationService(config)
+        batch = rng.integers(0, 2, size=(6, 16))
+        future = service.submit(compiled, batch)
+        start = time.monotonic()
+        service.close(wait=True, timeout=1.5)
+        elapsed = time.monotonic() - start
+        assert elapsed < 8.0
+        assert isinstance(future.exception(timeout=1.0), ServiceClosed)
+
+
+class TestAggressivePlanEndToEnd:
+    def test_everything_at_once_stays_bit_identical(self, compiled, rng):
+        config = fast_recovery_config(
+            shared_memory_min_bytes=256,
+            fault_plan=aggressive_plan(),
+        )
+        batches = [rng.integers(0, 2, size=(6, 40)) for _ in range(4)]
+        with EvaluationService(config) as service:
+            futures = [service.submit(compiled, batch) for batch in batches]
+            results = [future.result(timeout=60.0) for future in futures]
+        for batch, result in zip(batches, results):
+            assert np.array_equal(result, compiled.run(batch))
+
+
+def _shm_blocks():
+    try:
+        names = os.listdir("/dev/shm")
+    except OSError:
+        return []
+    return [name for name in names if name.startswith("psm_")]

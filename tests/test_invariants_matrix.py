@@ -1,0 +1,53 @@
+"""docs/INVARIANTS.md is load-bearing: its test references must stay real.
+
+The invariant matrix names enforcing tests as ``tests/<file>.py::<name>``.
+This module parses the document and fails if a referenced file is missing
+or a referenced test function no longer appears in that file — so renaming
+or deleting an enforcing test forces a deliberate doc update instead of
+silently orphaning an invariant.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC = REPO_ROOT / "docs" / "INVARIANTS.md"
+
+_REFERENCE = re.compile(r"(tests/[\w./]+\.py)::(\w+)")
+
+
+def _references():
+    text = DOC.read_text(encoding="utf-8")
+    refs = sorted(set(_REFERENCE.findall(text)))
+    assert refs, "docs/INVARIANTS.md contains no test references at all"
+    return refs
+
+
+def test_doc_exists():
+    assert DOC.is_file(), "docs/INVARIANTS.md is missing"
+
+
+@pytest.mark.parametrize("path,test_name", _references())
+def test_reference_points_at_a_real_test(path, test_name):
+    target = REPO_ROOT / path
+    assert target.is_file(), f"INVARIANTS.md references missing file {path}"
+    source = target.read_text(encoding="utf-8")
+    assert re.search(rf"def {re.escape(test_name)}\b", source), (
+        f"INVARIANTS.md references {path}::{test_name}, "
+        f"but no such test is defined in {path}"
+    )
+
+
+def test_every_named_invariant_lists_at_least_one_test():
+    text = DOC.read_text(encoding="utf-8")
+    sections = re.split(r"^### ", text, flags=re.MULTILINE)[1:]
+    names = [section.splitlines()[0] for section in sections]
+    assert len(names) >= 6, f"expected >= 6 invariants, found {names}"
+    for name, section in zip(names, sections):
+        assert _REFERENCE.search(section), (
+            f"invariant {name!r} lists no enforcing tests"
+        )

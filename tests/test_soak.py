@@ -1,0 +1,106 @@
+"""Short-mode soak runs (see docs/INVARIANTS.md and tests/soak_harness.py).
+
+These are seconds-long versions of the CI soak: enough wall time for every
+family to cycle a few times (and, with faults, for kills/retries/fallbacks
+to fire), short enough for the regular suite.  ``SOAK_SECONDS`` lengthens
+them without code changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.faults import aggressive_plan
+from repro.engine.soak import SoakReport, default_soak_config, run_soak
+from repro.obs import MetricsRegistry, counter_regressions
+
+from soak_harness import soak_seconds
+
+
+class TestCounterRegressions:
+    def test_clean_growth_is_empty(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        before = registry.snapshot()
+        counter.inc()
+        after = registry.snapshot()
+        assert counter_regressions(before, after) == []
+
+    def test_shrunk_counter_reported(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(5)
+        before = a.snapshot()
+        b = MetricsRegistry()
+        b.counter("c").inc(2)
+        after = b.snapshot()
+        findings = counter_regressions(before, after)
+        assert findings and "c" in findings[0]
+
+    def test_vanished_series_reported(self):
+        a = MetricsRegistry()
+        a.counter("gone").inc()
+        before = a.snapshot()
+        after = MetricsRegistry().snapshot()
+        findings = counter_regressions(before, after)
+        assert findings and "gone" in findings[0]
+
+
+class TestSoakReport:
+    def test_assert_ok_lists_every_problem(self):
+        report = SoakReport(seconds=1.0, drift=2, leaked_shm=["psm_dead"])
+        with pytest.raises(AssertionError) as excinfo:
+            report.assert_ok()
+        message = str(excinfo.value)
+        assert "non-bit-identical" in message
+        assert "psm_dead" in message
+
+    def test_deadline_failures_allowed_only_with_job_timeout(self):
+        failing = SoakReport(
+            seconds=1.0, jobs_ok=1, failures={"DeadlineExceeded": 3}
+        )
+        assert failing.problems()
+        allowed = SoakReport(
+            seconds=1.0, jobs_ok=1, failures={"DeadlineExceeded": 3}, job_timeout=0.5
+        )
+        assert allowed.problems() == []
+
+    def test_rejects_non_positive_seconds(self):
+        with pytest.raises(ValueError, match="seconds"):
+            run_soak(0)
+
+
+class TestShortSoaks:
+    def test_clean_soak(self):
+        report = run_soak(soak_seconds(default=1.5), seed=1)
+        report.assert_ok()
+        assert report.jobs_ok > 0
+        assert len(report.families) == 5
+        assert report.final_stats["jobs"] >= report.jobs_ok
+
+    def test_aggressive_soak(self):
+        report = run_soak(
+            soak_seconds(default=3.0), fault_plan=aggressive_plan(), seed=2
+        )
+        report.assert_ok()
+        stats = report.final_stats
+        # The plan must actually have bitten: every recovery family fires.
+        assert stats["worker_restarts"] >= 1
+        assert stats["retries"] >= 1
+        assert stats["protocol_errors"] >= 1
+        assert stats["shm_fallbacks"] >= 1
+
+    def test_degradation_soak(self):
+        # Constant kills with no respawn budget: the pool retires early in
+        # the run and everything still completes serially, bit-identically.
+        from repro.engine.faults import FaultPlan
+
+        config = default_soak_config(service_respawn_budget=0)
+        report = run_soak(
+            soak_seconds(default=1.5),
+            config=config,
+            fault_plan=FaultPlan(kill_before_task=1),
+            seed=3,
+        )
+        report.assert_ok()
+        assert report.final_stats["degraded"] is True
+        assert report.final_stats["workers"] == 0
+        assert report.final_stats["degraded_jobs"] >= 1
