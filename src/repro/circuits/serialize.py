@@ -114,13 +114,20 @@ def circuit_to_dict(circuit: ThresholdCircuit) -> dict:
     }
 
 
-def circuit_from_dict(payload: dict) -> ThresholdCircuit:
+def circuit_from_dict(payload: dict, *, validate: bool = True) -> ThresholdCircuit:
     """Reconstruct a circuit from :func:`circuit_to_dict` output.
 
     The gate list is flattened into CSR arrays and appended with one bulk
     :meth:`~repro.circuits.circuit.ThresholdCircuit.add_gates` call
     (canonicalization enabled, so hand-written payloads with duplicate
     sources load the same way they would through ``add_gate``).
+
+    By default the reconstructed circuit is statically verified (structure
+    and template provenance — the cheap passes) before it is returned, so a
+    hand-edited or corrupted payload fails at the load site with a
+    :class:`~repro.statics.verifier.StaticVerificationError` instead of
+    deep inside a compile.  Pass ``validate=False`` to skip (e.g. when the
+    caller runs the full verifier anyway).
     """
     if payload.get("format") != _FORMAT:
         raise ValueError(f"not a {_FORMAT} payload")
@@ -150,6 +157,18 @@ def circuit_from_dict(payload: dict) -> ThresholdCircuit:
     if payload.get("outputs"):
         circuit.set_outputs(payload["outputs"], payload.get("output_labels") or None)
     circuit.metadata = dict(payload.get("metadata", {}))
+    if validate:
+        # Imported lazily: repro.statics depends on the simulator, which
+        # imports this package.
+        from repro.statics import verify_circuit
+
+        verify_circuit(
+            circuit,
+            intervals=False,
+            reachability=False,
+            plans=False,
+            target=payload.get("name") or "<deserialized circuit>",
+        ).raise_if_failed()
     return circuit
 
 
@@ -163,11 +182,17 @@ def dump_circuit(circuit: ThresholdCircuit, path_or_file: Union[str, "object"]) 
         json.dump(payload, path_or_file)
 
 
-def load_circuit(path_or_file: Union[str, "object"]) -> ThresholdCircuit:
-    """Load a circuit previously written by :func:`dump_circuit`."""
+def load_circuit(
+    path_or_file: Union[str, "object"], *, validate: bool = True
+) -> ThresholdCircuit:
+    """Load a circuit previously written by :func:`dump_circuit`.
+
+    ``validate`` is forwarded to :func:`circuit_from_dict`: by default the
+    loaded circuit passes static structure/provenance verification.
+    """
     if isinstance(path_or_file, str):
         with open(path_or_file, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
     else:
         payload = json.load(path_or_file)
-    return circuit_from_dict(payload)
+    return circuit_from_dict(payload, validate=validate)

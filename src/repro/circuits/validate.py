@@ -46,8 +46,16 @@ def validate_circuit(
     max_fan_in: Optional[int] = None,
     max_depth: Optional[int] = None,
     require_outputs: bool = False,
+    check_provenance: bool = True,
 ) -> ValidationReport:
-    """Check a circuit's structural invariants and optional resource limits."""
+    """Check a circuit's structural invariants and optional resource limits.
+
+    ``check_provenance`` (default on) additionally re-derives every recorded
+    :class:`~repro.circuits.template.TemplateBlock` from its compiled
+    template via :func:`repro.statics.verifier.provenance_issues`, so a
+    circuit whose provenance metadata has drifted from its columnar store
+    fails validation; pass ``False`` to validate structure only.
+    """
     report = ValidationReport()
     n_inputs = circuit.n_inputs
 
@@ -92,5 +100,11 @@ def validate_circuit(
         report.issues.append(
             f"circuit depth {circuit.depth} exceeds limit {max_depth}"
         )
+
+    if check_provenance and getattr(circuit, "template_blocks", None):
+        # Imported lazily: repro.statics sits above this package.
+        from repro.statics import provenance_issues
+
+        report.issues.extend(provenance_issues(circuit))
 
     return report

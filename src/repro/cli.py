@@ -161,6 +161,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-job deadline in seconds (DeadlineExceeded becomes an allowed failure)",
     )
 
+    verify = sub.add_parser(
+        "verify",
+        help="statically verify circuit JSON files (abstract interpretation + provenance)",
+    )
+    verify.add_argument("circuits", nargs="+", help="circuit JSON files to verify")
+    verify.add_argument(
+        "--quick", action="store_true",
+        help="structure + provenance only (skip intervals, reachability, plan cross-checks)",
+    )
+    verify.add_argument("--format", choices=["json", "text"], default="json")
+
     energy_trace = sub.add_parser(
         "energy-trace", help="spiking-mode per-layer spike counts and energy of a circuit"
     )
@@ -573,6 +584,49 @@ def _cmd_soak(args, stream) -> int:
     return 0 if not problems else 1
 
 
+def _cmd_verify(args, stream) -> int:
+    from repro.circuits.serialize import load_circuit
+    from repro.statics import StaticReport, verify_circuit
+
+    deep = not args.quick
+    reports = []
+    for path in args.circuits:
+        try:
+            # The verifier re-checks structure/provenance itself (and reports
+            # them as findings, not exceptions), so load without the default
+            # load-time validation to avoid doing the work twice.
+            circuit = load_circuit(path, validate=False)
+        except Exception as exc:  # noqa: BLE001 - per-file error becomes a finding
+            report = StaticReport(target=str(path))
+            report.issues.append(f"failed to load circuit: {exc}")
+            reports.append(report)
+            continue
+        reports.append(
+            verify_circuit(
+                circuit,
+                intervals=deep,
+                reachability=deep,
+                plans=deep,
+                target=str(path),
+            )
+        )
+    ok = all(report.ok for report in reports)
+    if args.format == "json":
+        _print(
+            {"ok": ok, "reports": [report.as_dict() for report in reports]},
+            stream,
+        )
+    else:
+        for report in reports:
+            status = "ok" if report.ok else "FAIL"
+            stream.write(f"{report.target}: {status}\n")
+            for issue in report.issues:
+                stream.write(f"  issue: {issue}\n")
+            for warning in report.warnings:
+                stream.write(f"  warning: {warning}\n")
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "algorithms": _cmd_algorithms,
     "info": _cmd_info,
@@ -585,6 +639,7 @@ _COMMANDS = {
     "batch-eval": _cmd_batch_eval,
     "stats": _cmd_stats,
     "soak": _cmd_soak,
+    "verify": _cmd_verify,
     "energy-trace": _cmd_energy_trace,
 }
 

@@ -105,6 +105,15 @@ class EngineConfig:
         Optional :class:`~repro.engine.faults.FaultPlan` injected into this
         service's workers and dispatcher.  **Tests and soak runs only** —
         never set in production configuration.
+    verify_compile:
+        When True, every circuit is statically verified
+        (:func:`repro.statics.verify_circuit` — structure, template
+        provenance, interval analysis, plan cross-checks) before it is
+        compiled; a failing circuit raises
+        :class:`~repro.statics.verifier.StaticVerificationError` instead of
+        producing a program.  A debug gate (off by default): the full pass
+        costs roughly one compile, so enable it in tests, fuzzing, and when
+        ingesting circuits from untrusted producers.
     telemetry:
         When True, constructing an :class:`~repro.engine.engine.Engine`
         activates the **process-wide** metrics registry (``repro.obs``):
@@ -135,6 +144,7 @@ class EngineConfig:
     service_heartbeat_s: float = 0.5
     service_stall_timeout_s: float = 30.0
     fault_plan: Optional[FaultPlan] = None
+    verify_compile: bool = False
     telemetry: bool = False
 
     def __post_init__(self) -> None:

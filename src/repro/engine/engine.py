@@ -131,6 +131,14 @@ class Engine:
         # compiles are bit-identical and share the (hash, backend) cache
         # slot, so a template compile can satisfy later CSR-built rebuilds
         # of the same circuit and vice versa.
+        if self.config.verify_compile:
+            # Debug gate: statically verify the circuit (structure,
+            # provenance, interval analysis, plan cross-checks) before
+            # spending a compile on it.  Imported lazily — the gate is off
+            # by default and the statics package pulls in the simulator.
+            from repro.statics import verify_circuit
+
+            verify_circuit(circuit).raise_if_failed()
         registry = get_registry()
         compile_start = time.perf_counter() if registry.enabled else 0.0
         template_plan = template_plan_for(circuit, self.config)

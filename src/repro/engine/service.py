@@ -467,7 +467,7 @@ def _service_worker_main(
                     # Wall clock, not perf_counter: the dispatch stamp was
                     # taken in another process (same host, same clock).
                     registry.histogram("worker.queue_wait_s").observe(
-                        max(0.0, time.time() - dispatched_at)
+                        max(0.0, time.time() - dispatched_at)  # statics: ignore[REP004]
                     )
                 registry.counter("worker.tasks").inc()
                 registry.counter(

@@ -119,7 +119,10 @@ class SoakReport:
 
     def assert_ok(self) -> None:
         problems = self.problems()
-        assert not problems, "; ".join(problems)
+        if problems:
+            # An explicit raise, not a bare assert: the soak verdict must
+            # survive ``python -O`` (REP001).
+            raise AssertionError("; ".join(problems))
 
 
 def default_soak_config(**overrides) -> EngineConfig:

@@ -1,0 +1,39 @@
+"""Static analysis for the reproduction: prove properties without running.
+
+Two prongs, both wired into CI:
+
+* :mod:`repro.statics.verifier` — abstract interpretation over
+  :class:`~repro.circuits.circuit.ThresholdCircuit` and the compiled plan
+  forms: per-gate signed interval analysis of accumulator magnitudes,
+  template-provenance re-derivation, CSR/layer-plan well-formedness and
+  unreachable-gate reporting.  Exposed as ``repro verify`` on the CLI and
+  as the optional ``EngineConfig(verify_compile=True)`` debug gate.
+* :mod:`repro.statics.lint` — an AST lint over the engine's own source
+  (``python -m repro.statics.lint src/repro``) with rules distilled from
+  the bug classes previous PRs fixed dynamically: bare ``assert`` in
+  runtime paths, unpaired ``SharedMemory`` lifecycles, dispatcher state
+  touched outside the lock, wall-clock deadline arithmetic, and
+  unpicklable members on pool-boundary classes.
+"""
+
+from repro.statics.verifier import (
+    GateIntervals,
+    StaticReport,
+    StaticVerificationError,
+    gate_intervals,
+    provenance_issues,
+    structure_issues,
+    unreachable_gates,
+    verify_circuit,
+)
+
+__all__ = [
+    "GateIntervals",
+    "StaticReport",
+    "StaticVerificationError",
+    "gate_intervals",
+    "provenance_issues",
+    "structure_issues",
+    "unreachable_gates",
+    "verify_circuit",
+]

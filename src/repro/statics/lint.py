@@ -1,0 +1,562 @@
+"""AST lint for the engine source: the PR 5–7 bug classes, statically.
+
+Every rule here is a bug class a previous PR fixed *dynamically* — found
+by a failing run, a wedged service, or a soak — turned into a static
+check so the class cannot regress:
+
+* **REP001** — bare ``assert`` in engine runtime paths (dies under
+  ``python -O``; the PR 5 scheduler fix).
+* **REP002** — a ``SharedMemory(create=True)`` whose segment is not
+  lexically paired with ``close()``/``unlink()`` or ownership-transferred
+  to a release site (leaked segments survive the process).
+* **REP003** — dispatcher-state fields (registered per class in
+  :mod:`repro.statics.registry`) touched outside ``with self._lock``
+  (the PR 7 dispatch-after-release race).
+* **REP004** — ``time.time()`` arithmetic for deadlines (wall clock
+  jumps; deadlines must use ``time.monotonic()``).
+* **REP005** — pool-boundary program classes growing known-unpicklable
+  members (lambdas, generators, thread primitives, open files, weakrefs).
+
+Run as ``python -m repro.statics.lint src/repro``.  Suppress a finding
+with a same-line ``# statics: ignore[REP004]`` comment (bare
+``# statics: ignore`` suppresses every rule on the line); suppressions
+are deliberate, visible markers that a human judged the exception sound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.statics.registry import GUARDED_CLASSES, POOL_BOUNDARY_CLASSES, LockSpec
+
+__all__ = ["Finding", "lint_source", "lint_paths", "main", "ALL_CODES"]
+
+ALL_CODES = ("REP001", "REP002", "REP003", "REP004", "REP005")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*statics:\s*ignore(?:\[([A-Za-z0-9,\s]+)\])?"
+)
+_DEADLINE_NAME_RE = re.compile(
+    r"deadline|expires|expiry|due|cutoff|_at$", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pointing at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed codes (``None`` = all codes)."""
+    table: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        if match.group(1) is None:
+            table[lineno] = None
+        else:
+            table[lineno] = {
+                code.strip().upper() for code in match.group(1).split(",")
+            }
+    return table
+
+
+def _is_suppressed(
+    finding: Finding, table: Dict[int, Optional[Set[str]]]
+) -> bool:
+    codes = table.get(finding.line, "missing")
+    if codes == "missing":
+        return False
+    return codes is None or finding.code in codes
+
+
+# --------------------------------------------------------------------------
+# Shared AST helpers.
+# --------------------------------------------------------------------------
+
+
+def _is_self_attr(node: ast.AST, attr: Optional[str] = None) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def _call_name(node: ast.Call) -> str:
+    """Dotted name of a call's callee ('' when not a plain name/attribute)."""
+    parts: List[str] = []
+    target: ast.AST = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _attach_parents(tree: ast.AST) -> None:
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._statics_parent = parent  # type: ignore[attr-defined]
+
+
+def _parent(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, "_statics_parent", None)
+
+
+# --------------------------------------------------------------------------
+# REP001 — bare assert in engine runtime paths.
+# --------------------------------------------------------------------------
+
+
+def _check_bare_assert(tree: ast.Module, path: str) -> List[Finding]:
+    if "engine" not in Path(path).parts:
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assert):
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "REP001",
+                    "bare assert in an engine runtime path is stripped under "
+                    "python -O; raise an explicit error instead",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# REP002 — SharedMemory lifecycle pairing.
+# --------------------------------------------------------------------------
+
+
+def _is_shm_create(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = _call_name(node)
+    if not name.endswith("SharedMemory"):
+        return False
+    for kw in node.keywords:
+        if kw.arg == "create":
+            return bool(
+                isinstance(kw.value, ast.Constant) and kw.value.value is True
+            )
+    if len(node.args) >= 2:
+        arg = node.args[1]
+        return isinstance(arg, ast.Constant) and arg.value is True
+    return False
+
+
+def _module_has_release_site(tree: ast.Module) -> bool:
+    """True when the module calls both ``.close()`` and ``.unlink()`` somewhere."""
+    seen = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in ("close", "unlink"):
+                seen.add(node.func.attr)
+    return {"close", "unlink"} <= seen
+
+
+def _check_shared_memory(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    module_releases = _module_has_release_site(tree)
+
+    def flag(node: ast.AST, detail: str) -> None:
+        findings.append(
+            Finding(
+                path,
+                node.lineno,
+                node.col_offset,
+                "REP002",
+                "SharedMemory(create=True) " + detail,
+            )
+        )
+
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        # Per-name facts gathered over the whole function body: releases,
+        # ownership transfers (attribute assignment / return of the name).
+        closes: Set[str] = set()
+        unlinks: Set[str] = set()
+        transferred: Set[str] = set()
+        creates: List[tuple] = []  # (node, kind, name)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                target = node.func.value
+                if isinstance(target, ast.Name):
+                    if node.func.attr == "close":
+                        closes.add(target.id)
+                    elif node.func.attr == "unlink":
+                        unlinks.add(target.id)
+            if isinstance(node, ast.Assign):
+                if isinstance(node.value, ast.Name):
+                    if any(
+                        isinstance(t, ast.Attribute) for t in node.targets
+                    ):
+                        transferred.add(node.value.id)
+                if _is_shm_create(node.value):
+                    bound = node.targets[0] if len(node.targets) == 1 else None
+                    if isinstance(bound, ast.Name):
+                        creates.append((node, "local", bound.id))
+                    elif isinstance(bound, ast.Attribute):
+                        creates.append((node, "attribute", bound.attr))
+                    else:
+                        flag(node, "result is discarded; the segment leaks")
+            elif isinstance(node, ast.Return) and isinstance(
+                node.value, ast.Name
+            ):
+                transferred.add(node.value.id)
+            elif _is_shm_create(node) and not isinstance(
+                _parent(node), (ast.Assign, ast.AnnAssign)
+            ):
+                flag(node, "result is discarded; the segment leaks")
+
+        for node, kind, name in creates:
+            if kind == "local":
+                if name in closes and name in unlinks:
+                    continue
+                if name in transferred and module_releases:
+                    continue
+                flag(
+                    node,
+                    f"bound to '{name}' but the function neither pairs it "
+                    "with close()+unlink() nor transfers ownership to a "
+                    "release site",
+                )
+            else:  # attribute target: owner object must have a release site
+                if not module_releases:
+                    flag(
+                        node,
+                        f"stored on an attribute '{name}' but this module "
+                        "has no close()+unlink() release site",
+                    )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# REP003 — guarded dispatcher state only under the lock.
+# --------------------------------------------------------------------------
+
+
+class _LockWalker(ast.NodeVisitor):
+    """Flags guarded ``self.<field>`` access outside ``with self.<lock>``."""
+
+    def __init__(self, spec: LockSpec, path: str, assume_locked: bool) -> None:
+        self.spec = spec
+        self.path = path
+        self.locked = assume_locked
+        self.findings: List[Finding] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        takes_lock = any(
+            _is_self_attr(item.context_expr, self.spec.lock_attr)
+            for item in node.items
+        )
+        if takes_lock and not self.locked:
+            self.locked = True
+            for child in node.body:
+                self.visit(child)
+            self.locked = False
+            # The with-items themselves evaluate before the lock is held.
+            for item in node.items:
+                self.visit(item)
+        else:
+            self.generic_visit(node)
+
+    def _visit_nested_scope(self, node: ast.AST) -> None:
+        # A closure or lambda defined here may run on another thread (the
+        # heartbeat, a future callback) long after the lock is released —
+        # never assume the definition site's lock state inside it.
+        was_locked = self.locked
+        self.locked = False
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self.locked = was_locked
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_nested_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_nested_scope(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            not self.locked
+            and _is_self_attr(node)
+            and node.attr in self.spec.guarded_fields
+        ):
+            self.findings.append(
+                Finding(
+                    self.path,
+                    node.lineno,
+                    node.col_offset,
+                    "REP003",
+                    f"dispatcher state 'self.{node.attr}' touched outside "
+                    f"'with self.{self.spec.lock_attr}'",
+                )
+            )
+        self.generic_visit(node)
+
+
+def _check_lock_discipline(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        spec = GUARDED_CLASSES.get(node.name)
+        if spec is None:
+            continue
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in spec.exempt:
+                continue
+            walker = _LockWalker(
+                spec, path, assume_locked=method.name in spec.assume_locked
+            )
+            for child in method.body:
+                walker.visit(child)
+            findings.extend(walker.findings)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# REP004 — wall-clock arithmetic for deadlines.
+# --------------------------------------------------------------------------
+
+
+def _is_wallclock_call(node: ast.AST, bare_time_imported: bool) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = _call_name(node)
+    if name == "time.time":
+        return True
+    return bare_time_imported and name == "time"
+
+
+def _check_wallclock(tree: ast.Module, path: str) -> List[Finding]:
+    bare_time = any(
+        isinstance(node, ast.ImportFrom)
+        and node.module == "time"
+        and any(alias.name == "time" for alias in node.names)
+        for node in ast.walk(tree)
+    )
+    findings: List[Finding] = []
+    flagged: Set[int] = set()
+
+    def flag(node: ast.AST, detail: str) -> None:
+        if id(node) in flagged:
+            return
+        flagged.add(id(node))
+        findings.append(
+            Finding(
+                path,
+                node.lineno,
+                node.col_offset,
+                "REP004",
+                "wall-clock time.time() " + detail + "; use time.monotonic() "
+                "for deadlines (wall clock can jump backwards)",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if not _is_wallclock_call(node, bare_time):
+            continue
+        ancestor = _parent(node)
+        while ancestor is not None and not isinstance(
+            ancestor, (ast.stmt, ast.Lambda)
+        ):
+            if isinstance(ancestor, (ast.BinOp, ast.Compare)):
+                flag(node, "used in arithmetic/comparison")
+                break
+            ancestor = _parent(ancestor)
+        else:
+            if isinstance(ancestor, ast.Assign):
+                for target in ancestor.targets:
+                    name = (
+                        target.id
+                        if isinstance(target, ast.Name)
+                        else target.attr
+                        if isinstance(target, ast.Attribute)
+                        else ""
+                    )
+                    if name and _DEADLINE_NAME_RE.search(name):
+                        flag(node, f"assigned to deadline-like name '{name}'")
+                        break
+    return findings
+
+
+# --------------------------------------------------------------------------
+# REP005 — unpicklable members on pool-boundary classes.
+# --------------------------------------------------------------------------
+
+_THREAD_PRIMITIVES = frozenset(
+    {"Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore"}
+)
+
+
+def _unpicklable_reason(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Lambda):
+        return "a lambda"
+    if isinstance(node, ast.GeneratorExp):
+        return "a generator expression"
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        if name == "open":
+            return "an open file handle"
+        head, _, tail = name.rpartition(".")
+        if head == "threading" and tail in _THREAD_PRIMITIVES:
+            return f"a threading.{tail}"
+        if not head and tail in _THREAD_PRIMITIVES:
+            return f"a {tail} primitive"
+        if head == "weakref" or name.startswith("weakref."):
+            return "a weak reference"
+    return None
+
+
+def _check_pool_boundary(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.name not in POOL_BOUNDARY_CLASSES:
+            continue
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Assign):
+                continue
+            if not any(_is_self_attr(t) for t in sub.targets):
+                continue
+            reason = _unpicklable_reason(sub.value)
+            if reason:
+                attr = next(
+                    t.attr
+                    for t in sub.targets
+                    if isinstance(t, ast.Attribute) and _is_self_attr(t)
+                )
+                findings.append(
+                    Finding(
+                        path,
+                        sub.lineno,
+                        sub.col_offset,
+                        "REP005",
+                        f"pool-boundary class '{node.name}' stores {reason} "
+                        f"on 'self.{attr}'; it will not survive pickling to "
+                        "a worker",
+                    )
+                )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------------
+
+_CHECKS = {
+    "REP001": _check_bare_assert,
+    "REP002": _check_shared_memory,
+    "REP003": _check_lock_discipline,
+    "REP004": _check_wallclock,
+    "REP005": _check_pool_boundary,
+}
+
+
+def lint_source(
+    source: str, path: str, select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint one source string; returns unsuppressed findings sorted by line."""
+    tree = ast.parse(source, filename=path)
+    _attach_parents(tree)
+    codes = tuple(select) if select is not None else ALL_CODES
+    table = _suppressions(source)
+    findings: List[Finding] = []
+    for code in codes:
+        findings.extend(_CHECKS[code](tree, path))
+    findings = [f for f in findings if not _is_suppressed(f, table)]
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        else:
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[str], select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint files and directories (recursively); returns all findings."""
+    findings: List[Finding] = []
+    for file_path in _iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, str(file_path), select=select))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.statics.lint",
+        description="Project-specific AST lint for the engine source.",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+    select = (
+        [code.strip().upper() for code in args.select.split(",")]
+        if args.select
+        else None
+    )
+    if select:
+        unknown = [code for code in select if code not in _CHECKS]
+        if unknown:
+            parser.error(f"unknown rule code(s): {', '.join(unknown)}")
+    findings = lint_paths(args.paths, select=select)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

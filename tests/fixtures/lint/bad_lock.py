@@ -1,0 +1,26 @@
+"""REP003 bad fixture: guarded dispatcher state touched without the lock.
+
+The class name matches the registry entry, so the rule applies exactly as
+it does to the real service.
+"""
+
+import threading
+
+
+class EvaluationService:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._tasks = {}
+        self._workers = []
+
+    def sneak(self, task_id, task):
+        self._tasks[task_id] = task  # not under the lock
+
+    def read_racy(self):
+        return len(self._workers)  # reads race with the dispatcher too
+
+    def escape_via_closure(self):
+        with self._lock:
+            def later():
+                return self._tasks.popitem()  # closure runs unlocked
+            return later

@@ -1,0 +1,13 @@
+"""REP002 bad fixture: SharedMemory creates without paired release."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leak_local(size):
+    block = SharedMemory(create=True, size=size)
+    return block.name  # the segment object is dropped; nothing releases it
+
+
+def leak_discarded(size):
+    SharedMemory(create=True, size=size)
+    return size

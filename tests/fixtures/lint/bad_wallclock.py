@@ -1,0 +1,13 @@
+"""REP004 bad fixture: wall-clock arithmetic for deadlines."""
+
+import time
+
+
+def wait_until(timeout):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        pass
+
+
+def stamp_due(job, grace):
+    job.due_at = time.time() + grace

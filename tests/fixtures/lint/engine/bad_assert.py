@@ -1,0 +1,8 @@
+"""REP001 bad fixture: bare asserts in an engine-path module."""
+
+
+def dispatch(queue):
+    assert queue, "queue must not be empty"
+    item = queue.pop()
+    assert item is not None
+    return item

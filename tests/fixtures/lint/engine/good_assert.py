@@ -1,0 +1,10 @@
+"""REP001 good fixture: explicit raises survive ``python -O``."""
+
+
+def dispatch(queue):
+    if not queue:
+        raise ValueError("queue must not be empty")
+    item = queue.pop()
+    if item is None:
+        raise AssertionError("queue yielded None")
+    return item

@@ -1,0 +1,26 @@
+"""REP003 good fixture: every guarded access is under ``with self._lock``."""
+
+import threading
+
+
+class EvaluationService:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._tasks = {}
+        self._workers = []
+        self._closing = False  # unguarded field: not in the registry
+
+    def submit(self, task_id, task):
+        with self._lock:
+            self._tasks[task_id] = task
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._tasks), list(self._workers)
+
+    def _dispatch(self, task):
+        # Registered lock-held helper: callers hold self._lock already.
+        self._tasks[id(task)] = task
+
+    def fast_path(self):
+        return self._closing  # benign: field is outside the guarded set

@@ -1,0 +1,22 @@
+"""REP002 good fixture: lexical pairing and ownership transfer."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def paired(size):
+    block = SharedMemory(create=True, size=size)
+    try:
+        return bytes(block.buf[:size])
+    finally:
+        block.close()
+        block.unlink()
+
+
+class Owner:
+    def acquire(self, size):
+        block = SharedMemory(create=True, size=size)
+        self.block = block  # ownership transferred to the release site below
+
+    def release(self):
+        self.block.close()
+        self.block.unlink()

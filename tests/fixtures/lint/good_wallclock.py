@@ -1,0 +1,18 @@
+"""REP004 good fixture: monotonic deadlines; plain timestamps are fine."""
+
+import time
+
+
+def wait_until(timeout):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        pass
+
+
+def record_started(job):
+    job.started_wall = time.time()  # a timestamp, not a deadline
+
+
+def suppressed_cross_process(dispatched_at):
+    # Same-host cross-process stamp: wall clock is the only shared clock.
+    return max(0.0, time.time() - dispatched_at)  # statics: ignore[REP004]
