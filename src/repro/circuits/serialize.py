@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import struct
+import tempfile
 from typing import List, Union
 
 import numpy as np
@@ -114,7 +116,9 @@ def circuit_to_dict(circuit: ThresholdCircuit) -> dict:
     }
 
 
-def circuit_from_dict(payload: dict, *, validate: bool = True) -> ThresholdCircuit:
+def circuit_from_dict(
+    payload: dict, *, validate: bool = True, trusted: bool = False
+) -> ThresholdCircuit:
     """Reconstruct a circuit from :func:`circuit_to_dict` output.
 
     The gate list is flattened into CSR arrays and appended with one bulk
@@ -128,6 +132,12 @@ def circuit_from_dict(payload: dict, *, validate: bool = True) -> ThresholdCircu
     :class:`~repro.statics.verifier.StaticVerificationError` instead of
     deep inside a compile.  Pass ``validate=False`` to skip (e.g. when the
     caller runs the full verifier anyway).
+
+    ``trusted=True`` also skips verification, but says *why*: the payload's
+    integrity was already established out of band (the disk artifact store
+    checksums every bundled file before touching it), so re-validating here
+    would be pure double work.  Reserve it for paths with such a guarantee;
+    user-supplied files should keep the ``validate=True`` default.
     """
     if payload.get("format") != _FORMAT:
         raise ValueError(f"not a {_FORMAT} payload")
@@ -157,7 +167,7 @@ def circuit_from_dict(payload: dict, *, validate: bool = True) -> ThresholdCircu
     if payload.get("outputs"):
         circuit.set_outputs(payload["outputs"], payload.get("output_labels") or None)
     circuit.metadata = dict(payload.get("metadata", {}))
-    if validate:
+    if validate and not trusted:
         # Imported lazily: repro.statics depends on the simulator, which
         # imports this package.
         from repro.statics import verify_circuit
@@ -173,26 +183,49 @@ def circuit_from_dict(payload: dict, *, validate: bool = True) -> ThresholdCircu
 
 
 def dump_circuit(circuit: ThresholdCircuit, path_or_file: Union[str, "object"]) -> None:
-    """Serialize a circuit to a JSON file (path or open file object)."""
+    """Serialize a circuit to a JSON file (path or open file object).
+
+    Writing to a path is atomic: the JSON is staged in a temp file beside
+    the target and published with ``os.replace``, so an interrupted dump
+    (crash, full disk, ^C) leaves the previous file intact instead of a
+    truncated payload that a later :func:`load_circuit` would misreport as
+    a corrupt circuit.
+    """
     payload = circuit_to_dict(circuit)
-    if isinstance(path_or_file, str):
-        with open(path_or_file, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-    else:
+    if not isinstance(path_or_file, str):
         json.dump(payload, path_or_file)
+        return
+    target = os.path.abspath(path_or_file)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(target) + ".", suffix=".tmp",
+        dir=os.path.dirname(target),
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_circuit(
-    path_or_file: Union[str, "object"], *, validate: bool = True
+    path_or_file: Union[str, "object"], *, validate: bool = True, trusted: bool = False
 ) -> ThresholdCircuit:
     """Load a circuit previously written by :func:`dump_circuit`.
 
-    ``validate`` is forwarded to :func:`circuit_from_dict`: by default the
-    loaded circuit passes static structure/provenance verification.
+    ``validate``/``trusted`` are forwarded to :func:`circuit_from_dict`: by
+    default the loaded circuit passes static structure/provenance
+    verification; ``trusted=True`` is the checksummed-artifact fast path.
     """
     if isinstance(path_or_file, str):
         with open(path_or_file, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
     else:
         payload = json.load(path_or_file)
-    return circuit_from_dict(payload, validate=validate)
+    return circuit_from_dict(payload, validate=validate, trusted=trusted)

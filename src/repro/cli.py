@@ -181,6 +181,43 @@ def build_parser() -> argparse.ArgumentParser:
     energy_trace.add_argument("--seed", type=int, default=2018, help="seed for random samples")
     energy_trace.add_argument("--backend", choices=["auto", "sparse", "dense", "exact"], default="auto")
 
+    cache = sub.add_parser(
+        "cache", help="inspect and manage the on-disk compile-artifact cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="artifact counts, byte totals, and per-artifact listing"
+    )
+    cache_stats.add_argument(
+        "--artifact-dir", default=None,
+        help="artifact directory (default: $REPRO_ARTIFACT_DIR or ~/.cache/repro/artifacts)",
+    )
+    cache_stats.add_argument("--format", choices=["json", "text"], default="json")
+    cache_prune = cache_sub.add_parser(
+        "prune", help="sweep stale staging dirs and evict oldest artifacts over a size cap"
+    )
+    cache_prune.add_argument("--artifact-dir", default=None)
+    cache_prune.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="evict oldest artifacts (by mtime — restores refresh it) until the total fits",
+    )
+    cache_prune.add_argument(
+        "--tmp-age", type=float, default=3600.0,
+        help="sweep .tmp-* staging dirs older than this many seconds (crashed writers)",
+    )
+    cache_warm = cache_sub.add_parser(
+        "warm", help="pre-compile circuits into the artifact store"
+    )
+    cache_warm.add_argument(
+        "--circuit", action="append", default=None,
+        help="circuit JSON to compile and store, repeatable (omitted: recompile the "
+        "circuits already bundled in the store for --backend)",
+    )
+    cache_warm.add_argument(
+        "--backend", choices=["auto", "sparse", "dense", "exact"], default="auto"
+    )
+    cache_warm.add_argument("--artifact-dir", default=None)
+
     return parser
 
 
@@ -627,6 +664,83 @@ def _cmd_verify(args, stream) -> int:
     return 0 if ok else 1
 
 
+def _cmd_cache(args, stream) -> int:
+    from repro.engine.diskcache import DiskArtifactStore
+
+    store = DiskArtifactStore(args.artifact_dir)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        entries = store.entries()
+        if args.format == "json":
+            payload = stats.as_dict()
+            payload["entries"] = [entry.as_dict() for entry in entries]
+            _print(payload, stream)
+        else:
+            stream.write(f"artifact dir: {stats.directory}\n")
+            stream.write(
+                f"artifacts: {stats.artifacts} ({stats.total_bytes} bytes, "
+                f"{stats.tmp_dirs} staging dirs)\n"
+            )
+            for entry in entries:
+                circuit_note = " +circuit" if entry.has_circuit else ""
+                stream.write(
+                    f"  {entry.backend:7s} {entry.structural_hash[:16]}... "
+                    f"v{entry.version} {entry.bytes} bytes{circuit_note}\n"
+                )
+        return 0
+
+    if args.cache_command == "prune":
+        result = store.prune(max_bytes=args.max_bytes, tmp_max_age_s=args.tmp_age)
+        result["directory"] = store.directory
+        _print(result, stream)
+        return 0
+
+    # warm: compile circuits (user files, or the ones bundled in existing
+    # artifacts) and publish the programs so later processes restore them.
+    from repro.circuits.serialize import load_circuit
+    from repro.engine import Engine, EngineConfig
+
+    jobs = []
+    if args.circuit:
+        for path in args.circuit:
+            # User-supplied files keep the validate-by-default load; only
+            # checksummed in-store bundles take the trusted fast path.
+            jobs.append((path, load_circuit(path)))
+    else:
+        for entry in store.entries():
+            if not entry.has_circuit:
+                continue
+            circuit = store.get_circuit(entry.structural_hash, entry.backend)
+            if circuit is not None:
+                jobs.append((entry.path, circuit))
+    engine = Engine(EngineConfig(backend=args.backend))
+    warmed = []
+    for label, circuit in jobs:
+        key_hash = circuit.structural_hash()
+        if args.backend != "auto" and store.contains(key_hash, args.backend):
+            warmed.append(
+                {
+                    "source": label,
+                    "structural_hash": key_hash,
+                    "backend": args.backend,
+                    "stored": False,
+                }
+            )
+            continue
+        program, key = engine.compile_entry(circuit)
+        stored = store.put(key[0], key[1], program, circuit=circuit)
+        warmed.append(
+            {
+                "source": label,
+                "structural_hash": key[0],
+                "backend": key[1],
+                "stored": stored,
+            }
+        )
+    _print({"directory": store.directory, "warmed": warmed}, stream)
+    return 0
+
+
 _COMMANDS = {
     "algorithms": _cmd_algorithms,
     "info": _cmd_info,
@@ -641,6 +755,7 @@ _COMMANDS = {
     "soak": _cmd_soak,
     "verify": _cmd_verify,
     "energy-trace": _cmd_energy_trace,
+    "cache": _cmd_cache,
 }
 
 

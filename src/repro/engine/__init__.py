@@ -6,6 +6,9 @@ This subpackage owns everything between "a ThresholdCircuit exists" and
 * :mod:`repro.engine.config` — :class:`EngineConfig`, the runtime knobs;
 * :mod:`repro.engine.cache` — the LRU compile cache keyed by the circuit's
   structural hash;
+* :mod:`repro.engine.diskcache` — the persistent on-disk artifact store
+  (checksummed, atomically published, memory-mapped restores) that lets a
+  fresh process or worker warm-start instead of recompiling;
 * :mod:`repro.engine.backends` — pluggable sparse / dense / exact backends
   behind a common protocol, with auto-selection from circuit stats;
 * :mod:`repro.engine.scheduler` — chunked and process-parallel batch
@@ -40,6 +43,13 @@ from repro.engine.backends import (
 )
 from repro.engine.cache import CacheInfo, CompileCache
 from repro.engine.config import BACKEND_NAMES, EngineConfig
+from repro.engine.diskcache import (
+    ARTIFACT_VERSION,
+    ArtifactEntry,
+    ArtifactStoreStats,
+    DiskArtifactStore,
+    default_artifact_dir,
+)
 from repro.engine.engine import Engine, default_engine, set_default_engine
 from repro.engine.faults import (
     DeadlineExceeded,
@@ -64,7 +74,10 @@ from repro.engine.service import (
 from repro.engine.spiking import ActivityPlan, SpikeTrace, compute_spike_trace
 
 __all__ = [
+    "ARTIFACT_VERSION",
     "ActivityPlan",
+    "ArtifactEntry",
+    "ArtifactStoreStats",
     "BACKEND_NAMES",
     "Backend",
     "BackendError",
@@ -73,6 +86,7 @@ __all__ = [
     "CompiledProgram",
     "DeadlineExceeded",
     "DenseBackend",
+    "DiskArtifactStore",
     "Engine",
     "EngineConfig",
     "EvaluationService",
@@ -88,6 +102,7 @@ __all__ = [
     "chain_future",
     "compile_circuit",
     "compute_spike_trace",
+    "default_artifact_dir",
     "default_engine",
     "evaluate_batched",
     "fault_plan_from_env",

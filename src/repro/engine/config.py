@@ -114,6 +114,23 @@ class EngineConfig:
         producing a program.  A debug gate (off by default): the full pass
         costs roughly one compile, so enable it in tests, fuzzing, and when
         ingesting circuits from untrusted producers.
+    artifact_cache:
+        When True, the engine attaches a disk-backed
+        :class:`~repro.engine.diskcache.DiskArtifactStore` to its compile
+        cache: memory misses probe the artifact directory before
+        recompiling, fresh compiles spill back, and service workers
+        warm-start from disk instead of taking a program install over the
+        queue.  Off by default — opt in per engine (or via the CLI
+        ``--artifact-cache`` flags) so tests and one-shot runs stay
+        hermetic.
+    artifact_dir:
+        Directory of the artifact store.  None uses
+        :func:`~repro.engine.diskcache.default_artifact_dir`
+        (``$REPRO_ARTIFACT_DIR`` or ``~/.cache/repro/artifacts``).
+    artifact_max_bytes:
+        Size cap for the artifact directory: after each spill the oldest
+        artifacts (by ``mtime``; restores refresh it, so this is LRU) are
+        pruned until the total payload fits.  None (default) never prunes.
     telemetry:
         When True, constructing an :class:`~repro.engine.engine.Engine`
         activates the **process-wide** metrics registry (``repro.obs``):
@@ -145,6 +162,9 @@ class EngineConfig:
     service_stall_timeout_s: float = 30.0
     fault_plan: Optional[FaultPlan] = None
     verify_compile: bool = False
+    artifact_cache: bool = False
+    artifact_dir: Optional[str] = None
+    artifact_max_bytes: Optional[int] = None
     telemetry: bool = False
 
     def __post_init__(self) -> None:
@@ -208,6 +228,14 @@ class EngineConfig:
             raise ValueError(
                 "service_stall_timeout_s must be >= 0, "
                 f"got {self.service_stall_timeout_s}"
+            )
+        if self.artifact_dir is not None and not isinstance(self.artifact_dir, str):
+            raise TypeError(
+                f"artifact_dir must be a str or None, got {type(self.artifact_dir).__name__}"
+            )
+        if self.artifact_max_bytes is not None and self.artifact_max_bytes < 0:
+            raise ValueError(
+                f"artifact_max_bytes must be >= 0 or None, got {self.artifact_max_bytes}"
             )
         if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
             raise TypeError(

@@ -48,6 +48,7 @@ from repro.engine.backends import (
 )
 from repro.engine.cache import CacheInfo, CompileCache
 from repro.engine.config import BACKEND_NAMES, EngineConfig
+from repro.engine.diskcache import DiskArtifactStore
 from repro.engine.scheduler import evaluate_batched, narrowed_chunk_size
 from repro.engine.spiking import ActivityPlan, SpikeTrace, compute_spike_trace
 from repro.obs import enable as enable_telemetry
@@ -86,7 +87,27 @@ class Engine:
             # Process-wide by design: metrics are one registry per process
             # (idempotent — a second engine joins the live registry).
             enable_telemetry()
-        self._cache = CompileCache(self.config.cache_size)
+        # The optional disk artifact store: memory misses probe it before
+        # recompiling, fresh compiles spill back.  Restored entries carry
+        # no activity plan (rebuilt lazily via _activity_plans) and do not
+        # count as compile_calls — the whole point is that no backend ran.
+        self._artifacts = (
+            DiskArtifactStore(
+                self.config.artifact_dir,
+                max_bytes=self.config.artifact_max_bytes,
+                fault_plan=self.config.fault_plan,
+            )
+            if self.config.artifact_cache
+            else None
+        )
+        self._cache = CompileCache(
+            self.config.cache_size,
+            disk=self._artifacts,
+            spill=lambda entry: entry.program,
+            restore=lambda program, key: _CacheEntry(
+                program=program, activity=None, key=key
+            ),
+        )
         # Remembered auto-selection verdicts (hash -> concrete backend name),
         # so an auto lookup costs one cache probe and one LRU slot, not two.
         self._auto_resolved: dict = {}
@@ -193,6 +214,19 @@ class Engine:
         ``"auto"`` resolves per circuit via the selection heuristic.
         """
         return self._entry(circuit, backend).program
+
+    def compile_entry(
+        self, circuit: ThresholdCircuit, backend: Optional[str] = None
+    ) -> Tuple[CompiledProgram, Tuple[str, str]]:
+        """Like :meth:`compile`, but also returns the resolved cache key.
+
+        The key is ``(structural_hash, concrete_backend)`` — what the
+        service uses as the install-once identity and the artifact store
+        uses on disk — with ``"auto"`` already resolved, so callers (CLI
+        warming, benchmarks) need no second hash or selection pass.
+        """
+        entry = self._entry(circuit, backend)
+        return entry.program, entry.key
 
     # ---------------------------------------------------------------- service
     def _service_for(self):
@@ -413,6 +447,11 @@ class Engine:
     def metrics(self):
         """The live metrics registry (the process-global one; see repro.obs)."""
         return get_registry()
+
+    @property
+    def artifact_store(self) -> Optional[DiskArtifactStore]:
+        """The disk artifact store, when ``config.artifact_cache`` is on."""
+        return self._artifacts
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss/eviction counters of the compile cache."""

@@ -95,6 +95,12 @@ class FaultPlan:
     #: The dispatcher silently drops these (service-global, 1-based)
     #: dispatch ordinals: the request never reaches the worker.
     drop_dispatch_tasks: Tuple[int, ...] = ()
+    #: The first K artifact publications by a
+    #: :class:`~repro.engine.diskcache.DiskArtifactStore` built from this
+    #: plan ``os._exit`` after fully staging the artifact but before the
+    #: atomic ``os.replace`` — a crashed writer, leaving only ``.tmp-*``
+    #: litter that readers must never trust and ``prune`` must sweep.
+    artifact_crash_writes: int = 0
     #: Restrict worker-side faults to these worker indices (None: all).
     workers: Optional[Tuple[int, ...]] = None
 
@@ -119,7 +125,7 @@ class FaultPlan:
         for name in ("stall_seconds", "delay_result_s"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
-        for name in ("shm_attach_failures", "install_failures"):
+        for name in ("shm_attach_failures", "install_failures", "artifact_crash_writes"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
 

@@ -80,6 +80,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set
 import numpy as np
 
 from repro.engine.config import EngineConfig
+from repro.engine.diskcache import DiskArtifactStore, default_artifact_dir
 from repro.engine.faults import DeadlineExceeded, FaultPlan, fault_plan_from_env
 from repro.engine.scheduler import iter_column_chunks, run_serial
 from repro.obs import MetricsRegistry, get_registry, set_registry
@@ -124,6 +125,7 @@ class ServiceStats:
     retired_workers: int = 0
     degraded_jobs: int = 0
     degraded: bool = False
+    disk_skipped_installs: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -142,6 +144,7 @@ class ServiceStats:
             "retired_workers": self.retired_workers,
             "degraded_jobs": self.degraded_jobs,
             "degraded": self.degraded,
+            "disk_skipped_installs": self.disk_skipped_installs,
         }
 
 
@@ -383,6 +386,7 @@ def _service_worker_main(
     telemetry=False,
     heartbeat_s=0.0,
     fault_plan=None,
+    artifact_dir=None,
 ) -> None:
     """Loop of one resident worker: install programs, run tasks, report back.
 
@@ -409,6 +413,12 @@ def _service_worker_main(
     ``fault_plan`` (tests/soak only) threads a :class:`FaultPlan` through
     the loop via :class:`_WorkerFaultState`; production workers receive None
     and pay a single ``is None`` check per message.
+
+    ``artifact_dir`` enables warm-starting: a run for a key the store does
+    not hold first probes the disk artifact store and restores the program
+    (memory-mapped, checksum-verified) instead of reporting ``missing`` —
+    so a fresh or respawned worker installs nothing the host has compiled
+    before, and the parent never re-ships those programs over the queue.
     """
     registry = MetricsRegistry() if telemetry else None
     if registry is not None:
@@ -416,6 +426,14 @@ def _service_worker_main(
         # would re-report parent totals); debug-mode backend spans land here.
         set_registry(registry)
     faults = _WorkerFaultState(fault_plan, registry) if fault_plan is not None else None
+    artifacts = None
+    if artifact_dir:
+        try:
+            # No tmp sweep here: every worker constructing a store at spawn
+            # would race the sweep against live parent-side writers.
+            artifacts = DiskArtifactStore(artifact_dir, sweep=False)
+        except OSError:  # pragma: no cover - unwritable dir: degrade to installs
+            artifacts = None
     store: "OrderedDict[object, object]" = OrderedDict()
     current = [None]  # task id being executed, shared with the heartbeat thread
     stop_beating = threading.Event()
@@ -452,6 +470,26 @@ def _service_worker_main(
         # ("run", task_id, key, payload, dispatched_at)
         _, task_id, key, payload, dispatched_at = message
         program = store.get(key)
+        if (
+            program is None
+            and artifacts is not None
+            and isinstance(key, tuple)
+            and len(key) == 2
+            and isinstance(key[0], str)
+            and isinstance(key[1], str)
+        ):
+            # Warm start: the parent skipped the install because the
+            # program is on disk; restore it here (or after a respawn,
+            # where the fresh process holds nothing the disk does not).
+            program = artifacts.get(key[0], key[1])
+            if program is not None:
+                store[key] = program
+                if registry is not None:
+                    registry.counter("worker.disk_restores").inc()
+                while len(store) > store_capacity:
+                    store.popitem(last=False)
+                    if registry is not None:
+                        registry.counter("worker.store_evictions").inc()
         if program is None:
             results.put(
                 (worker_id, "missing", task_id, None, _drain_delta(registry))
@@ -512,7 +550,16 @@ def _service_worker_main(
 class _Worker:
     """Parent-side handle of one resident worker process."""
 
-    __slots__ = ("index", "process", "requests", "store", "inflight", "last_beat_at", "running")
+    __slots__ = (
+        "index",
+        "process",
+        "requests",
+        "store",
+        "force_install",
+        "inflight",
+        "last_beat_at",
+        "running",
+    )
 
     def __init__(self, index, process, requests) -> None:
         self.index = index
@@ -520,6 +567,11 @@ class _Worker:
         self.requests = requests
         #: Mirror of the worker's LRU program store (keys only).
         self.store: "OrderedDict[object, bool]" = OrderedDict()
+        #: Keys whose next install must ride the queue even though the
+        #: artifact store claims to hold them: this worker reported
+        #: ``missing`` after a skipped install, so its disk restore failed
+        #: (pruned or corrupt artifact) and skipping again would loop.
+        self.force_install: set = set()
         #: Task ids currently dispatched to this worker.
         self.inflight: set = set()
         #: Monotonic stamp of the last heartbeat whose pid matched this
@@ -656,6 +708,23 @@ class EvaluationService:
             if self.config.fault_plan is not None
             else fault_plan_from_env()
         )
+        # Warm-start state: the artifact directory workers restore from
+        # (None disables the whole path), a parent-side store handle for
+        # contains() probes, and a memo of keys known to be on disk so the
+        # hot dispatch path does not stat() per job.
+        self._artifact_dir: Optional[str] = (
+            (self.config.artifact_dir or default_artifact_dir())
+            if self.config.artifact_cache
+            else None
+        )
+        self._artifacts: Optional[DiskArtifactStore] = (
+            DiskArtifactStore(
+                self._artifact_dir, max_bytes=self.config.artifact_max_bytes
+            )
+            if self._artifact_dir is not None
+            else None
+        )
+        self._disk_resident: Set[object] = set()
         self._max_attempts = self.config.service_task_attempts
         self._retry_backoff_s = self.config.service_retry_backoff_s
         self._respawn_budget = self.config.service_respawn_budget
@@ -687,6 +756,7 @@ class EvaluationService:
         self._c_tasks = metrics.counter("service.tasks")
         self._c_installs = metrics.counter("service.installs")
         self._c_reinstalls = metrics.counter("service.reinstalls")
+        self._c_disk_skipped = metrics.counter("service.disk_skipped_installs")
         self._c_shm_jobs = metrics.counter("service.shm_jobs")
         self._c_restarts = metrics.counter("service.worker_restarts")
         self._c_shm_bytes = metrics.counter("service.shm_bytes")
@@ -728,6 +798,7 @@ class EvaluationService:
                 self._telemetry,
                 self._heartbeat_s,
                 plan if plan is not None and plan.applies_to(index) else None,
+                self._artifact_dir,
             ),
             name=f"evaluation-service-worker-{index}",
             daemon=True,
@@ -841,6 +912,7 @@ class EvaluationService:
                 retired_workers=self._c_retired.value,
                 degraded_jobs=self._c_degraded_jobs.value,
                 degraded=self._degraded,
+                disk_skipped_installs=self._c_disk_skipped.value,
             )
 
     # ------------------------------------------------------------ submission
@@ -1100,11 +1172,45 @@ class EvaluationService:
             )
         return ("pickle", job.inputs[:, task.start : task.stop])
 
+    def _artifact_resident(self, key) -> bool:
+        """Whether the artifact store holds this key (memoized positives).
+
+        Only ``(structural_hash, backend)`` string keys are disk-cacheable;
+        anonymous per-program keys always install over the queue.
+        """
+        if self._artifacts is None or not (
+            isinstance(key, tuple)
+            and len(key) == 2
+            and isinstance(key[0], str)
+            and isinstance(key[1], str)
+        ):
+            return False
+        if key in self._disk_resident:
+            return True
+        if self._artifacts.contains(key[0], key[1]):
+            self._disk_resident.add(key)
+            return True
+        return False
+
     def _install_if_needed(self, worker: _Worker, job: _Job) -> None:
-        """Mirror-checked install: ship the program once per worker per key."""
+        """Mirror-checked install: ship the program once per worker per key.
+
+        With the artifact cache on, a key the disk store holds skips the
+        queue install entirely — the worker restores it on first use (and
+        a respawned worker re-restores without the parent doing anything).
+        A worker whose restore failed reports ``missing``, which marks the
+        key for a forced queue install here (see ``_Worker.force_install``).
+        """
         if job.key not in worker.store:
-            worker.requests.put(("install", job.key, job.program))
-            self._c_installs.inc()
+            if (
+                job.key not in worker.force_install
+                and self._artifact_resident(job.key)
+            ):
+                self._c_disk_skipped.inc()
+            else:
+                worker.requests.put(("install", job.key, job.program))
+                worker.force_install.discard(job.key)
+                self._c_installs.inc()
         worker.store[job.key] = True
         worker.store.move_to_end(job.key)
         while len(worker.store) > self.config.service_store_size:
@@ -1403,6 +1509,13 @@ class EvaluationService:
             self._c_reinstalls.inc()
             if reporter is not None:
                 reporter.store.pop(task.job.key, None)
+                # If the parent skipped the install trusting the disk
+                # artifact, that trust was misplaced (pruned or corrupt —
+                # the worker's failed restore deletes a corrupt artifact):
+                # drop the residency memo so the next probe re-stats, and
+                # force this worker's next install onto the queue.
+                self._disk_resident.discard(task.job.key)
+                reporter.force_install.add(task.job.key)
             task.attempts += 1
             if task.attempts >= self._max_attempts:
                 self._tasks.pop(task_id, None)

@@ -16,6 +16,12 @@ check so the class cannot regress:
   jumps; deadlines must use ``time.monotonic()``).
 * **REP005** — pool-boundary program classes growing known-unpicklable
   members (lambdas, generators, thread primitives, open files, weakrefs).
+* **REP006** — a temp file/directory created for the write-to-temp +
+  ``os.replace`` publication pattern (registered factories:
+  ``tempfile.mkstemp``/``mkdtemp``) in a function with no cleanup call
+  (``os.unlink``/``shutil.rmtree``/...): publication covers only the
+  success path, so every failure leaks staging litter (the disk
+  artifact-store crash-safety contract).
 
 Run as ``python -m repro.statics.lint src/repro``.  Suppress a finding
 with a same-line ``# statics: ignore[REP004]`` comment (bare
@@ -33,11 +39,17 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.statics.registry import GUARDED_CLASSES, POOL_BOUNDARY_CLASSES, LockSpec
+from repro.statics.registry import (
+    GUARDED_CLASSES,
+    POOL_BOUNDARY_CLASSES,
+    TEMP_ARTIFACT_FACTORIES,
+    TEMP_CLEANUP_CALLS,
+    LockSpec,
+)
 
 __all__ = ["Finding", "lint_source", "lint_paths", "main", "ALL_CODES"]
 
-ALL_CODES = ("REP001", "REP002", "REP003", "REP004", "REP005")
+ALL_CODES = ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006")
 
 _SUPPRESS_RE = re.compile(
     r"#\s*statics:\s*ignore(?:\[([A-Za-z0-9,\s]+)\])?"
@@ -476,6 +488,54 @@ def _check_pool_boundary(tree: ast.Module, path: str) -> List[Finding]:
 
 
 # --------------------------------------------------------------------------
+# REP006 — temp-write publication pattern must clean up after itself.
+# --------------------------------------------------------------------------
+
+
+def _check_temp_cleanup(tree: ast.Module, path: str) -> List[Finding]:
+    """Flag temp-artifact factories in functions with no cleanup call.
+
+    The write-to-temp + ``os.replace`` pattern is only crash-safe if the
+    failure path removes the staging file/dir: ``os.replace`` consumes it
+    on success, but an exception between creation and publication leaves
+    litter unless an except/finally cleans up.  The rule is lexical (like
+    REP002): the factory and at least one registered cleanup call must
+    appear in the same function.  Pure-scratch uses (temp never published)
+    pass the same way — cleanup is required, publication is not.
+    """
+    findings: List[Finding] = []
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        factory_calls: List[tuple] = []
+        has_cleanup = False
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in TEMP_ARTIFACT_FACTORIES:
+                factory_calls.append((node, name))
+            elif name in TEMP_CLEANUP_CALLS:
+                has_cleanup = True
+        if has_cleanup:
+            continue
+        for node, name in factory_calls:
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "REP006",
+                    f"temp artifact from {name}() is never cleaned up in "
+                    "this function (os.replace covers only the success "
+                    "path); pair it with os.unlink/shutil.rmtree in an "
+                    "except/finally",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver.
 # --------------------------------------------------------------------------
 
@@ -485,6 +545,7 @@ _CHECKS = {
     "REP003": _check_lock_discipline,
     "REP004": _check_wallclock,
     "REP005": _check_pool_boundary,
+    "REP006": _check_temp_cleanup,
 }
 
 

@@ -16,7 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet
 
-__all__ = ["LockSpec", "GUARDED_CLASSES", "POOL_BOUNDARY_CLASSES"]
+__all__ = [
+    "LockSpec",
+    "GUARDED_CLASSES",
+    "POOL_BOUNDARY_CLASSES",
+    "TEMP_ARTIFACT_FACTORIES",
+    "TEMP_CLEANUP_CALLS",
+]
 
 
 @dataclass(frozen=True)
@@ -52,6 +58,7 @@ GUARDED_CLASSES: Dict[str, LockSpec] = {
                 "_workers",
                 "_outstanding",
                 "_resolutions",
+                "_disk_resident",
             }
         ),
         # Documented lock-held helpers: every caller already holds _lock
@@ -63,6 +70,7 @@ GUARDED_CLASSES: Dict[str, LockSpec] = {
                 "_task_attempt_failed",
                 "_payload_for",
                 "_install_if_needed",
+                "_artifact_resident",
                 "_respawn_worker",
                 "_enter_degraded",
                 "_convert_job_to_pickle",
@@ -89,5 +97,29 @@ POOL_BOUNDARY_CLASSES: FrozenSet[str] = frozenset(
         "_ExactProgram",
         "_TemplateProgram",
         "_TemplateExactProgram",
+    }
+)
+
+
+#: Calls that create a temp file/directory for the write-to-temp +
+#: ``os.replace`` publication pattern (the disk artifact store, atomic
+#: circuit dumps).  REP006 requires any function calling one of these to
+#: also contain a cleanup call (below): publication via ``os.replace``
+#: covers only the success path, and a function with no cleanup leaks its
+#: staging litter on every failure.
+TEMP_ARTIFACT_FACTORIES: FrozenSet[str] = frozenset(
+    {"tempfile.mkstemp", "tempfile.mkdtemp", "mkstemp", "mkdtemp"}
+)
+
+#: Calls REP006 accepts as cleaning up a temp artifact.
+TEMP_CLEANUP_CALLS: FrozenSet[str] = frozenset(
+    {
+        "os.unlink",
+        "os.remove",
+        "os.rmdir",
+        "shutil.rmtree",
+        "unlink",
+        "remove",
+        "rmtree",
     }
 )

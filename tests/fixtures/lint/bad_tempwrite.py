@@ -1,0 +1,20 @@
+"""REP006 bad fixture: temp artifacts with no cleanup on the failure path."""
+
+import json
+import os
+import tempfile
+
+
+def publish_without_cleanup(payload, target):
+    # os.replace consumes the temp file on success, but any exception
+    # between mkstemp and replace leaves it behind forever.
+    fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(target))
+    with os.fdopen(fd, "w") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp_path, target)
+
+
+def stage_dir_without_cleanup(directory):
+    # Never published *and* never removed: pure litter.
+    tmpdir = tempfile.mkdtemp(dir=directory)
+    return tmpdir

@@ -1,0 +1,28 @@
+"""REP006 good fixture: every temp artifact is cleaned up on failure."""
+
+import json
+import os
+import shutil
+import tempfile
+
+
+def publish_with_cleanup(payload, target):
+    fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(target))
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def scratch_dir_with_cleanup(work):
+    tmpdir = tempfile.mkdtemp()
+    try:
+        return work(tmpdir)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)

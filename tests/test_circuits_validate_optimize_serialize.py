@@ -129,3 +129,36 @@ class TestSerialize:
     def test_rejects_unknown_version(self):
         with pytest.raises(ValueError):
             circuit_from_dict({"format": "repro-threshold-circuit", "version": 99})
+
+    def test_failed_dump_leaves_previous_file_and_no_litter(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "circuit.json")
+        good = build_redundant_circuit()
+        dump_circuit(good, path)
+        before = open(path).read()
+
+        bad = build_redundant_circuit()
+        bad.metadata["poison"] = object()  # json.dump chokes mid-write
+        with pytest.raises(TypeError):
+            dump_circuit(bad, path)
+        # The interrupted dump neither clobbered the published file nor
+        # left its staging temp file behind.
+        assert open(path).read() == before
+        assert os.listdir(tmp_path) == ["circuit.json"]
+        assert load_circuit(path).size == good.size
+
+    def test_trusted_load_skips_static_verification(self, monkeypatch):
+        import repro.statics
+
+        payload = circuit_to_dict(build_redundant_circuit())
+
+        def boom(*args, **kwargs):
+            raise AssertionError("verifier must not run on the trusted path")
+
+        monkeypatch.setattr(repro.statics, "verify_circuit", boom)
+        with pytest.raises(AssertionError):
+            circuit_from_dict(payload)  # default path verifies (and explodes)
+        trusted = circuit_from_dict(payload, trusted=True)
+        assert trusted.size == build_redundant_circuit().size
+        assert circuit_from_dict(payload, validate=False).size == trusted.size

@@ -407,3 +407,82 @@ class TestStatsCommand:
         circuit_path = self.export_circuit(tmp_path)
         with pytest.raises(ValueError):
             run_cli(["stats", "--circuit", circuit_path, "--samples", "0"])
+
+
+class TestCacheCommands:
+    def export_circuit(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        code, _ = run_cli(
+            ["build-trace", "--n", "2", "--tau", "3", "--d", "1", "--bit-width", "1", "--output", path]
+        )
+        assert code == 0
+        return path
+
+    def test_warm_stats_prune_round_trip(self, tmp_path):
+        circuit_path = self.export_circuit(tmp_path)
+        adir = str(tmp_path / "artifacts")
+
+        code, payload = run_cli(
+            ["cache", "warm", "--circuit", circuit_path, "--backend", "sparse", "--artifact-dir", adir]
+        )
+        assert code == 0
+        (warmed,) = payload["warmed"]
+        assert warmed["backend"] == "sparse"
+        assert warmed["stored"] is True
+
+        # Warming the same circuit again finds the artifact already there.
+        code, payload = run_cli(
+            ["cache", "warm", "--circuit", circuit_path, "--backend", "sparse", "--artifact-dir", adir]
+        )
+        assert payload["warmed"][0]["stored"] is False
+
+        code, payload = run_cli(["cache", "stats", "--artifact-dir", adir])
+        assert code == 0
+        assert payload["artifacts"] == 1
+        (entry,) = payload["entries"]
+        assert entry["backend"] == "sparse"
+        assert entry["has_circuit"] is True
+
+        code, payload = run_cli(
+            ["cache", "prune", "--artifact-dir", adir, "--max-bytes", "0"]
+        )
+        assert code == 0
+        assert payload["artifacts_removed"] == 1
+        code, payload = run_cli(["cache", "stats", "--artifact-dir", adir])
+        assert payload["artifacts"] == 0
+
+    def test_warm_from_bundled_circuits_covers_other_backends(self, tmp_path):
+        circuit_path = self.export_circuit(tmp_path)
+        adir = str(tmp_path / "artifacts")
+        run_cli(
+            ["cache", "warm", "--circuit", circuit_path, "--backend", "sparse", "--artifact-dir", adir]
+        )
+        # No --circuit: re-warm from the circuit JSON bundled in existing
+        # artifacts, compiling for a second backend.
+        code, payload = run_cli(
+            ["cache", "warm", "--backend", "dense", "--artifact-dir", adir]
+        )
+        assert code == 0
+        (warmed,) = payload["warmed"]
+        assert warmed["backend"] == "dense"
+        assert warmed["stored"] is True
+        code, payload = run_cli(["cache", "stats", "--artifact-dir", adir])
+        assert payload["artifacts"] == 2
+        assert {e["backend"] for e in payload["entries"]} == {"sparse", "dense"}
+
+    def test_stats_text_format(self, tmp_path):
+        circuit_path = self.export_circuit(tmp_path)
+        adir = str(tmp_path / "artifacts")
+        run_cli(
+            ["cache", "warm", "--circuit", circuit_path, "--backend", "sparse", "--artifact-dir", adir]
+        )
+        stream = io.StringIO()
+        code = main(
+            ["cache", "stats", "--artifact-dir", adir, "--format", "text"],
+            stream=stream,
+        )
+        assert code == 0
+        text = stream.getvalue()
+        assert text.startswith(f"artifact dir: {adir}")
+        assert "artifacts: 1" in text
+        assert "sparse" in text and "+circuit" in text

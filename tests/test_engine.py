@@ -223,6 +223,37 @@ class TestCompileCache:
         assert engine.compile_calls == 4
         assert engine.cache_info().evictions >= 1
 
+    def test_refresh_of_present_key_never_counts_as_eviction(self):
+        # Regression: a put of an already-present key (the template/CSR
+        # alias case) used to enter the eviction loop and bump the counter
+        # even though nothing left the cache.
+        from repro.engine.cache import CompileCache
+
+        cache = CompileCache(2)
+        cache.put(("h1", "sparse"), "a")
+        cache.put(("h2", "sparse"), "b")
+        cache.put(("h1", "sparse"), "a2")  # refresh, not an insert
+        info = cache.info()
+        assert info.evictions == 0
+        assert info.size == 2
+        # The refresh also moved h1 to the MRU end: inserting a third key
+        # must evict h2, the actual least-recently-used entry.
+        cache.put(("h3", "sparse"), "c")
+        assert ("h1", "sparse") in cache
+        assert ("h2", "sparse") not in cache
+        assert cache.info().evictions == 1
+
+    def test_zero_capacity_put_is_a_clean_noop(self):
+        # Regression: capacity=0 used to pop from the empty store.
+        from repro.engine.cache import CompileCache
+
+        cache = CompileCache(0)
+        cache.put(("h1", "sparse"), "a")
+        info = cache.info()
+        assert len(cache) == 0
+        assert info.evictions == 0
+        assert cache.get(("h1", "sparse")) is None
+
     def test_cache_disabled(self):
         engine = Engine(EngineConfig(cache_size=0))
         circuit = parity_circuit(4)

@@ -612,3 +612,67 @@ class TestMetricPiggyback:
             assert stats.tasks >= 1
         # ...without leaking anything into the process-global registry.
         assert get_registry().snapshot()["counters"] == {}
+
+
+class TestDiskWarmStart:
+    """Workers restore published artifacts locally instead of being shipped
+    the program over the install queue — including after a crash respawn."""
+
+    @staticmethod
+    def _warm_setup(tmp_path):
+        adir = str(tmp_path / "artifacts")
+        circuit = parity_circuit(6)
+        with Engine(
+            EngineConfig(backend="sparse", artifact_cache=True, artifact_dir=adir)
+        ) as engine:
+            program, key = engine.compile_entry(circuit)
+        return adir, program, key
+
+    def test_worker_warm_start_from_disk_zero_reinstalls(self, tmp_path, rng):
+        adir, program, key = self._warm_setup(tmp_path)
+        batch = rng.integers(0, 2, size=(6, 16))
+        expected = program.run(batch)
+        config = service_config(artifact_cache=True, artifact_dir=adir)
+        with EvaluationService(config) as service:
+            assert (service.evaluate(program, batch, key=key) == expected).all()
+            stats = service.stats()
+            # The program never crossed the install queue: every worker
+            # that needed it restored the published artifact itself.
+            assert stats.installs == 0
+            assert stats.disk_skipped_installs >= 1
+
+            # Kill every worker.  Fresh processes have empty stores, but a
+            # warm artifact directory: still zero parent-side installs.
+            for worker in list(service._workers):
+                worker.process.kill()
+                worker.process.join(timeout=10)
+            assert (service.evaluate(program, batch, key=key) == expected).all()
+            stats = service.stats()
+            assert stats.worker_restarts >= 2
+            assert stats.installs == 0
+            assert stats.reinstalls == 0
+
+    def test_missing_artifact_falls_back_to_queue_install(self, tmp_path, rng):
+        adir, program, key = self._warm_setup(tmp_path)
+        batch = rng.integers(0, 2, size=(6, 12))
+        expected = program.run(batch)
+        config = service_config(artifact_cache=True, artifact_dir=adir)
+        with EvaluationService(config) as service:
+            # Warm steady state first, so the parent memoizes the artifact
+            # as disk-resident and skips queue installs.
+            assert (service.evaluate(program, batch, key=key) == expected).all()
+            assert service.stats().installs == 0
+
+            # Now delete the artifact *and* the workers' in-memory copies
+            # (a kill empties their stores).  The respawned workers fail the
+            # disk restore, report the program missing, and the parent must
+            # fall back to a forced queue install instead of skipping
+            # forever on its stale disk-resident memo.
+            from repro.engine import DiskArtifactStore
+
+            DiskArtifactStore(adir).clear()
+            for worker in list(service._workers):
+                worker.process.kill()
+                worker.process.join(timeout=10)
+            assert (service.evaluate(program, batch, key=key) == expected).all()
+            assert service.stats().installs >= 1

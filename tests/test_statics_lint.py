@@ -26,6 +26,7 @@ RULE_FIXTURES = {
     "REP003": ("bad_lock.py", "good_lock.py"),
     "REP004": ("bad_wallclock.py", "good_wallclock.py"),
     "REP005": ("bad_pickle.py", "good_pickle.py"),
+    "REP006": ("bad_tempwrite.py", "good_tempwrite.py"),
 }
 
 
@@ -60,6 +61,7 @@ class TestRulesFireOnFixtures:
             "REP003": 3,  # write, racy read, closure escape
             "REP004": 3,  # deadline arith, compare, attribute deadline
             "REP005": 3,  # lambda, lock, open file
+            "REP006": 2,  # published-not-cleaned mkstemp, abandoned mkdtemp
         }
         for code, count in expected.items():
             bad, _ = RULE_FIXTURES[code]
@@ -84,6 +86,25 @@ class TestRuleDetails:
         renamed = bad.replace("_MatrixProgram", "FreeClass")
         assert lint_source(bad, "x.py", select=["REP005"])
         assert not lint_source(renamed, "x.py", select=["REP005"])
+
+    def test_rep006_registry_drives_the_rule(self):
+        # A factory name outside the registry is not a temp artifact.
+        bad = (FIXTURES / "bad_tempwrite.py").read_text()
+        renamed = bad.replace("tempfile.mkstemp", "tempfile.other").replace(
+            "tempfile.mkdtemp", "tempfile.another"
+        )
+        assert lint_source(bad, "x.py", select=["REP006"])
+        assert not lint_source(renamed, "x.py", select=["REP006"])
+
+    def test_rep006_cleanup_without_publication_is_fine(self):
+        # Pure-scratch temp use: cleanup alone satisfies the rule.
+        source = (
+            "import tempfile, shutil\n"
+            "def scratch():\n"
+            "    d = tempfile.mkdtemp()\n"
+            "    shutil.rmtree(d)\n"
+        )
+        assert not lint_source(source, "x.py", select=["REP006"])
 
     def test_suppression_comment(self):
         flagged = "import time\ndeadline = time.time() + 5\n"
